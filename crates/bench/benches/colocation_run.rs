@@ -1,0 +1,44 @@
+//! Criterion bench: end-to-end co-location simulation throughput — the
+//! cost of one simulated control interval (environment step + controller
+//! decision) and of a full 120 s run, for Sturgeon and PARTIES. This is
+//! the harness behind Figs. 9–11; its speed determines how much paper
+//! surface a CI run can re-verify.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sturgeon_bench::{parties_controller, sturgeon_controller};
+use sturgeon::prelude::*;
+
+fn bench_runs(c: &mut Criterion) {
+    let pair = ColocationPair::new(LsServiceId::Memcached, BeAppId::Raytrace);
+    let setup = ExperimentSetup::new(pair, 42);
+    let load = LoadProfile::paper_fluctuating(120.0);
+
+    let mut group = c.benchmark_group("colocation_run");
+    group.sample_size(10);
+    group.bench_function("sturgeon_120s", |b| {
+        b.iter(|| {
+            let controller = sturgeon_controller(&setup, true);
+            black_box(setup.run(controller, load.clone(), 120))
+        })
+    });
+    group.bench_function("parties_120s", |b| {
+        b.iter(|| {
+            let controller = parties_controller(&setup);
+            black_box(setup.run(controller, load.clone(), 120))
+        })
+    });
+    group.finish();
+
+    // One environment step in isolation (the simulator's unit of work).
+    let mut group = c.benchmark_group("env_step");
+    group.bench_function("step", |b| {
+        let mut env = setup.env().clone();
+        let cfg = PairConfig::new(Allocation::new(6, 5, 8), Allocation::new(14, 8, 12));
+        b.iter(|| black_box(env.step(&cfg, black_box(15_000.0))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_runs);
+criterion_main!(benches);

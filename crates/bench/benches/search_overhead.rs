@@ -1,0 +1,37 @@
+//! Criterion bench backing the §VII-E overhead table: wall-clock time of
+//! the O(N log N) binary configuration search vs the O(N⁴) exhaustive
+//! sweep, at low and high LS load.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sturgeon::prelude::*;
+
+fn bench_search(c: &mut Criterion) {
+    let pair = ColocationPair::new(LsServiceId::Memcached, BeAppId::Raytrace);
+    let setup = ExperimentSetup::new(pair, 42);
+    let predictor = setup.train_default_predictor();
+    let spec = setup.spec().clone();
+    let budget = setup.budget_w();
+    let peak = setup.peak_qps();
+
+    let mut group = c.benchmark_group("search");
+    for frac in [0.2, 0.5, 0.8] {
+        let qps = frac * peak;
+        group.bench_function(format!("binary_{:.0}pct", frac * 100.0), |b| {
+            let search =
+                ConfigSearch::new(&predictor, spec.clone(), budget, SearchParams::default());
+            b.iter(|| black_box(search.best_config(black_box(qps))))
+        });
+    }
+    // The exhaustive sweep is orders of magnitude slower; keep one load and
+    // a reduced sample count so the bench suite stays tractable.
+    group.sample_size(10);
+    group.bench_function("exhaustive_20pct", |b| {
+        let search = ConfigSearch::new(&predictor, spec.clone(), budget, SearchParams::default());
+        b.iter(|| black_box(search.exhaustive(black_box(0.2 * peak))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Fig. 10 reproduction: "The normalized throughput of BE applications of
+//! 18 co-locations" — BE throughput relative to the app's whole-node solo
+//! run, under Sturgeon, (enhanced) PARTIES, and Sturgeon-NoB.
+//!
+//! Headline result to match: Sturgeon improves BE throughput over PARTIES
+//! by ≈24.96% on average while Sturgeon-NoB gains only ≈4.38% more than
+//! Sturgeon (the small cost the balancer charges for QoS safety, §VII-C).
+
+use sturgeon_bench::{duration_from_args, evaluate_all, mean, short_label, DEFAULT_SEED};
+
+fn main() {
+    let duration = duration_from_args();
+    println!(
+        "Fig. 10 — normalized BE throughput (duration {duration}s, fluctuating load, seed {DEFAULT_SEED})\n"
+    );
+    println!(
+        "{:<16} {:>10} {:>10} {:>13} {:>12}",
+        "pair", "Sturgeon", "PARTIES", "Sturgeon-NoB", "S vs P"
+    );
+
+    let evals = evaluate_all(DEFAULT_SEED, duration);
+    let mut s = Vec::new();
+    let mut p = Vec::new();
+    let mut n = Vec::new();
+    for e in &evals {
+        s.push(e.sturgeon.mean_be_throughput);
+        p.push(e.parties.mean_be_throughput);
+        n.push(e.nob.mean_be_throughput);
+        println!(
+            "{:<16} {:>10.3} {:>10.3} {:>13.3} {:>+11.1}%",
+            short_label(&e.pair),
+            e.sturgeon.mean_be_throughput,
+            e.parties.mean_be_throughput,
+            e.nob.mean_be_throughput,
+            (e.sturgeon.mean_be_throughput / e.parties.mean_be_throughput - 1.0) * 100.0
+        );
+    }
+    let (ms, mp, mn) = (mean(&s), mean(&p), mean(&n));
+    println!("\nmean normalized throughput: Sturgeon {ms:.3}, PARTIES {mp:.3}, Sturgeon-NoB {mn:.3}");
+    println!(
+        "Sturgeon vs PARTIES: {:+.2}%  (paper: +24.96%)",
+        (ms / mp - 1.0) * 100.0
+    );
+    println!(
+        "Sturgeon-NoB vs Sturgeon: {:+.2}%  (paper: +4.38% — the balancer's throughput cost)",
+        (mn / ms - 1.0) * 100.0
+    );
+    let wins = evals
+        .iter()
+        .filter(|e| e.sturgeon.mean_be_throughput > e.parties.mean_be_throughput)
+        .count();
+    println!("Sturgeon outperforms PARTIES in {wins}/18 pairs (paper: 18/18)");
+}

@@ -1,0 +1,60 @@
+//! Fig. 9 reproduction: "The QoS guarantee rate of 18 co-location pairs" —
+//! the fraction of queries completed within the QoS target under Sturgeon,
+//! (enhanced) PARTIES, and Sturgeon-NoB, driven by the paper's fluctuating
+//! load (20% → 80% → 20% of peak).
+//!
+//! Expected shape (paper §VII-B/§VII-C): Sturgeon and PARTIES keep every
+//! pair at or above the 95% line; disabling the balancer (Sturgeon-NoB)
+//! drops most pairs below it. Also reports the §VII-B power-overload
+//! verdicts (Sturgeon 0/18; enhanced PARTIES still overloads in several).
+
+use sturgeon_bench::{duration_from_args, evaluate_all, short_label, DEFAULT_SEED};
+
+fn main() {
+    let duration = duration_from_args();
+    println!(
+        "Fig. 9 — QoS guarantee rate (duration {duration}s, fluctuating 20%→80%→20%, seed {DEFAULT_SEED})\n"
+    );
+    println!(
+        "{:<16} {:>10} {:>10} {:>13} | overload S/P/N",
+        "pair", "Sturgeon", "PARTIES", "Sturgeon-NoB"
+    );
+
+    let evals = evaluate_all(DEFAULT_SEED, duration);
+    let mut sturgeon_ok = 0;
+    let mut parties_ok = 0;
+    let mut nob_violations = 0;
+    let mut sturgeon_over = 0;
+    let mut parties_over = 0;
+    for e in &evals {
+        if e.sturgeon.meets_qos_guarantee() {
+            sturgeon_ok += 1;
+        }
+        if e.parties.meets_qos_guarantee() {
+            parties_ok += 1;
+        }
+        if !e.nob.meets_qos_guarantee() {
+            nob_violations += 1;
+        }
+        if e.sturgeon.suffers_overload() {
+            sturgeon_over += 1;
+        }
+        if e.parties.suffers_overload() {
+            parties_over += 1;
+        }
+        println!(
+            "{:<16} {:>9.2}% {:>9.2}% {:>12.2}% | {}/{}/{}",
+            short_label(&e.pair),
+            e.sturgeon.qos_rate * 100.0,
+            e.parties.qos_rate * 100.0,
+            e.nob.qos_rate * 100.0,
+            if e.sturgeon.suffers_overload() { "Y" } else { "-" },
+            if e.parties.suffers_overload() { "Y" } else { "-" },
+            if e.nob.suffers_overload() { "Y" } else { "-" },
+        );
+    }
+    println!("\nSturgeon meets the 95% guarantee in {sturgeon_ok}/18 pairs (paper: 18/18)");
+    println!("PARTIES  meets the 95% guarantee in {parties_ok}/18 pairs (paper: 18/18)");
+    println!("Sturgeon-NoB violates QoS in {nob_violations}/18 pairs (paper: 12/18)");
+    println!("power overload: Sturgeon {sturgeon_over}/18 (paper: 0/18), PARTIES {parties_over}/18 (paper: 7/18)");
+}

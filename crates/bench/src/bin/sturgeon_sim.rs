@@ -1,0 +1,215 @@
+//! `sturgeon_sim` — the command-line driver for ad-hoc co-location
+//! experiments.
+//!
+//! ```text
+//! sturgeon_sim [--ls memcached] [--be raytrace] [--controller sturgeon]
+//!              [--load triangle|constant|ramp|diurnal] [--fraction 0.3]
+//!              [--duration 600] [--seed 42] [--export PATH_STEM]
+//! ```
+//!
+//! Runs one experiment and prints the paper's three metrics; `--export`
+//! additionally writes `<stem>.json` (summary) and `<stem>.csv`
+//! (per-interval telemetry) via `sturgeon::report`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use sturgeon::baselines::{PartiesController, PartiesParams, StaticReservationController};
+use sturgeon::heracles::{HeraclesController, HeraclesParams};
+use sturgeon::prelude::*;
+use sturgeon::report;
+
+#[derive(Debug)]
+struct Args {
+    ls: LsServiceId,
+    be: BeAppId,
+    controller: String,
+    load: String,
+    fraction: f64,
+    duration: u32,
+    seed: u64,
+    export: Option<PathBuf>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            ls: LsServiceId::Memcached,
+            be: BeAppId::Raytrace,
+            controller: "sturgeon".into(),
+            load: "triangle".into(),
+            fraction: 0.3,
+            duration: 600,
+            seed: 42,
+            export: None,
+        }
+    }
+}
+
+fn parse_ls(s: &str) -> Option<LsServiceId> {
+    LsServiceId::all().into_iter().find(|id| id.name() == s)
+}
+
+fn parse_be(s: &str) -> Option<BeAppId> {
+    BeAppId::all()
+        .into_iter()
+        .find(|id| id.name() == s || id.abbrev() == s)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        if flag == "--help" || flag == "-h" {
+            return Err(String::new()); // triggers usage
+        }
+        let value = argv
+            .get(i + 1)
+            .ok_or_else(|| format!("missing value for {flag}"))?;
+        match flag {
+            "--ls" => args.ls = parse_ls(value).ok_or(format!("unknown LS service {value}"))?,
+            "--be" => args.be = parse_be(value).ok_or(format!("unknown BE app {value}"))?,
+            "--controller" => args.controller = value.clone(),
+            "--load" => args.load = value.clone(),
+            "--fraction" => {
+                args.fraction = value
+                    .parse()
+                    .map_err(|_| format!("bad fraction {value}"))?
+            }
+            "--duration" => {
+                args.duration = value
+                    .parse()
+                    .map_err(|_| format!("bad duration {value}"))?
+            }
+            "--seed" => args.seed = value.parse().map_err(|_| format!("bad seed {value}"))?,
+            "--export" => args.export = Some(PathBuf::from(value)),
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    Ok(args)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: sturgeon_sim [--ls memcached|xapian|img-dnn] \\
+                    [--be blackscholes|facesim|ferret|raytrace|swaptions|fluidanimate] \\
+                    [--controller sturgeon|sturgeon-nob|parties|parties-orig|heracles|reserved] \\
+                    [--load triangle|constant|ramp|diurnal] [--fraction F] \\
+                    [--duration SECONDS] [--seed N] [--export PATH_STEM]"
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let pair = ColocationPair::new(args.ls, args.be);
+    let setup = ExperimentSetup::new(pair, args.seed);
+    let load = match args.load.as_str() {
+        "triangle" => LoadProfile::paper_fluctuating(args.duration as f64),
+        "constant" => LoadProfile::Constant {
+            fraction: args.fraction,
+        },
+        "ramp" => LoadProfile::Ramp {
+            from: 0.2,
+            to: args.fraction.max(0.2),
+            duration_s: args.duration as f64,
+        },
+        "diurnal" => LoadProfile::Diurnal {
+            low: 0.15,
+            high: args.fraction.max(0.2),
+            day_s: args.duration as f64,
+        },
+        other => {
+            eprintln!("error: unknown load profile {other}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "running {} under `{}` for {}s (load {}, seed {})...",
+        pair.label(),
+        args.controller,
+        args.duration,
+        args.load,
+        args.seed
+    );
+
+    let result = match args.controller.as_str() {
+        "sturgeon" | "sturgeon-nob" => {
+            eprintln!("offline phase: profiling + training the predictor...");
+            let predictor = setup.train_default_predictor();
+            let controller = SturgeonController::new(
+                predictor,
+                setup.spec().clone(),
+                setup.budget_w(),
+                setup.qos_target_ms(),
+                ControllerParams {
+                    balancer_enabled: args.controller == "sturgeon",
+                    ..ControllerParams::default()
+                },
+            );
+            setup.run(controller, load, args.duration)
+        }
+        "parties" | "parties-orig" => {
+            let controller = PartiesController::new(
+                setup.spec().clone(),
+                setup.budget_w(),
+                setup.qos_target_ms(),
+                PartiesParams {
+                    power_aware: args.controller == "parties",
+                    ..PartiesParams::default()
+                },
+            );
+            setup.run(controller, load, args.duration)
+        }
+        "heracles" => {
+            let controller = HeraclesController::new(
+                setup.spec().clone(),
+                setup.budget_w(),
+                setup.qos_target_ms(),
+                HeraclesParams::default(),
+            );
+            setup.run(controller, load, args.duration)
+        }
+        "reserved" => setup.run(StaticReservationController, load, args.duration),
+        other => {
+            eprintln!("error: unknown controller {other}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("{}", report::run_summary_json(&result));
+    eprintln!(
+        "\nQoS {:.2}% | BE throughput {:.3} | peak {:.1} W / budget {:.1} W | overload {:.2}%",
+        result.qos_rate * 100.0,
+        result.mean_be_throughput,
+        result.peak_power_w,
+        result.budget_w,
+        result.overload_fraction * 100.0
+    );
+    if let Some(stem) = &args.export {
+        if let Err(e) = report::export_run(&result, stem) {
+            eprintln!("error: export failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "exported {} and {}",
+            stem.with_extension("json").display(),
+            stem.with_extension("csv").display()
+        );
+    }
+    ExitCode::SUCCESS
+}

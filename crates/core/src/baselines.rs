@@ -1,0 +1,502 @@
+//! Comparison controllers: the enhanced PARTIES baseline of §VII-A and a
+//! static reservation reference.
+//!
+//! PARTIES (Chen et al., ASPLOS'19) is a feedback FSM: it nudges one
+//! resource type at a time toward the LS service when slack is low, away
+//! when slack is high, watches the next interval, and reverts moves that
+//! did not help. It has no power model; the paper *enhances* it so that a
+//! move observed to overload the budget is reverted and another type
+//! tried. Because that check is reactive, overloads still occur while the
+//! FSM converges — exactly the §VII-B observation (7 of 18 pairs).
+
+use crate::controller::ResourceController;
+use sturgeon_simnode::{NodeSpec, PairConfig};
+use sturgeon_workloads::env::Observation;
+
+/// The resource knobs PARTIES cycles through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Knob {
+    /// Move one core between partitions.
+    Cores,
+    /// Move one LLC way between partitions.
+    Cache,
+    /// Step the LS partition's frequency.
+    LsFreq,
+    /// Step the BE partition's frequency.
+    BeFreq,
+}
+
+const KNOBS: [Knob; 4] = [Knob::Cores, Knob::Cache, Knob::LsFreq, Knob::BeFreq];
+
+/// PARTIES tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct PartiesParams {
+    /// Lower slack bound (upsize LS below this).
+    pub alpha: f64,
+    /// Upper slack bound (downsize LS above this).
+    pub beta: f64,
+    /// Relative p95 improvement required to call an upsize successful.
+    pub improvement_epsilon: f64,
+    /// Power awareness (the paper's enhancement). `false` gives the
+    /// original, overload-prone PARTIES.
+    pub power_aware: bool,
+    /// Watts of headroom the enhanced version keeps before attempting a
+    /// move that raises power; a reactive estimate, not a model.
+    pub power_headroom_w: f64,
+}
+
+impl Default for PartiesParams {
+    fn default() -> Self {
+        Self {
+            alpha: 0.10,
+            beta: 0.20,
+            improvement_epsilon: 0.02,
+            power_aware: true,
+            power_headroom_w: 0.0,
+        }
+    }
+}
+
+/// A pending adjustment awaiting its feedback interval.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    previous: PairConfig,
+    previous_p95: f64,
+    /// True when the move gave resources to the LS service.
+    upsize: bool,
+}
+
+/// The enhanced-PARTIES controller.
+#[derive(Debug)]
+pub struct PartiesController {
+    spec: NodeSpec,
+    budget_w: f64,
+    qos_target_ms: f64,
+    params: PartiesParams,
+    knob_idx: usize,
+    pending: Option<Pending>,
+    /// After a downsize gets reverted the FSM has converged for the
+    /// current load; further downsizing is held until the load moves or
+    /// the hold expires.
+    hold_qps: Option<f64>,
+    hold_ttl: u32,
+    reverts: u64,
+    overload_reactions: u64,
+}
+
+impl PartiesController {
+    /// Builds the controller.
+    pub fn new(
+        spec: NodeSpec,
+        budget_w: f64,
+        qos_target_ms: f64,
+        params: PartiesParams,
+    ) -> Self {
+        Self {
+            spec,
+            budget_w,
+            qos_target_ms,
+            params,
+            knob_idx: 0,
+            pending: None,
+            hold_qps: None,
+            hold_ttl: 0,
+            reverts: 0,
+            overload_reactions: 0,
+        }
+    }
+
+    /// Number of reverted adjustments (convergence cost metric).
+    pub fn revert_count(&self) -> u64 {
+        self.reverts
+    }
+
+    /// Number of reactive power-overload corrections.
+    pub fn overload_reaction_count(&self) -> u64 {
+        self.overload_reactions
+    }
+
+    fn knob(&self) -> Knob {
+        KNOBS[self.knob_idx % KNOBS.len()]
+    }
+
+    fn advance_knob(&mut self) {
+        self.knob_idx = (self.knob_idx + 1) % KNOBS.len();
+    }
+
+    /// One unit of the knob toward the LS service (upsize). `None` when
+    /// the move is illegal.
+    fn upsized(&self, cfg: &PairConfig, knob: Knob) -> Option<PairConfig> {
+        let mut next = *cfg;
+        match knob {
+            Knob::Cores => {
+                if cfg.be.cores <= 1 {
+                    return None;
+                }
+                next.be.cores -= 1;
+                next.ls.cores += 1;
+            }
+            Knob::Cache => {
+                if cfg.be.llc_ways <= 1 {
+                    return None;
+                }
+                next.be.llc_ways -= 1;
+                next.ls.llc_ways += 1;
+            }
+            Knob::LsFreq => {
+                if cfg.ls.freq_level >= self.spec.max_freq_level() {
+                    return None;
+                }
+                next.ls.freq_level += 1;
+            }
+            Knob::BeFreq => {
+                // Upsizing via the BE frequency means throttling the BE
+                // co-runner to relieve shared-resource pressure.
+                if cfg.be.freq_level == 0 {
+                    return None;
+                }
+                next.be.freq_level -= 1;
+            }
+        }
+        next.validate(&self.spec).ok()?;
+        Some(next)
+    }
+
+    /// One unit of the knob toward the BE application (downsize LS).
+    fn downsized(&self, cfg: &PairConfig, knob: Knob) -> Option<PairConfig> {
+        let mut next = *cfg;
+        match knob {
+            Knob::Cores => {
+                if cfg.ls.cores <= 1 {
+                    return None;
+                }
+                next.ls.cores -= 1;
+                next.be.cores += 1;
+            }
+            Knob::Cache => {
+                if cfg.ls.llc_ways <= 1 {
+                    return None;
+                }
+                next.ls.llc_ways -= 1;
+                next.be.llc_ways += 1;
+            }
+            Knob::LsFreq => {
+                if cfg.ls.freq_level == 0 {
+                    return None;
+                }
+                next.ls.freq_level -= 1;
+            }
+            Knob::BeFreq => {
+                if cfg.be.freq_level >= self.spec.max_freq_level() {
+                    return None;
+                }
+                next.be.freq_level += 1;
+            }
+        }
+        next.validate(&self.spec).ok()?;
+        Some(next)
+    }
+
+    /// Whether a downsize move raises power (cores/ways shifts barely do;
+    /// frequency steps dominate).
+    fn raises_power(knob: Knob, upsize: bool) -> bool {
+        match knob {
+            // Giving a core/way to the *BE* side raises power (BE burns
+            // hotter); toward LS lowers it.
+            Knob::Cores | Knob::Cache => !upsize,
+            Knob::LsFreq => upsize,
+            Knob::BeFreq => !upsize,
+        }
+    }
+}
+
+impl ResourceController for PartiesController {
+    fn name(&self) -> &'static str {
+        if self.params.power_aware {
+            "PARTIES"
+        } else {
+            "PARTIES-orig"
+        }
+    }
+
+    fn decide(&mut self, obs: &Observation, current: PairConfig) -> PairConfig {
+        // Enhancement: a measured overload is corrected immediately by
+        // reverting the last move (if any) or throttling the BE partition.
+        if self.params.power_aware && obs.power_w > self.budget_w {
+            self.overload_reactions += 1;
+            if let Some(p) = self.pending.take() {
+                self.reverts += 1;
+                self.advance_knob();
+                return p.previous;
+            }
+            let mut next = current;
+            if next.be.freq_level > 0 {
+                next.be.freq_level -= 1;
+                return next;
+            }
+            if next.be.cores > 1 {
+                next.be.cores -= 1;
+                next.ls.cores += 1;
+                return next;
+            }
+            return current;
+        }
+
+        let slack = (self.qos_target_ms - obs.p95_ms) / self.qos_target_ms;
+
+        // Feedback on a pending move.
+        if let Some(p) = self.pending.take() {
+            if p.upsize {
+                // Did the latency actually improve?
+                let improved =
+                    obs.p95_ms < p.previous_p95 * (1.0 - self.params.improvement_epsilon);
+                if !improved && slack < self.params.alpha {
+                    self.reverts += 1;
+                    self.advance_knob();
+                    return p.previous;
+                }
+            } else {
+                // Downsize feedback: revert if the slack collapsed, and
+                // hold further downsizing until the load moves — the FSM
+                // has found the boundary for this load.
+                if slack < self.params.alpha {
+                    self.reverts += 1;
+                    self.advance_knob();
+                    self.hold_qps = Some(obs.qps);
+                    self.hold_ttl = 8;
+                    return p.previous;
+                }
+            }
+        }
+
+        if slack < self.params.alpha {
+            // Upsize the LS service with the current knob; skip knobs that
+            // cannot move.
+            for _ in 0..KNOBS.len() {
+                let knob = self.knob();
+                if let Some(next) = self.upsized(&current, knob) {
+                    self.pending = Some(Pending {
+                        previous: current,
+                        previous_p95: obs.p95_ms,
+                        upsize: true,
+                    });
+                    // Stay on a knob that works: during violations the
+                    // feedback loop doubles down on whatever helped last.
+                    return next;
+                }
+                self.advance_knob();
+            }
+            return current;
+        }
+
+        if slack > self.params.beta {
+            // Converged-hold: a recent downsize at this load already
+            // collapsed the slack once; wait for the load to move or for
+            // the hold to expire.
+            if let Some(hold) = self.hold_qps {
+                let load_moved = (obs.qps - hold).abs() / hold.max(1.0) >= 0.03;
+                self.hold_ttl = self.hold_ttl.saturating_sub(1);
+                if !load_moved && self.hold_ttl > 0 {
+                    return current;
+                }
+                self.hold_qps = None;
+            }
+            for _ in 0..KNOBS.len() {
+                let knob = self.knob();
+                if let Some(next) = self.downsized(&current, knob) {
+                    // Near the budget, skip only moves that *obviously*
+                    // raise power when headroom is configured; with zero
+                    // headroom this is the paper's purely reactive
+                    // enhancement (overloads happen, then get reverted).
+                    if self.params.power_aware
+                        && self.params.power_headroom_w > 0.0
+                        && Self::raises_power(knob, false)
+                        && obs.power_w > self.budget_w - self.params.power_headroom_w
+                    {
+                        self.advance_knob();
+                        continue;
+                    }
+                    self.pending = Some(Pending {
+                        previous: current,
+                        previous_p95: obs.p95_ms,
+                        upsize: false,
+                    });
+                    self.advance_knob();
+                    return next;
+                }
+                self.advance_knob();
+            }
+            return current;
+        }
+
+        current
+    }
+}
+
+/// A trivial reference controller: the LS service keeps the whole node
+/// forever (no co-location). Perfect QoS, zero BE throughput — the
+/// datacenter-status-quo the paper's co-location motivation argues
+/// against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticReservationController;
+
+impl ResourceController for StaticReservationController {
+    fn name(&self) -> &'static str {
+        "LS-reserved"
+    }
+
+    fn decide(&mut self, _obs: &Observation, current: PairConfig) -> PairConfig {
+        current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sturgeon_simnode::Allocation;
+
+    fn spec() -> NodeSpec {
+        NodeSpec::xeon_e5_2630_v4()
+    }
+
+    fn controller() -> PartiesController {
+        PartiesController::new(spec(), 80.0, 10.0, PartiesParams::default())
+    }
+
+    fn obs(p95: f64, power: f64) -> Observation {
+        Observation {
+            t_s: 1.0,
+            qps: 12_000.0,
+            p95_ms: p95,
+            in_target_fraction: 0.9,
+            ls_utilization: 0.7,
+            power_w: power,
+            be_throughput_norm: 0.4,
+            be_ipc: 0.5,
+            interference: 1.0,
+        }
+    }
+
+    fn cfg(c1: u32, f1: usize, l1: u32, c2: u32, f2: usize, l2: u32) -> PairConfig {
+        PairConfig::new(Allocation::new(c1, f1, l1), Allocation::new(c2, f2, l2))
+    }
+
+    #[test]
+    fn low_slack_upsizes_ls() {
+        let mut c = controller();
+        let current = cfg(6, 5, 8, 14, 8, 12);
+        // p95 9.5ms at 10ms target → slack 5% < α.
+        let next = c.decide(&obs(9.5, 70.0), current);
+        assert_ne!(next, current);
+        let ls_gained = next.ls.cores > current.ls.cores
+            || next.ls.llc_ways > current.ls.llc_ways
+            || next.ls.freq_level > current.ls.freq_level
+            || next.be.freq_level < current.be.freq_level;
+        assert!(ls_gained);
+    }
+
+    #[test]
+    fn high_slack_downsizes_ls() {
+        let mut c = controller();
+        let current = cfg(10, 5, 10, 10, 4, 10);
+        // p95 2ms → slack 80% > β.
+        let next = c.decide(&obs(2.0, 60.0), current);
+        assert_ne!(next, current);
+        let be_gained = next.be.cores > current.be.cores
+            || next.be.llc_ways > current.be.llc_ways
+            || next.be.freq_level > current.be.freq_level
+            || next.ls.freq_level < current.ls.freq_level;
+        assert!(be_gained);
+    }
+
+    #[test]
+    fn in_band_slack_holds_steady() {
+        let mut c = controller();
+        let current = cfg(6, 5, 8, 14, 8, 12);
+        // p95 8.5ms → slack 15%, inside [10%, 20%].
+        let next = c.decide(&obs(8.5, 70.0), current);
+        assert_eq!(next, current);
+    }
+
+    #[test]
+    fn measured_overload_triggers_reaction() {
+        let mut c = controller();
+        let current = cfg(6, 5, 8, 14, 9, 12);
+        let next = c.decide(&obs(8.5, 90.0), current); // 90 W > 80 W budget
+        assert_eq!(c.overload_reaction_count(), 1);
+        // The BE partition must have been throttled.
+        assert!(next.be.freq_level < current.be.freq_level);
+    }
+
+    #[test]
+    fn failed_upsize_is_reverted_and_knob_advanced() {
+        let mut c = controller();
+        let start = cfg(6, 5, 8, 14, 8, 12);
+        let upsized = c.decide(&obs(9.5, 70.0), start);
+        assert_ne!(upsized, start);
+        // Next interval: latency did NOT improve and is still violating.
+        let reverted = c.decide(&obs(9.6, 70.0), upsized);
+        assert_eq!(reverted, start);
+        assert_eq!(c.revert_count(), 1);
+    }
+
+    #[test]
+    fn successful_upsize_is_kept() {
+        let mut c = controller();
+        let start = cfg(6, 5, 8, 14, 8, 12);
+        let upsized = c.decide(&obs(9.5, 70.0), start);
+        // Latency improved well and slack is healthy now.
+        let kept = c.decide(&obs(8.5, 70.0), upsized);
+        assert_eq!(kept, upsized);
+        assert_eq!(c.revert_count(), 0);
+    }
+
+    #[test]
+    fn downsize_reverted_when_slack_collapses() {
+        let mut c = controller();
+        let start = cfg(10, 5, 10, 10, 4, 10);
+        let downsized = c.decide(&obs(2.0, 60.0), start);
+        assert_ne!(downsized, start);
+        // Next interval the slack collapsed below α.
+        let reverted = c.decide(&obs(9.5, 60.0), downsized);
+        assert_eq!(reverted, start);
+    }
+
+    #[test]
+    fn original_parties_ignores_power() {
+        let mut c = PartiesController::new(
+            spec(),
+            80.0,
+            10.0,
+            PartiesParams {
+                power_aware: false,
+                ..PartiesParams::default()
+            },
+        );
+        assert_eq!(c.name(), "PARTIES-orig");
+        let current = cfg(6, 5, 8, 14, 9, 12);
+        // In-band slack + overload: the original controller does nothing.
+        let next = c.decide(&obs(8.5, 95.0), current);
+        assert_eq!(next, current);
+        assert_eq!(c.overload_reaction_count(), 0);
+    }
+
+    #[test]
+    fn static_reservation_never_moves() {
+        let mut c = StaticReservationController;
+        let current = cfg(19, 9, 19, 1, 0, 1);
+        assert_eq!(c.decide(&obs(1.0, 50.0), current), current);
+        assert_eq!(c.decide(&obs(50.0, 90.0), current), current);
+    }
+
+    #[test]
+    fn moves_always_validate() {
+        let mut c = controller();
+        let mut current = cfg(6, 5, 8, 14, 8, 12);
+        for i in 0..100 {
+            let p95 = if i % 3 == 0 { 9.5 } else if i % 3 == 1 { 2.0 } else { 8.5 };
+            current = c.decide(&obs(p95, 70.0), current);
+            assert!(current.validate(&spec()).is_ok());
+        }
+    }
+}

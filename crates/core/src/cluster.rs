@@ -1,0 +1,331 @@
+//! Cluster-level operation (paper Fig. 4): "the queries sent by users are
+//! first dispatched to each server by the cluster-level scheduler;
+//! Sturgeon runs on each node and manages shared resources."
+//!
+//! This module provides that top half: a cluster of simulated nodes, each
+//! running its own Sturgeon controller against its own co-location
+//! environment, and a dispatcher that splits the cluster-wide query
+//! stream across them. It exists to demonstrate (and test) the paper's
+//! deployment model — per-node autonomy, no cross-node coordination —
+//! and to measure fleet-level effects (aggregate BE throughput, stranded
+//! power) that single-node runs cannot show.
+
+use crate::controller::{ControllerParams, ResourceController, SturgeonController};
+use crate::experiment::{ColocationPair, ExperimentSetup};
+use sturgeon_simnode::{IntervalSample, SimActuators, TelemetryLog};
+use sturgeon_workloads::env::CoLocationEnv;
+use sturgeon_workloads::loadgen::LoadProfile;
+
+/// How the cluster scheduler splits the offered load across nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DispatchPolicy {
+    /// Equal share to every node.
+    Even,
+    /// Fixed weights (normalized internally; must be non-negative, not
+    /// all zero).
+    Weighted(Vec<f64>),
+    /// Adaptive: each interval, weight nodes by their latency headroom in
+    /// the previous interval (a node near its QoS target receives less).
+    /// Weights are EWMA-smoothed and the spread is bounded (≤ 2:1) —
+    /// latency signals lag one interval, and an undamped headroom policy
+    /// oscillates against the per-node controllers.
+    LatencyAware,
+}
+
+/// One node of the cluster: environment + actuators + controller.
+struct NodeRuntime {
+    env: CoLocationEnv,
+    actuators: SimActuators,
+    controller: SturgeonController,
+    config: sturgeon_simnode::PairConfig,
+    log: TelemetryLog,
+    last_p95_ms: f64,
+    /// EWMA-smoothed dispatch weight (LatencyAware policy only).
+    smoothed_weight: f64,
+}
+
+/// Per-node summary after a cluster run.
+#[derive(Debug, Clone)]
+pub struct NodeResult {
+    /// Node index.
+    pub node: usize,
+    /// QoS guarantee rate of the node's LS shard.
+    pub qos_rate: f64,
+    /// Mean normalized BE throughput on the node.
+    pub mean_be_throughput: f64,
+    /// Fraction of intervals over the node's power budget.
+    pub overload_fraction: f64,
+    /// Mean node power (W).
+    pub mean_power_w: f64,
+}
+
+/// Cluster-wide results.
+#[derive(Debug, Clone)]
+pub struct ClusterResult {
+    /// Per-node summaries.
+    pub nodes: Vec<NodeResult>,
+    /// Query-weighted cluster QoS guarantee rate.
+    pub qos_rate: f64,
+    /// Sum of mean normalized BE throughput across nodes ("machines worth
+    /// of batch work recovered").
+    pub total_be_throughput: f64,
+    /// Mean total cluster power (W).
+    pub mean_cluster_power_w: f64,
+    /// Sum of per-node budgets (W) — the cluster's provisioned power.
+    pub cluster_budget_w: f64,
+}
+
+/// A homogeneous cluster of Sturgeon nodes serving one LS service.
+pub struct Cluster {
+    nodes: Vec<NodeRuntime>,
+    policy: DispatchPolicy,
+    peak_qps_per_node: f64,
+    qos_target_ms: f64,
+}
+
+impl Cluster {
+    /// Builds a cluster of `n` nodes for one co-location pair. Each node
+    /// trains its own predictor (offline phase) and gets an independent
+    /// interference seed.
+    pub fn new(pair: ColocationPair, n: usize, policy: DispatchPolicy, seed: u64) -> Self {
+        assert!(n > 0, "cluster needs at least one node");
+        if let DispatchPolicy::Weighted(w) = &policy {
+            assert_eq!(w.len(), n, "one weight per node");
+            assert!(w.iter().all(|&x| x >= 0.0), "weights must be non-negative");
+            assert!(w.iter().sum::<f64>() > 0.0, "weights must not all be zero");
+        }
+        let mut nodes = Vec::with_capacity(n);
+        let mut peak = 0.0;
+        let mut target = 0.0;
+        for i in 0..n {
+            let setup = ExperimentSetup::new(pair, seed.wrapping_add(i as u64));
+            peak = setup.peak_qps();
+            target = setup.qos_target_ms();
+            let predictor = setup.train_default_predictor();
+            let controller = SturgeonController::new(
+                predictor,
+                setup.spec().clone(),
+                setup.budget_w(),
+                setup.qos_target_ms(),
+                ControllerParams::default(),
+            );
+            let env = setup.env().clone();
+            let actuators = SimActuators::new(env.spec().clone());
+            let config = controller.initial_config(env.spec());
+            actuators.apply(config).expect("valid initial config");
+            nodes.push(NodeRuntime {
+                env,
+                actuators,
+                controller,
+                config,
+                log: TelemetryLog::new(),
+                last_p95_ms: 0.0,
+                smoothed_weight: 1.0 / n as f64,
+            });
+        }
+        Self {
+            nodes,
+            policy,
+            peak_qps_per_node: peak,
+            qos_target_ms: target,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the cluster has no nodes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Aggregate peak capacity (QPS) of the cluster.
+    pub fn peak_qps(&self) -> f64 {
+        self.peak_qps_per_node * self.nodes.len() as f64
+    }
+
+    /// Dispatch weights for this interval. The LatencyAware policy
+    /// mutates its EWMA state.
+    fn weights(&mut self) -> Vec<f64> {
+        let n = self.nodes.len();
+        match &self.policy {
+            DispatchPolicy::Even => vec![1.0 / n as f64; n],
+            DispatchPolicy::Weighted(w) => {
+                let sum: f64 = w.iter().sum();
+                w.iter().map(|&x| x / sum).collect()
+            }
+            DispatchPolicy::LatencyAware => {
+                // Bounded headroom target (spread ≤ 2:1), EWMA-damped:
+                // the latency signal lags one interval, so an aggressive
+                // proportional policy oscillates against the per-node
+                // controllers and shreds everyone's QoS.
+                let targets: Vec<f64> = self
+                    .nodes
+                    .iter()
+                    .map(|node| {
+                        let headroom = ((self.qos_target_ms - node.last_p95_ms)
+                            / self.qos_target_ms)
+                            .clamp(0.0, 1.0);
+                        0.5 + 0.5 * headroom
+                    })
+                    .collect();
+                let sum: f64 = targets.iter().sum();
+                for (node, t) in self.nodes.iter_mut().zip(&targets) {
+                    let target = t / sum;
+                    node.smoothed_weight = 0.9 * node.smoothed_weight + 0.1 * target;
+                }
+                let total: f64 = self.nodes.iter().map(|x| x.smoothed_weight).sum();
+                self.nodes
+                    .iter()
+                    .map(|x| x.smoothed_weight / total)
+                    .collect()
+            }
+        }
+    }
+
+    /// Runs the cluster for `duration_s` intervals under a *cluster-wide*
+    /// load profile whose fraction applies to the aggregate peak.
+    pub fn run(&mut self, profile: LoadProfile, duration_s: u32) -> ClusterResult {
+        for t in 0..duration_s {
+            let total_qps = profile.qps_at(t as f64, self.peak_qps());
+            let weights = self.weights();
+            for (node, w) in self.nodes.iter_mut().zip(&weights) {
+                let qps = total_qps * w;
+                let obs = node.env.step(&node.actuators.config(), qps);
+                node.actuators.push_power(obs.power_w);
+                node.last_p95_ms = obs.p95_ms;
+                node.log.push(IntervalSample {
+                    t_s: obs.t_s,
+                    qps: obs.qps,
+                    p95_ms: obs.p95_ms,
+                    in_target_fraction: obs.in_target_fraction,
+                    power_w: obs.power_w,
+                    be_throughput_norm: obs.be_throughput_norm,
+                    config: node.actuators.config(),
+                });
+                let next = node.controller.decide(&obs, node.config);
+                if next != node.config {
+                    node.actuators.apply(next).expect("valid config");
+                    node.config = next;
+                }
+            }
+        }
+        self.result()
+    }
+
+    fn result(&self) -> ClusterResult {
+        let mut nodes = Vec::with_capacity(self.nodes.len());
+        let mut total_q = 0.0;
+        let mut in_target_q = 0.0;
+        let mut total_tput = 0.0;
+        let mut total_power = 0.0;
+        let mut budget = 0.0;
+        for (i, node) in self.nodes.iter().enumerate() {
+            let qos = node.log.qos_guarantee_rate();
+            let tput = node.log.mean_be_throughput();
+            let node_budget = node.env.budget_w();
+            let mean_power = if node.log.is_empty() {
+                0.0
+            } else {
+                node.log.samples().iter().map(|s| s.power_w).sum::<f64>()
+                    / node.log.len() as f64
+            };
+            let q: f64 = node.log.samples().iter().map(|s| s.qps).sum();
+            total_q += q;
+            in_target_q += q * qos;
+            total_tput += tput;
+            total_power += mean_power;
+            budget += node_budget;
+            nodes.push(NodeResult {
+                node: i,
+                qos_rate: qos,
+                mean_be_throughput: tput,
+                overload_fraction: node.log.overload_fraction(node_budget),
+                mean_power_w: mean_power,
+            });
+        }
+        ClusterResult {
+            nodes,
+            qos_rate: if total_q > 0.0 { in_target_q / total_q } else { 1.0 },
+            total_be_throughput: total_tput,
+            mean_cluster_power_w: total_power,
+            cluster_budget_w: budget,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sturgeon_workloads::catalog::{BeAppId, LsServiceId};
+
+    fn pair() -> ColocationPair {
+        ColocationPair::new(LsServiceId::Xapian, BeAppId::Swaptions)
+    }
+
+    #[test]
+    fn even_cluster_holds_qos_and_recovers_batch_work() {
+        let mut cluster = Cluster::new(pair(), 3, DispatchPolicy::Even, 42);
+        assert_eq!(cluster.len(), 3);
+        let r = cluster.run(LoadProfile::Constant { fraction: 0.3 }, 100);
+        assert!(r.qos_rate > 0.9, "cluster QoS {}", r.qos_rate);
+        assert!(
+            r.total_be_throughput > 1.0,
+            "3 nodes should recover > 1 machine of batch work, got {}",
+            r.total_be_throughput
+        );
+        assert!(r.mean_cluster_power_w <= r.cluster_budget_w * 1.02);
+        assert_eq!(r.nodes.len(), 3);
+    }
+
+    #[test]
+    fn weighted_dispatch_loads_nodes_unevenly() {
+        let mut cluster = Cluster::new(
+            pair(),
+            2,
+            DispatchPolicy::Weighted(vec![3.0, 1.0]),
+            7,
+        );
+        let _ = cluster.run(LoadProfile::Constant { fraction: 0.3 }, 40);
+        let q0: f64 = cluster.nodes[0].log.samples().iter().map(|s| s.qps).sum();
+        let q1: f64 = cluster.nodes[1].log.samples().iter().map(|s| s.qps).sum();
+        assert!((q0 / q1 - 3.0).abs() < 0.01, "ratio {}", q0 / q1);
+    }
+
+    #[test]
+    fn latency_aware_dispatch_shifts_load_away_from_slow_nodes() {
+        let mut cluster = Cluster::new(pair(), 2, DispatchPolicy::LatencyAware, 11);
+        // Prime node 0 as "slow" and node 1 as "fast".
+        cluster.nodes[0].last_p95_ms = 14.0; // near the 15 ms target
+        cluster.nodes[1].last_p95_ms = 2.0;
+        let w = cluster.weights();
+        assert!(w[1] > w[0], "fast node must receive more load: {w:?}");
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_aware_cluster_holds_qos_under_fluctuating_load() {
+        // Regression guard: an undamped headroom policy oscillates against
+        // the per-node controllers and collapses QoS to ~25%; the damped
+        // policy must match even dispatch.
+        let mut cluster = Cluster::new(pair(), 2, DispatchPolicy::LatencyAware, 5);
+        let r = cluster.run(LoadProfile::paper_fluctuating(200.0), 200);
+        assert!(r.qos_rate > 0.93, "latency-aware cluster QoS {}", r.qos_rate);
+        assert!(r.mean_cluster_power_w <= r.cluster_budget_w);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per node")]
+    fn weighted_policy_validates_length() {
+        let _ = Cluster::new(pair(), 2, DispatchPolicy::Weighted(vec![1.0]), 1);
+    }
+
+    #[test]
+    fn aggregate_peak_scales_with_nodes() {
+        let c1 = Cluster::new(pair(), 1, DispatchPolicy::Even, 1);
+        let c3 = Cluster::new(pair(), 3, DispatchPolicy::Even, 1);
+        assert!((c3.peak_qps() - 3.0 * c1.peak_qps()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,484 @@
+//! The top-level Sturgeon controller (paper Algorithm 1).
+//!
+//! Every monitoring interval (1 s) the controller computes the latency
+//! slack `(target − p95) / target`. When the slack leaves the `[α, β]`
+//! band the predictor-driven search finds and applies a fresh
+//! configuration; the preference-aware balancer then fine-tunes it
+//! against the interference the predictor cannot see.
+
+use crate::balancer::{BalancerParams, ResourceBalancer};
+use crate::online::{OnlineAdaptor, OnlineSample};
+use crate::predictor::PerfPowerPredictor;
+use crate::search::{ConfigSearch, SearchParams, SearchStats};
+use sturgeon_simnode::{Allocation, NodeSpec, PairConfig};
+use sturgeon_workloads::env::Observation;
+
+/// A per-interval resource-management policy. All evaluated systems
+/// (Sturgeon, Sturgeon-NoB, PARTIES, static baselines) implement this.
+pub trait ResourceController {
+    /// Display name used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Configuration applied before the first observation. Algorithm 1
+    /// line 1: "initialize resource allocation" — everything to the LS
+    /// service, because the initial load is unknown.
+    fn initial_config(&self, spec: &NodeSpec) -> PairConfig {
+        PairConfig::new(
+            Allocation::new(spec.total_cores - 1, spec.max_freq_level(), spec.total_llc_ways - 1),
+            Allocation::new(1, 0, 1),
+        )
+    }
+
+    /// Consumes the interval's observation and returns the configuration
+    /// to apply for the next interval.
+    fn decide(&mut self, obs: &Observation, current: PairConfig) -> PairConfig;
+}
+
+/// Algorithm 1 tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct ControllerParams {
+    /// Lower slack bound α (paper default 10%).
+    pub alpha: f64,
+    /// Upper slack bound β (paper default 20%).
+    pub beta: f64,
+    /// Relative load change that forces a fresh search even while the
+    /// balancer is still converging.
+    pub research_load_delta: f64,
+    /// Search-space limits.
+    pub search: SearchParams,
+    /// Balancer slack band (usually mirrors α/β).
+    pub balancer: BalancerParams,
+    /// Disable to obtain the paper's *Sturgeon-NoB* ablation (§VII-C).
+    pub balancer_enabled: bool,
+}
+
+impl Default for ControllerParams {
+    fn default() -> Self {
+        Self {
+            alpha: 0.10,
+            beta: 0.20,
+            research_load_delta: 0.04,
+            search: SearchParams::default(),
+            balancer: BalancerParams::default(),
+            balancer_enabled: true,
+        }
+    }
+}
+
+/// The Sturgeon runtime: predictor + search + balancer.
+#[derive(Debug)]
+pub struct SturgeonController {
+    predictor: PerfPowerPredictor,
+    spec: NodeSpec,
+    budget_w: f64,
+    qos_target_ms: f64,
+    params: ControllerParams,
+    balancer: ResourceBalancer,
+    last_search_qps: Option<f64>,
+    last_search_config: Option<PairConfig>,
+    last_search_stats: Option<SearchStats>,
+    /// Search results that violated QoS immediately after being applied
+    /// at the current load: the model was wrong about them, so they are
+    /// not trusted again until the load changes.
+    rejected: Vec<PairConfig>,
+    searches: u64,
+    /// Optional online-adaptation loop (extension; see `crate::online`):
+    /// live observations refit a latency model that vetoes search results
+    /// the offline models mispredict under this node's real interference.
+    adaptor: Option<OnlineAdaptor>,
+    adaptor_vetoes: u64,
+}
+
+impl SturgeonController {
+    /// Builds the controller for one node/workload pair.
+    pub fn new(
+        predictor: PerfPowerPredictor,
+        spec: NodeSpec,
+        budget_w: f64,
+        qos_target_ms: f64,
+        params: ControllerParams,
+    ) -> Self {
+        let balancer = ResourceBalancer::new(params.balancer);
+        Self {
+            predictor,
+            spec,
+            budget_w,
+            qos_target_ms,
+            params,
+            balancer,
+            last_search_qps: None,
+            last_search_config: None,
+            last_search_stats: None,
+            rejected: Vec::new(),
+            searches: 0,
+            adaptor: None,
+            adaptor_vetoes: 0,
+        }
+    }
+
+    /// Enables online adaptation (the "Sturgeon-OA" variant): live
+    /// telemetry continuously refits a latency model that double-checks
+    /// every search result against the node's *measured* regime.
+    pub fn with_adaptation(mut self, adaptor: OnlineAdaptor) -> Self {
+        self.adaptor = Some(adaptor);
+        self
+    }
+
+    /// Number of search results the online adaptor rejected and hardened.
+    pub fn adaptation_veto_count(&self) -> u64 {
+        self.adaptor_vetoes
+    }
+
+    /// The trained predictor (for inspection and the overhead benches).
+    pub fn predictor(&self) -> &PerfPowerPredictor {
+        &self.predictor
+    }
+
+    /// Stats from the most recent configuration search.
+    pub fn last_search_stats(&self) -> Option<SearchStats> {
+        self.last_search_stats
+    }
+
+    /// Number of full searches run so far.
+    pub fn search_count(&self) -> u64 {
+        self.searches
+    }
+
+    /// The balancer (for effectiveness accounting).
+    pub fn balancer(&self) -> &ResourceBalancer {
+        &self.balancer
+    }
+
+    /// When QoS cannot be met at all, fall back to everything-to-LS.
+    fn fallback(&self) -> PairConfig {
+        PairConfig::new(
+            Allocation::new(
+                self.spec.total_cores - self.params.search.min_be_cores,
+                self.spec.max_freq_level(),
+                self.spec.total_llc_ways - self.params.search.min_be_ways,
+            ),
+            Allocation::new(self.params.search.min_be_cores, 0, self.params.search.min_be_ways),
+        )
+    }
+
+    fn run_search(&mut self, qps: f64) -> PairConfig {
+        let search = ConfigSearch::new(
+            &self.predictor,
+            self.spec.clone(),
+            self.budget_w,
+            self.params.search,
+        );
+        let outcome = search.best_config(qps);
+        self.last_search_stats = Some(outcome.stats);
+        self.last_search_qps = Some(qps);
+        self.searches += 1;
+        self.balancer.reset();
+        let mut config = outcome.best.unwrap_or_else(|| self.fallback());
+
+        // Online-adaptation veto: when the adapted (measured-regime)
+        // latency model rejects the LS allocation, harden it — up to a few
+        // extra cores — before trusting it on the node.
+        if let Some(adaptor) = self.adaptor.as_mut() {
+            if adaptor.is_adapted() {
+                let mut hardened = 0;
+                while hardened < 3
+                    && config.be.cores > self.params.search.min_be_cores
+                    && !adaptor
+                        .corrected_feasible(
+                            qps,
+                            config.ls.cores,
+                            self.spec.freq_ghz(config.ls.freq_level),
+                            config.ls.llc_ways,
+                        )
+                        .unwrap_or(true)
+                {
+                    config.ls.cores += 1;
+                    config.be.cores -= 1;
+                    hardened += 1;
+                }
+                if hardened > 0 {
+                    self.adaptor_vetoes += 1;
+                    self.last_search_config = Some(config);
+                }
+            }
+        }
+        self.last_search_config = Some(config);
+        config
+    }
+
+    fn load_changed(&self, qps: f64) -> bool {
+        match self.last_search_qps {
+            None => true,
+            Some(prev) => {
+                let base = prev.max(1.0);
+                ((qps - prev) / base).abs() > self.params.research_load_delta
+            }
+        }
+    }
+}
+
+impl ResourceController for SturgeonController {
+    fn name(&self) -> &'static str {
+        if self.params.balancer_enabled {
+            "Sturgeon"
+        } else {
+            "Sturgeon-NoB"
+        }
+    }
+
+    fn decide(&mut self, obs: &Observation, current: PairConfig) -> PairConfig {
+        let slack = (self.qos_target_ms - obs.p95_ms) / self.qos_target_ms;
+
+        // Feed the online adaptor every measured interval.
+        if let Some(adaptor) = self.adaptor.as_mut() {
+            let sample = OnlineSample {
+                qps: obs.qps,
+                cores: current.ls.cores,
+                freq_ghz: self.spec.freq_ghz(current.ls.freq_level),
+                ways: current.ls.llc_ways,
+                p95_ms: obs.p95_ms,
+            };
+            // Adaptation failures must never take the control loop down.
+            let _ = adaptor.observe(sample);
+        }
+
+        // A materially different load always warrants a fresh prediction
+        // (Algorithm 1 line 6): the predictor reacts faster and more
+        // accurately than incremental feedback would.
+        if self.load_changed(obs.qps) {
+            self.rejected.clear();
+            return self.run_search(obs.qps);
+        }
+
+        if slack < self.params.alpha {
+            // If this configuration came straight from the search, the
+            // model was wrong about it: remember that and do not let a
+            // later β-branch re-search reinstall it at this load.
+            if self.last_search_config == Some(current) && !self.rejected.contains(&current) {
+                self.rejected.push(current);
+            }
+            // Residual violation at unchanged load: error the predictor
+            // cannot fix — interference, OS jitter. Hand over to
+            // Algorithm 2 (unless running the Sturgeon-NoB ablation,
+            // where re-running the search would just return the same,
+            // already-wrong configuration).
+            if self.params.balancer_enabled {
+                if let Some(next) = self.balancer.adjust(
+                    &self.predictor,
+                    &self.spec,
+                    self.budget_w,
+                    obs,
+                    self.qos_target_ms,
+                    current,
+                ) {
+                    return next;
+                }
+            }
+            return current;
+        }
+
+        if slack > self.params.beta {
+            // Plenty of slack: release resources back to the BE
+            // application (Algorithm 1's β branch). If the current
+            // configuration already is the search optimum there is
+            // nothing to release — tail latency simply sits far below
+            // target at the throughput-optimal allocation.
+            if self.params.balancer_enabled {
+                if let Some(next) = self.balancer.adjust(
+                    &self.predictor,
+                    &self.spec,
+                    self.budget_w,
+                    obs,
+                    self.qos_target_ms,
+                    current,
+                ) {
+                    return next;
+                }
+            }
+            if self.last_search_config != Some(current) {
+                let fresh = self.run_search(obs.qps);
+                if self.rejected.contains(&fresh) {
+                    // The search keeps proposing a configuration observed
+                    // to violate; stick with the balancer's fix.
+                    self.last_search_config = Some(current);
+                    return current;
+                }
+                return fresh;
+            }
+            return current;
+        }
+
+        current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::PredictorConfig;
+    use crate::profiler::{Profiler, ProfilerConfig};
+    use sturgeon_simnode::PowerModel;
+    use sturgeon_workloads::catalog::{be_app, ls_service, BeAppId, LsServiceId};
+    use sturgeon_workloads::env::CoLocationEnv;
+    use sturgeon_workloads::interference::InterferenceParams;
+
+    fn make_env(seed: u64) -> CoLocationEnv {
+        CoLocationEnv::new(
+            NodeSpec::xeon_e5_2630_v4(),
+            PowerModel::default(),
+            ls_service(LsServiceId::Memcached),
+            be_app(BeAppId::Raytrace),
+            InterferenceParams::default(),
+            seed,
+        )
+    }
+
+    fn make_quiet_env() -> CoLocationEnv {
+        CoLocationEnv::new(
+            NodeSpec::xeon_e5_2630_v4(),
+            PowerModel::default(),
+            ls_service(LsServiceId::Memcached),
+            be_app(BeAppId::Raytrace),
+            InterferenceParams::none(),
+            0,
+        )
+    }
+
+    fn make_controller(env: &CoLocationEnv, params: ControllerParams) -> SturgeonController {
+        let d = Profiler::new(
+            env,
+            ProfilerConfig {
+                ls_samples_per_load: 100,
+                ls_load_fractions: vec![0.15, 0.2, 0.3, 0.4, 0.5, 0.65, 0.8],
+                be_samples: 400,
+                seed: 13,
+            },
+        )
+        .collect()
+        .unwrap();
+        let p = PerfPowerPredictor::train(
+            &d,
+            PredictorConfig::default(),
+            env.static_power_w(),
+            env.be().params.input_level as f64,
+            env.ls().params.qos_target_ms,
+        )
+        .unwrap();
+        SturgeonController::new(
+            p,
+            env.spec().clone(),
+            env.budget_w(),
+            env.ls().params.qos_target_ms,
+            params,
+        )
+    }
+
+    #[test]
+    fn initial_config_gives_everything_to_ls() {
+        let env = make_env(1);
+        let c = make_controller(&env, ControllerParams::default());
+        let cfg = c.initial_config(env.spec());
+        assert_eq!(cfg.ls.cores, 19);
+        assert_eq!(cfg.ls.llc_ways, 19);
+        assert_eq!(cfg.ls.freq_level, env.spec().max_freq_level());
+        assert!(cfg.validate(env.spec()).is_ok());
+    }
+
+    #[test]
+    fn first_observation_triggers_a_search() {
+        let mut env = make_env(2);
+        let mut c = make_controller(&env, ControllerParams::default());
+        let initial = c.initial_config(env.spec());
+        let obs = env.step(&initial, 12_000.0);
+        let next = c.decide(&obs, initial);
+        assert_eq!(c.search_count(), 1);
+        // The over-provisioned initial allocation must shrink.
+        assert!(next.ls.cores < initial.ls.cores);
+        assert!(next.validate(env.spec()).is_ok());
+    }
+
+    #[test]
+    fn stable_load_in_band_keeps_config() {
+        let mut env = make_quiet_env();
+        let mut c = make_controller(&env, ControllerParams::default());
+        let mut cfg = c.initial_config(env.spec());
+        // Let the controller settle on a constant load.
+        for _ in 0..10 {
+            let obs = env.step(&cfg, 12_000.0);
+            cfg = c.decide(&obs, cfg);
+        }
+        let searches = c.search_count();
+        // With unchanged load there is no reason for fresh searches.
+        for _ in 0..10 {
+            let obs = env.step(&cfg, 12_000.0);
+            cfg = c.decide(&obs, cfg);
+        }
+        assert_eq!(c.search_count(), searches);
+    }
+
+    #[test]
+    fn load_change_forces_research() {
+        let mut env = make_env(4);
+        let mut c = make_controller(&env, ControllerParams::default());
+        let mut cfg = c.initial_config(env.spec());
+        let obs = env.step(&cfg, 12_000.0);
+        cfg = c.decide(&obs, cfg);
+        let searches = c.search_count();
+        let obs = env.step(&cfg, 30_000.0);
+        let _ = c.decide(&obs, cfg);
+        assert_eq!(c.search_count(), searches + 1);
+    }
+
+    #[test]
+    fn nob_never_invokes_balancer() {
+        let mut env = make_env(5);
+        let mut c = make_controller(
+            &env,
+            ControllerParams {
+                balancer_enabled: false,
+                ..ControllerParams::default()
+            },
+        );
+        assert_eq!(c.name(), "Sturgeon-NoB");
+        let mut cfg = c.initial_config(env.spec());
+        for _ in 0..30 {
+            let obs = env.step(&cfg, 12_000.0);
+            cfg = c.decide(&obs, cfg);
+        }
+        assert_eq!(c.balancer().harvest_count(), 0);
+    }
+
+    #[test]
+    fn decisions_always_valid() {
+        let mut env = make_env(6);
+        let mut c = make_controller(&env, ControllerParams::default());
+        let mut cfg = c.initial_config(env.spec());
+        for i in 0..60 {
+            let frac = 0.2 + 0.01 * (i as f64 % 40.0);
+            let obs = env.step(&cfg, frac * 60_000.0);
+            cfg = c.decide(&obs, cfg);
+            assert!(cfg.validate(env.spec()).is_ok(), "interval {i}: {cfg}");
+        }
+    }
+
+    #[test]
+    fn impossible_qos_falls_back_to_all_ls() {
+        let env = make_env(7);
+        let mut c = make_controller(&env, ControllerParams::default());
+        // Far beyond peak: no configuration can serve it.
+        let obs = Observation {
+            t_s: 1.0,
+            qps: 5.0 * 60_000.0,
+            p95_ms: 80.0,
+            in_target_fraction: 0.1,
+            ls_utilization: 3.0,
+            power_w: 70.0,
+            be_throughput_norm: 0.1,
+            be_ipc: 0.1,
+            interference: 1.0,
+        };
+        let cfg = c.decide(&obs, c.initial_config(env.spec()));
+        assert_eq!(cfg.ls.cores, 19);
+        assert_eq!(cfg.ls.freq_level, env.spec().max_freq_level());
+    }
+}

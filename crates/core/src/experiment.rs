@@ -1,0 +1,343 @@
+//! The co-location experiment harness: wires a controller to the
+//! simulated node through the Table III actuator interfaces and produces
+//! the paper's evaluation metrics.
+//!
+//! One [`ExperimentSetup`] owns a reproducible environment for a single
+//! LS × BE pair; [`ExperimentSetup::run`] clones that environment per
+//! controller so Sturgeon, Sturgeon-NoB and PARTIES face the *identical*
+//! load and interference sequence — the apples-to-apples comparison
+//! behind Figs. 9–11.
+
+use crate::controller::ResourceController;
+use crate::predictor::{PerfPowerPredictor, PredictorConfig};
+use crate::profiler::{ProfileDatasets, Profiler, ProfilerConfig};
+use sturgeon_mlkit::MlError;
+use sturgeon_simnode::{
+    AuditLog, IntervalSample, NodeSpec, PowerModel, SimActuators, TelemetryLog,
+};
+use sturgeon_workloads::catalog::{be_app, ls_service, BeAppId, LsServiceId};
+use sturgeon_workloads::env::CoLocationEnv;
+use sturgeon_workloads::interference::InterferenceParams;
+use sturgeon_workloads::loadgen::LoadProfile;
+
+/// One of the paper's 18 co-location pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ColocationPair {
+    /// The latency-sensitive service.
+    pub ls: LsServiceId,
+    /// The best-effort application.
+    pub be: BeAppId,
+}
+
+impl ColocationPair {
+    /// Convenience constructor.
+    pub fn new(ls: LsServiceId, be: BeAppId) -> Self {
+        Self { ls, be }
+    }
+
+    /// `"memcached+raytrace"`-style label.
+    pub fn label(&self) -> String {
+        format!("{}+{}", self.ls.name(), self.be.name())
+    }
+
+    /// All 18 pairs in paper order.
+    pub fn all() -> Vec<ColocationPair> {
+        sturgeon_workloads::catalog::all_pairs()
+            .into_iter()
+            .map(|(ls, be)| ColocationPair::new(ls, be))
+            .collect()
+    }
+}
+
+/// Summary of one controller's run (one bar of Figs. 9/10).
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Controller display name.
+    pub controller: &'static str,
+    /// Pair label.
+    pub pair: String,
+    /// Full per-interval telemetry (Fig. 11's raw material).
+    pub log: TelemetryLog,
+    /// QoS guarantee rate (Fig. 9's metric).
+    pub qos_rate: f64,
+    /// Mean normalized BE throughput (Fig. 10's metric).
+    pub mean_be_throughput: f64,
+    /// Fraction of intervals above the power budget.
+    pub overload_fraction: f64,
+    /// Peak power observed (W).
+    pub peak_power_w: f64,
+    /// The budget the run was subject to (W).
+    pub budget_w: f64,
+    /// Audit trail of every configuration change the controller applied.
+    pub audit: AuditLog,
+}
+
+impl RunResult {
+    /// §VII-B's binary judgement: did this pair "suffer from power
+    /// overload" under this controller? More than 1% of intervals above
+    /// budget counts as suffering.
+    pub fn suffers_overload(&self) -> bool {
+        self.overload_fraction > 0.01
+    }
+
+    /// Did the run keep the 95th-percentile guarantee (Fig. 9's bar above
+    /// the 95% line)?
+    pub fn meets_qos_guarantee(&self) -> bool {
+        self.qos_rate >= 0.95
+    }
+}
+
+/// A reproducible experiment context for one pair.
+#[derive(Debug, Clone)]
+pub struct ExperimentSetup {
+    pair: ColocationPair,
+    env: CoLocationEnv,
+    seed: u64,
+}
+
+impl ExperimentSetup {
+    /// Paper-default setup: the Table II node, default power model and
+    /// default interference.
+    pub fn new(pair: ColocationPair, seed: u64) -> Self {
+        Self::with_interference(pair, InterferenceParams::default(), seed)
+    }
+
+    /// Custom interference (e.g. `InterferenceParams::none()` for clean
+    /// ablations).
+    pub fn with_interference(
+        pair: ColocationPair,
+        interference: InterferenceParams,
+        seed: u64,
+    ) -> Self {
+        let env = CoLocationEnv::new(
+            NodeSpec::xeon_e5_2630_v4(),
+            PowerModel::default(),
+            ls_service(pair.ls),
+            be_app(pair.be),
+            interference,
+            seed,
+        );
+        Self { pair, env, seed }
+    }
+
+    /// The pair under study.
+    pub fn pair(&self) -> ColocationPair {
+        self.pair
+    }
+
+    /// The power budget (W), defined as the LS service's solo peak power.
+    pub fn budget_w(&self) -> f64 {
+        self.env.budget_w()
+    }
+
+    /// The node spec.
+    pub fn spec(&self) -> &NodeSpec {
+        self.env.spec()
+    }
+
+    /// The environment (e.g. for direct probing in benches).
+    pub fn env(&self) -> &CoLocationEnv {
+        &self.env
+    }
+
+    /// The LS service's QoS target (ms).
+    pub fn qos_target_ms(&self) -> f64 {
+        self.env.ls().params.qos_target_ms
+    }
+
+    /// The LS service's peak load (QPS).
+    pub fn peak_qps(&self) -> f64 {
+        self.env.ls().params.peak_qps
+    }
+
+    /// Offline phase: collect profiling datasets with custom controls.
+    pub fn profile(&self, config: ProfilerConfig) -> Result<ProfileDatasets, MlError> {
+        Profiler::new(&self.env, config).collect()
+    }
+
+    /// Offline phase: profile and train a predictor in one call.
+    pub fn train_predictor(
+        &self,
+        profiler: ProfilerConfig,
+        predictor: PredictorConfig,
+    ) -> Result<PerfPowerPredictor, MlError> {
+        let datasets = self.profile(profiler)?;
+        PerfPowerPredictor::train(
+            &datasets,
+            predictor,
+            self.env.static_power_w(),
+            self.env.be().params.input_level as f64,
+            self.qos_target_ms(),
+        )
+    }
+
+    /// Paper-default profiling + model families (§V-C picks).
+    pub fn train_default_predictor(&self) -> PerfPowerPredictor {
+        self.train_predictor(ProfilerConfig::default(), PredictorConfig::default())
+            .expect("default profiling must produce valid datasets")
+    }
+
+    /// Runs one controller against a fresh clone of the environment for
+    /// `duration_s` one-second intervals under the load profile.
+    pub fn run(
+        &self,
+        mut controller: impl ResourceController,
+        profile: LoadProfile,
+        duration_s: u32,
+    ) -> RunResult {
+        let mut env = self.env.clone();
+        let actuators = SimActuators::new(env.spec().clone());
+        let mut log = TelemetryLog::new();
+        let mut audit = AuditLog::new();
+        let qos_target = self.qos_target_ms();
+        let peak = self.peak_qps();
+
+        let mut config = controller.initial_config(env.spec());
+        actuators
+            .apply(config)
+            .expect("initial configuration must be valid");
+
+        for t in 0..duration_s {
+            let qps = profile.qps_at(t as f64, peak);
+            let obs = env.step(&actuators.config(), qps);
+            actuators.push_power(obs.power_w);
+            log.push(IntervalSample {
+                t_s: obs.t_s,
+                qps: obs.qps,
+                p95_ms: obs.p95_ms,
+                in_target_fraction: obs.in_target_fraction.min(if obs.p95_ms <= qos_target {
+                    1.0
+                } else {
+                    0.95
+                }),
+                power_w: obs.power_w,
+                be_throughput_norm: obs.be_throughput_norm,
+                config: actuators.config(),
+            });
+            let next = controller.decide(&obs, config);
+            if next != config {
+                actuators
+                    .apply(next)
+                    .expect("controller produced an invalid configuration");
+                audit.record(obs.t_s, controller.name(), config, next);
+                config = next;
+            }
+        }
+
+        let budget = self.budget_w();
+        RunResult {
+            controller: controller.name(),
+            pair: self.pair.label(),
+            qos_rate: log.qos_guarantee_rate(),
+            mean_be_throughput: log.mean_be_throughput(),
+            overload_fraction: log.overload_fraction(budget),
+            peak_power_w: log.peak_power_w(),
+            budget_w: budget,
+            log,
+            audit,
+        }
+    }
+
+    /// The RNG seed in use (printed by every experiment binary).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::StaticReservationController;
+    use crate::controller::{ControllerParams, SturgeonController};
+
+    fn fast_profiler() -> ProfilerConfig {
+        ProfilerConfig {
+            ls_samples_per_load: 90,
+            ls_load_fractions: vec![0.15, 0.2, 0.3, 0.4, 0.5, 0.65, 0.8],
+            be_samples: 400,
+            seed: 21,
+        }
+    }
+
+    #[test]
+    fn static_reservation_has_perfect_qos_and_no_throughput() {
+        let setup = ExperimentSetup::new(
+            ColocationPair::new(LsServiceId::Memcached, BeAppId::Blackscholes),
+            1,
+        );
+        let r = setup.run(
+            StaticReservationController,
+            LoadProfile::Constant { fraction: 0.3 },
+            60,
+        );
+        assert!(r.qos_rate > 0.99, "QoS rate {}", r.qos_rate);
+        assert!(r.mean_be_throughput < 0.05);
+        assert!(!r.suffers_overload());
+    }
+
+    #[test]
+    fn sturgeon_run_improves_throughput_and_keeps_qos() {
+        let pair = ColocationPair::new(LsServiceId::Memcached, BeAppId::Raytrace);
+        let setup = ExperimentSetup::new(pair, 2);
+        let predictor = setup
+            .train_predictor(fast_profiler(), PredictorConfig::default())
+            .unwrap();
+        let controller = SturgeonController::new(
+            predictor,
+            setup.spec().clone(),
+            setup.budget_w(),
+            setup.qos_target_ms(),
+            ControllerParams::default(),
+        );
+        let r = setup.run(controller, LoadProfile::Constant { fraction: 0.25 }, 90);
+        assert!(r.qos_rate > 0.9, "QoS rate {}", r.qos_rate);
+        assert!(
+            r.mean_be_throughput > 0.3,
+            "BE throughput {}",
+            r.mean_be_throughput
+        );
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        let pair = ColocationPair::new(LsServiceId::Xapian, BeAppId::Ferret);
+        let setup = ExperimentSetup::new(pair, 7);
+        let a = setup.run(
+            StaticReservationController,
+            LoadProfile::paper_fluctuating(60.0),
+            60,
+        );
+        let b = setup.run(
+            StaticReservationController,
+            LoadProfile::paper_fluctuating(60.0),
+            60,
+        );
+        assert_eq!(a.qos_rate, b.qos_rate);
+        assert_eq!(a.peak_power_w, b.peak_power_w);
+    }
+
+    #[test]
+    fn run_length_matches_duration() {
+        let setup = ExperimentSetup::new(
+            ColocationPair::new(LsServiceId::ImgDnn, BeAppId::Swaptions),
+            3,
+        );
+        let r = setup.run(
+            StaticReservationController,
+            LoadProfile::Constant { fraction: 0.2 },
+            42,
+        );
+        assert_eq!(r.log.len(), 42);
+    }
+
+    #[test]
+    fn all_pairs_enumerates_18() {
+        assert_eq!(ColocationPair::all().len(), 18);
+    }
+
+    #[test]
+    fn labels_are_paper_style() {
+        let p = ColocationPair::new(LsServiceId::Memcached, BeAppId::Blackscholes);
+        assert_eq!(p.label(), "memcached+blackscholes");
+    }
+}

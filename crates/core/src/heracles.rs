@@ -1,0 +1,281 @@
+//! A Heracles-style baseline controller (Lo et al., ISCA'15), as
+//! characterized by the paper (§II-C and Table I): feedback-grown LS
+//! allocation plus a *power subcontroller* that keeps slack under the
+//! budget exclusively by throttling the BE cores' frequency — never by
+//! rebalancing cores or cache with the BE application's preference in
+//! mind.
+//!
+//! Heracles is the paper's example of a power-aware but
+//! preference-blind design: it guarantees the budget, but because DVFS on
+//! the BE partition is its *only* power knob, frequency-loving BE
+//! applications are over-throttled and core-loving ones are starved —
+//! exactly the gap Sturgeon's configuration search closes.
+
+use crate::controller::ResourceController;
+use sturgeon_simnode::{NodeSpec, PairConfig};
+use sturgeon_workloads::env::Observation;
+
+/// Heracles tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct HeraclesParams {
+    /// Slack below which the LS partition grows (cores, then ways).
+    pub alpha: f64,
+    /// Slack above which the LS partition shrinks.
+    pub beta: f64,
+    /// Power above `high_water × budget` throttles the BE frequency.
+    pub high_water: f64,
+    /// Power below `low_water × budget` may raise the BE frequency.
+    pub low_water: f64,
+}
+
+impl Default for HeraclesParams {
+    fn default() -> Self {
+        Self {
+            alpha: 0.10,
+            beta: 0.20,
+            high_water: 0.98,
+            low_water: 0.90,
+        }
+    }
+}
+
+/// The Heracles-style controller.
+#[derive(Debug)]
+pub struct HeraclesController {
+    spec: NodeSpec,
+    budget_w: f64,
+    qos_target_ms: f64,
+    params: HeraclesParams,
+    /// Alternates the LS growth knob between cores and ways.
+    grow_cores_next: bool,
+    throttles: u64,
+    boosts: u64,
+}
+
+impl HeraclesController {
+    /// Builds the controller.
+    pub fn new(spec: NodeSpec, budget_w: f64, qos_target_ms: f64, params: HeraclesParams) -> Self {
+        Self {
+            spec,
+            budget_w,
+            qos_target_ms,
+            params,
+            grow_cores_next: true,
+            throttles: 0,
+            boosts: 0,
+        }
+    }
+
+    /// Number of BE frequency throttle actions taken.
+    pub fn throttle_count(&self) -> u64 {
+        self.throttles
+    }
+
+    /// Number of BE frequency boost actions taken.
+    pub fn boost_count(&self) -> u64 {
+        self.boosts
+    }
+
+    fn grow_ls(&mut self, cfg: &PairConfig) -> Option<PairConfig> {
+        let mut next = *cfg;
+        // Alternate cores and ways; fall through to the other if one knob
+        // is exhausted.
+        for _ in 0..2 {
+            if self.grow_cores_next {
+                self.grow_cores_next = false;
+                if cfg.be.cores > 1 {
+                    next.be.cores -= 1;
+                    next.ls.cores += 1;
+                    return next.validate(&self.spec).ok().map(|_| next);
+                }
+            } else {
+                self.grow_cores_next = true;
+                if cfg.be.llc_ways > 1 {
+                    next.be.llc_ways -= 1;
+                    next.ls.llc_ways += 1;
+                    return next.validate(&self.spec).ok().map(|_| next);
+                }
+            }
+        }
+        None
+    }
+
+    fn shrink_ls(&mut self, cfg: &PairConfig) -> Option<PairConfig> {
+        let mut next = *cfg;
+        for _ in 0..2 {
+            if self.grow_cores_next {
+                self.grow_cores_next = false;
+                if cfg.ls.cores > 1 {
+                    next.ls.cores -= 1;
+                    next.be.cores += 1;
+                    return next.validate(&self.spec).ok().map(|_| next);
+                }
+            } else {
+                self.grow_cores_next = true;
+                if cfg.ls.llc_ways > 1 {
+                    next.ls.llc_ways -= 1;
+                    next.be.llc_ways += 1;
+                    return next.validate(&self.spec).ok().map(|_| next);
+                }
+            }
+        }
+        None
+    }
+}
+
+impl ResourceController for HeraclesController {
+    fn name(&self) -> &'static str {
+        "Heracles"
+    }
+
+    fn decide(&mut self, obs: &Observation, current: PairConfig) -> PairConfig {
+        // Power subcontroller runs first and unconditionally: DVFS on the
+        // BE partition is the only power actuator Heracles has.
+        if obs.power_w > self.params.high_water * self.budget_w {
+            if current.be.freq_level > 0 {
+                let mut next = current;
+                next.be.freq_level -= 1;
+                self.throttles += 1;
+                return next;
+            }
+            // Fully throttled and still hot: give a BE core back to the
+            // (cooler) LS side as a last resort.
+            if current.be.cores > 1 {
+                let mut next = current;
+                next.be.cores -= 1;
+                next.ls.cores += 1;
+                return next;
+            }
+            return current;
+        }
+
+        let slack = (self.qos_target_ms - obs.p95_ms) / self.qos_target_ms;
+        if slack < self.params.alpha {
+            if let Some(next) = self.grow_ls(&current) {
+                return next;
+            }
+            return current;
+        }
+        if slack > self.params.beta {
+            // Prefer restoring the BE frequency when power allows; only
+            // shed LS resources when the frequency is already restored.
+            if obs.power_w < self.params.low_water * self.budget_w
+                && current.be.freq_level < self.spec.max_freq_level()
+            {
+                let mut next = current;
+                next.be.freq_level += 1;
+                self.boosts += 1;
+                return next;
+            }
+            if let Some(next) = self.shrink_ls(&current) {
+                return next;
+            }
+        }
+        current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sturgeon_simnode::Allocation;
+
+    fn spec() -> NodeSpec {
+        NodeSpec::xeon_e5_2630_v4()
+    }
+
+    fn controller() -> HeraclesController {
+        HeraclesController::new(spec(), 80.0, 10.0, HeraclesParams::default())
+    }
+
+    fn obs(p95: f64, power: f64) -> Observation {
+        Observation {
+            t_s: 1.0,
+            qps: 12_000.0,
+            p95_ms: p95,
+            in_target_fraction: 0.9,
+            ls_utilization: 0.7,
+            power_w: power,
+            be_throughput_norm: 0.4,
+            be_ipc: 0.5,
+            interference: 1.0,
+        }
+    }
+
+    fn cfg(c1: u32, f1: usize, l1: u32, c2: u32, f2: usize, l2: u32) -> PairConfig {
+        PairConfig::new(Allocation::new(c1, f1, l1), Allocation::new(c2, f2, l2))
+    }
+
+    #[test]
+    fn high_power_throttles_be_frequency_only() {
+        let mut c = controller();
+        let current = cfg(6, 5, 8, 14, 8, 12);
+        let next = c.decide(&obs(8.5, 79.5), current); // > 0.98 × 80
+        assert_eq!(next.be.freq_level, 7);
+        assert_eq!(next.ls, current.ls, "Heracles must not rebalance on power");
+        assert_eq!(c.throttle_count(), 1);
+    }
+
+    #[test]
+    fn fully_throttled_hot_node_sheds_a_be_core() {
+        let mut c = controller();
+        let current = cfg(6, 5, 8, 14, 0, 12);
+        let next = c.decide(&obs(8.5, 79.5), current);
+        assert_eq!(next.be.cores, 13);
+        assert_eq!(next.ls.cores, 7);
+    }
+
+    #[test]
+    fn low_slack_grows_ls_alternating_knobs() {
+        let mut c = controller();
+        let start = cfg(6, 5, 8, 14, 4, 12);
+        let first = c.decide(&obs(9.5, 60.0), start);
+        let second = c.decide(&obs(9.5, 60.0), first);
+        let core_growth = second.ls.cores - start.ls.cores;
+        let way_growth = second.ls.llc_ways - start.ls.llc_ways;
+        assert_eq!(core_growth + way_growth, 2, "two growth steps");
+        assert!(core_growth >= 1 && way_growth >= 1, "knobs must alternate");
+    }
+
+    #[test]
+    fn high_slack_restores_be_frequency_before_shedding_ls() {
+        let mut c = controller();
+        let current = cfg(10, 5, 10, 10, 3, 10);
+        let next = c.decide(&obs(2.0, 60.0), current); // cool & slack-rich
+        assert_eq!(next.be.freq_level, 4, "boost BE frequency first");
+        assert_eq!(next.ls, current.ls);
+        assert_eq!(c.boost_count(), 1);
+    }
+
+    #[test]
+    fn high_slack_at_max_freq_sheds_ls_resources() {
+        let mut c = controller();
+        let current = cfg(10, 5, 10, 10, 9, 10);
+        let next = c.decide(&obs(2.0, 60.0), current);
+        let shed = next.ls.cores < current.ls.cores || next.ls.llc_ways < current.ls.llc_ways;
+        assert!(shed, "LS must shrink when BE frequency is maxed");
+    }
+
+    #[test]
+    fn in_band_and_cool_holds() {
+        let mut c = controller();
+        let current = cfg(6, 5, 8, 14, 8, 12);
+        assert_eq!(c.decide(&obs(8.5, 60.0), current), current);
+    }
+
+    #[test]
+    fn moves_always_validate() {
+        let mut c = controller();
+        let mut current = cfg(6, 5, 8, 14, 8, 12);
+        for i in 0..200 {
+            let (p95, power) = match i % 4 {
+                0 => (9.5, 60.0),
+                1 => (2.0, 60.0),
+                2 => (8.5, 79.9),
+                _ => (8.5, 60.0),
+            };
+            current = c.decide(&obs(p95, power), current);
+            assert!(current.validate(&spec()).is_ok(), "step {i}: {current}");
+        }
+    }
+}

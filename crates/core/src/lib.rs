@@ -1,0 +1,66 @@
+//! # sturgeon
+//!
+//! A reproduction of **"Sturgeon: Preference-aware Co-location for
+//! Improving Utilization of Power Constrained Computers"** (Pang et al.,
+//! IPDPS 2020): a per-node runtime that co-locates a latency-sensitive
+//! (LS) service with a best-effort (BE) application under a hard power
+//! budget, maximizing BE throughput while guaranteeing the LS service's
+//! p95 latency target.
+//!
+//! ## Architecture (paper Fig. 4)
+//!
+//! * [`profiler`] — collects offline training samples of performance and
+//!   power across resource configurations (§V-A: "in a dedicated cluster,
+//!   it is feasible to collect the training samples").
+//! * [`predictor`] — per-application performance/power models trained on
+//!   those samples (DT / KNN / SV / MLP / LR, §V-C), answering "is this
+//!   configuration feasible?" and "what BE throughput does it yield?".
+//! * [`search`] — the §V-B binary-search algorithm that finds, among all
+//!   feasible `<C1,F1,L1; C2,F2,L2>` configurations, the one maximizing
+//!   BE throughput — in O(N log N) model calls instead of the O(N⁴)
+//!   exhaustive sweep.
+//! * [`balancer`] — the preference-aware resource balancer (Algorithm 2):
+//!   binary-harvest compensation for QoS violations the predictor cannot
+//!   foresee (unmanaged-resource contention, OS jitter).
+//! * [`controller`] — the top-level slack-band controller (Algorithm 1)
+//!   tying predictor, search and balancer together.
+//! * [`baselines`] — the enhanced-PARTIES comparison controller from
+//!   §VII-A, Sturgeon-NoB (balancer disabled), and a static-reservation
+//!   controller, for the Figs. 9–11 experiments.
+//! * [`experiment`] — the co-location run harness producing the paper's
+//!   metrics (QoS guarantee rate, normalized BE throughput, overload).
+
+pub mod balancer;
+pub mod baselines;
+pub mod cluster;
+pub mod controller;
+pub mod experiment;
+pub mod heracles;
+pub mod multi;
+pub mod online;
+pub mod placement;
+pub mod predictor;
+pub mod profiler;
+pub mod report;
+pub mod search;
+
+/// Convenient re-exports covering the typical experiment workflow.
+pub mod prelude {
+    pub use crate::balancer::{BalancerParams, ResourceBalancer};
+    pub use crate::baselines::{PartiesController, StaticReservationController};
+    pub use crate::cluster::{Cluster, ClusterResult, DispatchPolicy};
+    pub use crate::controller::{ControllerParams, ResourceController, SturgeonController};
+    pub use crate::experiment::{ColocationPair, ExperimentSetup, RunResult};
+    pub use crate::heracles::{HeraclesController, HeraclesParams};
+    pub use crate::multi::{
+        MultiProfiler, MultiProfilerConfig, MultiSearch, MultiSturgeonController,
+    };
+    pub use crate::online::{OnlineAdaptor, OnlineAdaptorConfig, OnlineSample};
+    pub use crate::placement::{BePlacer, PlacementDecision};
+    pub use crate::predictor::{ModelKind, PerfPowerPredictor, PredictorConfig};
+    pub use crate::profiler::{ProfileDatasets, Profiler, ProfilerConfig};
+    pub use crate::search::{ConfigSearch, SearchOutcome, SearchParams};
+    pub use sturgeon_simnode::{Allocation, NodeSpec, PairConfig, PowerModel};
+    pub use sturgeon_workloads::catalog::{BeAppId, LsServiceId};
+    pub use sturgeon_workloads::loadgen::LoadProfile;
+}

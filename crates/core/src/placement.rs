@@ -1,0 +1,162 @@
+//! BE placement: which best-effort application should co-locate with a
+//! given LS service right now?
+//!
+//! The paper's cluster scheduler (Fig. 4) dispatches queries; something
+//! must also decide which batch job lands on which node. Sturgeon's
+//! predictor answers that for free: for every candidate BE application,
+//! run the §V-B search at the node's current load and compare the
+//! predicted normalized throughput of the best feasible configuration.
+//! The candidate recovering the largest fraction of a dedicated machine
+//! wins — preference-awareness applied at placement time rather than
+//! after the fact.
+
+use crate::experiment::{ColocationPair, ExperimentSetup};
+use crate::predictor::PerfPowerPredictor;
+use crate::search::{ConfigSearch, SearchParams};
+use sturgeon_simnode::{NodeSpec, PairConfig};
+use sturgeon_workloads::catalog::{BeAppId, LsServiceId};
+
+/// The outcome of evaluating one candidate at one load.
+#[derive(Debug, Clone)]
+pub struct PlacementDecision {
+    /// The candidate BE application.
+    pub be: BeAppId,
+    /// Best feasible configuration found for it (`None` when the search
+    /// could not find any feasible co-location at this load).
+    pub config: Option<PairConfig>,
+    /// Predicted normalized throughput of that configuration.
+    pub predicted_throughput: f64,
+}
+
+/// A placement engine for one LS service over a fixed candidate set.
+///
+/// Construction runs the offline phase (profiling + training) once per
+/// candidate; [`BePlacer::rank`] and [`BePlacer::choose`] are then cheap
+/// enough to run at scheduling time.
+pub struct BePlacer {
+    spec: NodeSpec,
+    budget_w: f64,
+    ls: LsServiceId,
+    candidates: Vec<(BeAppId, PerfPowerPredictor)>,
+}
+
+impl std::fmt::Debug for BePlacer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BePlacer")
+            .field("ls", &self.ls.name())
+            .field("budget_w", &self.budget_w)
+            .field("candidates", &self.candidates.len())
+            .finish()
+    }
+}
+
+impl BePlacer {
+    /// Trains a predictor per candidate pair (offline phase).
+    pub fn new(ls: LsServiceId, candidates: &[BeAppId], seed: u64) -> Self {
+        assert!(!candidates.is_empty(), "at least one candidate");
+        let mut trained = Vec::with_capacity(candidates.len());
+        let mut spec = NodeSpec::xeon_e5_2630_v4();
+        let mut budget = 0.0;
+        for &be in candidates {
+            let setup = ExperimentSetup::new(ColocationPair::new(ls, be), seed);
+            spec = setup.spec().clone();
+            budget = setup.budget_w();
+            trained.push((be, setup.train_default_predictor()));
+        }
+        Self {
+            spec,
+            budget_w: budget,
+            ls,
+            candidates: trained,
+        }
+    }
+
+    /// The LS service this placer serves.
+    pub fn ls(&self) -> LsServiceId {
+        self.ls
+    }
+
+    /// Candidate count.
+    pub fn candidate_count(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Evaluates every candidate at the given LS load, best first.
+    pub fn rank(&self, qps: f64) -> Vec<PlacementDecision> {
+        let mut out: Vec<PlacementDecision> = self
+            .candidates
+            .iter()
+            .map(|(be, predictor)| {
+                let search = ConfigSearch::new(
+                    predictor,
+                    self.spec.clone(),
+                    self.budget_w,
+                    SearchParams::default(),
+                );
+                let outcome = search.best_config(qps);
+                PlacementDecision {
+                    be: *be,
+                    config: outcome.best,
+                    predicted_throughput: outcome.predicted_throughput,
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| b.predicted_throughput.total_cmp(&a.predicted_throughput));
+        out
+    }
+
+    /// The single best candidate at the given load (`None` when no
+    /// candidate has any feasible configuration).
+    pub fn choose(&self, qps: f64) -> Option<PlacementDecision> {
+        self.rank(qps).into_iter().find(|d| d.config.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn placer() -> BePlacer {
+        BePlacer::new(
+            LsServiceId::Memcached,
+            &[BeAppId::Ferret, BeAppId::Fluidanimate, BeAppId::Blackscholes],
+            42,
+        )
+    }
+
+    #[test]
+    fn ranks_all_candidates_descending() {
+        let p = placer();
+        let ranked = p.rank(0.3 * 60_000.0);
+        assert_eq!(ranked.len(), 3);
+        for w in ranked.windows(2) {
+            assert!(w[0].predicted_throughput >= w[1].predicted_throughput);
+        }
+    }
+
+    #[test]
+    fn chooses_a_feasible_candidate() {
+        let p = placer();
+        let d = p.choose(0.25 * 60_000.0).expect("feasible at low load");
+        let cfg = d.config.expect("config present");
+        assert!(cfg.validate(&NodeSpec::xeon_e5_2630_v4()).is_ok());
+        assert!(d.predicted_throughput > 0.0);
+    }
+
+    #[test]
+    fn no_candidate_at_impossible_load() {
+        let p = placer();
+        assert!(p.choose(10.0 * 60_000.0).is_none());
+    }
+
+    #[test]
+    fn ranking_shifts_with_load() {
+        // The winner at 20% load need not win at 70% — preference depends
+        // on what the LS service leaves behind. We only assert the
+        // evaluation runs and returns sane numbers at both points.
+        let p = placer();
+        let low = p.rank(0.2 * 60_000.0);
+        let high = p.rank(0.7 * 60_000.0);
+        assert!(low[0].predicted_throughput >= high[0].predicted_throughput);
+    }
+}

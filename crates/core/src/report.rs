@@ -1,0 +1,168 @@
+//! Result export: turn run artifacts into JSON summaries and CSV
+//! time series for external plotting/analysis tools.
+//!
+//! The paper's figures are bar charts and time series; these helpers emit
+//! the exact data a plotting script needs, with stable column orders and
+//! no runtime dependencies beyond `serde`.
+
+use crate::experiment::RunResult;
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+use sturgeon_simnode::TelemetryLog;
+
+/// Flat, serializable summary of one run (the telemetry log is exported
+/// separately as CSV; embedding it in JSON would bloat the summary).
+#[derive(Debug, Clone, Serialize)]
+pub struct RunSummary {
+    /// Controller display name.
+    pub controller: String,
+    /// Pair label (e.g. `memcached+raytrace`).
+    pub pair: String,
+    /// Number of 1 s intervals.
+    pub intervals: usize,
+    /// QoS guarantee rate.
+    pub qos_rate: f64,
+    /// Mean normalized BE throughput.
+    pub mean_be_throughput: f64,
+    /// Fraction of intervals above budget.
+    pub overload_fraction: f64,
+    /// Peak power (W).
+    pub peak_power_w: f64,
+    /// Budget (W).
+    pub budget_w: f64,
+    /// §VII-B verdict.
+    pub suffers_overload: bool,
+    /// Fig. 9 verdict.
+    pub meets_qos_guarantee: bool,
+}
+
+impl From<&RunResult> for RunSummary {
+    fn from(r: &RunResult) -> Self {
+        Self {
+            controller: r.controller.to_string(),
+            pair: r.pair.clone(),
+            intervals: r.log.len(),
+            qos_rate: r.qos_rate,
+            mean_be_throughput: r.mean_be_throughput,
+            overload_fraction: r.overload_fraction,
+            peak_power_w: r.peak_power_w,
+            budget_w: r.budget_w,
+            suffers_overload: r.suffers_overload(),
+            meets_qos_guarantee: r.meets_qos_guarantee(),
+        }
+    }
+}
+
+/// Serializes one run summary as pretty JSON.
+pub fn run_summary_json(result: &RunResult) -> String {
+    serde_json::to_string_pretty(&RunSummary::from(result)).expect("summary serializes")
+}
+
+/// Serializes a batch of run summaries as a JSON array.
+pub fn batch_summary_json(results: &[RunResult]) -> String {
+    let summaries: Vec<RunSummary> = results.iter().map(RunSummary::from).collect();
+    serde_json::to_string_pretty(&summaries).expect("summaries serialize")
+}
+
+/// Renders a telemetry log as CSV (one row per interval) — the raw
+/// material of Fig. 11-style time-series plots.
+pub fn telemetry_csv(log: &TelemetryLog) -> String {
+    let mut out = String::with_capacity(64 * (log.len() + 1));
+    out.push_str(
+        "t_s,qps,p95_ms,in_target_fraction,power_w,be_throughput_norm,\
+         ls_cores,ls_freq_level,ls_llc_ways,be_cores,be_freq_level,be_llc_ways\n",
+    );
+    for s in log.samples() {
+        writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{}",
+            s.t_s,
+            s.qps,
+            s.p95_ms,
+            s.in_target_fraction,
+            s.power_w,
+            s.be_throughput_norm,
+            s.config.ls.cores,
+            s.config.ls.freq_level,
+            s.config.ls.llc_ways,
+            s.config.be.cores,
+            s.config.be.freq_level,
+            s.config.be.llc_ways
+        )
+        .expect("writing to String cannot fail");
+    }
+    out
+}
+
+/// Writes a run's summary JSON and telemetry CSV next to each other:
+/// `<stem>.json` and `<stem>.csv`.
+pub fn export_run(result: &RunResult, stem: &Path) -> io::Result<()> {
+    std::fs::write(stem.with_extension("json"), run_summary_json(result))?;
+    std::fs::write(stem.with_extension("csv"), telemetry_csv(&result.log))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::StaticReservationController;
+    use crate::experiment::{ColocationPair, ExperimentSetup};
+    use sturgeon_workloads::catalog::{BeAppId, LsServiceId};
+    use sturgeon_workloads::loadgen::LoadProfile;
+
+    fn sample_run() -> RunResult {
+        let setup = ExperimentSetup::new(
+            ColocationPair::new(LsServiceId::Xapian, BeAppId::Swaptions),
+            1,
+        );
+        setup.run(
+            StaticReservationController,
+            LoadProfile::Constant { fraction: 0.3 },
+            10,
+        )
+    }
+
+    #[test]
+    fn summary_json_roundtrips_fields() {
+        let r = sample_run();
+        let json = run_summary_json(&r);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["pair"], "xapian+swaptions");
+        assert_eq!(v["controller"], "LS-reserved");
+        assert_eq!(v["intervals"], 10);
+        assert!(v["qos_rate"].as_f64().unwrap() > 0.9);
+    }
+
+    #[test]
+    fn batch_json_is_an_array() {
+        let r = sample_run();
+        let json = batch_summary_json(&[r]);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(v.is_array());
+        assert_eq!(v.as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn csv_has_header_plus_one_row_per_interval() {
+        let r = sample_run();
+        let csv = telemetry_csv(&r.log);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 11);
+        assert!(lines[0].starts_with("t_s,qps,p95_ms"));
+        assert_eq!(lines[1].split(',').count(), 12);
+    }
+
+    #[test]
+    fn export_writes_both_files() {
+        let r = sample_run();
+        let dir = std::env::temp_dir().join("sturgeon_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stem = dir.join("run");
+        export_run(&r, &stem).unwrap();
+        assert!(stem.with_extension("json").exists());
+        assert!(stem.with_extension("csv").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,449 @@
+//! Configuration search (paper §V-B): find the feasible configuration
+//! maximizing BE throughput without sweeping the O(N⁴) space.
+//!
+//! The key insight is monotonicity: application performance rises with
+//! every resource, so "just enough for the LS service" is a binary-search
+//! target, and the maximum BE frequency under the power budget is another.
+//! The resulting complexity is O(N log N) model calls:
+//!
+//! 1. fix F1 and L1 at maximum, binary-search the minimum C1 meeting QoS;
+//! 2. binary-search the minimum L1, then minimum F1;
+//! 3. C2 and L2 follow by subtraction; binary-search the maximum F2 that
+//!    keeps total power within budget;
+//! 4. grow C1 from its minimum, rebuilding each candidate the same way,
+//!    until the BE application reaches maximum frequency;
+//! 5. pick the candidate with the highest predicted BE throughput.
+//!
+//! An exhaustive-search oracle is provided for the §VII-E overhead
+//! comparison and for validating the fast path in tests.
+
+use crate::predictor::PerfPowerPredictor;
+use std::time::{Duration, Instant};
+use sturgeon_simnode::{Allocation, NodeSpec, PairConfig};
+
+/// Search-space limits and toggles.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchParams {
+    /// Keep at least this many cores for the BE partition (≥ 1: cpuset
+    /// partitions cannot be empty).
+    pub min_be_cores: u32,
+    /// Keep at least this many LLC ways for the BE partition.
+    pub min_be_ways: u32,
+    /// Relative load drift the power check anticipates: between two
+    /// searches the load can keep rising, and the LS partition's power
+    /// rises with it, so budget feasibility is evaluated at
+    /// `qps · (1 + power_load_headroom)`.
+    pub power_load_headroom: f64,
+}
+
+impl Default for SearchParams {
+    fn default() -> Self {
+        Self {
+            min_be_cores: 1,
+            min_be_ways: 1,
+            power_load_headroom: 0.08,
+        }
+    }
+}
+
+/// Instrumentation for the §VII-E overhead accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchStats {
+    /// Model invocations consumed by the search.
+    pub model_calls: u64,
+    /// Candidate configurations fully evaluated.
+    pub candidates: usize,
+    /// Wall-clock duration of the search.
+    pub duration: Duration,
+}
+
+/// The search result.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Best feasible configuration, if any exists. `None` means even
+    /// giving the LS service everything cannot meet QoS (the controller
+    /// then applies the all-to-LS fallback).
+    pub best: Option<PairConfig>,
+    /// Predicted BE throughput of `best` (0 when `best` is `None`).
+    pub predicted_throughput: f64,
+    /// Instrumentation.
+    pub stats: SearchStats,
+}
+
+/// Binary-search the least `x` in `[lo, hi]` with `pred(x)` true, given
+/// that `pred` is monotone (false…false true…true). `None` if all false.
+pub fn least_satisfying(lo: u32, hi: u32, mut pred: impl FnMut(u32) -> bool) -> Option<u32> {
+    if lo > hi || !pred(hi) {
+        return None;
+    }
+    let (mut lo, mut hi) = (lo, hi);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(lo)
+}
+
+/// Binary-search the greatest `x` in `[lo, hi]` with `pred(x)` true, given
+/// that `pred` is monotone (true…true false…false). `None` if all false.
+pub fn greatest_satisfying(lo: u32, hi: u32, mut pred: impl FnMut(u32) -> bool) -> Option<u32> {
+    if lo > hi || !pred(lo) {
+        return None;
+    }
+    let (mut lo, mut hi) = (lo, hi);
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if pred(mid) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    Some(lo)
+}
+
+/// The configuration searcher. Borrows the predictor; cheap to construct
+/// per control interval.
+#[derive(Debug)]
+pub struct ConfigSearch<'p> {
+    predictor: &'p PerfPowerPredictor,
+    spec: NodeSpec,
+    budget_w: f64,
+    params: SearchParams,
+}
+
+impl<'p> ConfigSearch<'p> {
+    /// A searcher over the node `spec` with the given power budget.
+    pub fn new(
+        predictor: &'p PerfPowerPredictor,
+        spec: NodeSpec,
+        budget_w: f64,
+        params: SearchParams,
+    ) -> Self {
+        Self {
+            predictor,
+            spec,
+            budget_w,
+            params,
+        }
+    }
+
+    fn max_c1(&self) -> u32 {
+        self.spec.total_cores - self.params.min_be_cores
+    }
+
+    fn max_l1(&self) -> u32 {
+        self.spec.total_llc_ways - self.params.min_be_ways
+    }
+
+    fn ls_ok(&self, c1: u32, level: usize, l1: u32, qps: f64) -> bool {
+        self.predictor
+            .ls_feasible(c1, self.spec.freq_ghz(level), l1, qps)
+    }
+
+    /// Consistency-checked feasibility: performance is monotone in every
+    /// resource, so a genuinely feasible point must still be feasible
+    /// with one more frequency step, way, or core. Isolated "feasible
+    /// islands" produced by classifier noise fail this probe and are
+    /// rejected rather than trusted by the binary search.
+    fn ls_trusted(&self, c1: u32, level: usize, l1: u32, qps: f64) -> bool {
+        if !self.ls_ok(c1, level, l1, qps) {
+            return false;
+        }
+        let top = self.spec.max_freq_level();
+        if level < top && !self.ls_ok(c1, level + 1, l1, qps) {
+            return false;
+        }
+        if l1 < self.max_l1() && !self.ls_ok(c1, level, l1 + 1, qps) {
+            return false;
+        }
+        if c1 < self.max_c1() && !self.ls_ok(c1 + 1, level, l1, qps) {
+            return false;
+        }
+        true
+    }
+
+    /// Builds the candidate for a fixed LS core count: minimal L1 and F1
+    /// for QoS, complement for the BE side, maximal F2 under the budget.
+    fn candidate_for_c1(&self, c1: u32, qps: f64) -> Option<PairConfig> {
+        let top = self.spec.max_freq_level();
+        // Minimal LLC ways at maximum frequency.
+        let l1 = least_satisfying(1, self.max_l1(), |l| self.ls_trusted(c1, top, l, qps))?;
+        // Minimal frequency at that way count.
+        let f1 = least_satisfying(0, top as u32, |f| {
+            self.ls_trusted(c1, f as usize, l1, qps)
+        })? as usize;
+        let ls = Allocation::new(c1, f1, l1);
+        let c2 = self.spec.total_cores - c1;
+        let l2 = self.spec.total_llc_ways - l1;
+        // Maximal BE frequency within the power budget, evaluated at the
+        // drifted load the configuration may face before the next search.
+        let qps_power = qps * (1.0 + self.params.power_load_headroom);
+        let f2 = greatest_satisfying(0, top as u32, |f| {
+            let cfg = PairConfig::new(ls, Allocation::new(c2, f as usize, l2));
+            self.predictor.total_power_w(&cfg, &self.spec, qps_power) <= self.budget_w
+        })? as usize;
+        Some(PairConfig::new(ls, Allocation::new(c2, f2, l2)))
+    }
+
+    /// The §V-B binary search: O(N log N) model calls.
+    pub fn best_config(&self, qps: f64) -> SearchOutcome {
+        let started = Instant::now();
+        let calls_before = self.predictor.prediction_count();
+        let top = self.spec.max_freq_level();
+
+        // Step 1: minimum C1 at maximum frequency and cache.
+        let c1_min = least_satisfying(1, self.max_c1(), |c| {
+            self.ls_trusted(c, top, self.max_l1(), qps)
+        });
+
+        let mut best: Option<(PairConfig, f64)> = None;
+        let mut candidates = 0usize;
+        if let Some(c1_min) = c1_min {
+            // Steps 2–4: grow C1, rebuilding each candidate, until the BE
+            // partition reaches maximum frequency.
+            for c1 in c1_min..=self.max_c1() {
+                let Some(cfg) = self.candidate_for_c1(c1, qps) else {
+                    continue;
+                };
+                candidates += 1;
+                let t = self.predictor.be_throughput(
+                    cfg.be.cores,
+                    self.spec.freq_ghz(cfg.be.freq_level),
+                    cfg.be.llc_ways,
+                );
+                if best.as_ref().is_none_or(|(_, bt)| t > *bt) {
+                    best = Some((cfg, t));
+                }
+                if cfg.be.freq_level == top {
+                    break;
+                }
+            }
+        }
+
+        let stats = SearchStats {
+            model_calls: self.predictor.prediction_count() - calls_before,
+            candidates,
+            duration: started.elapsed(),
+        };
+        match best {
+            Some((cfg, t)) => SearchOutcome {
+                best: Some(cfg),
+                predicted_throughput: t,
+                stats,
+            },
+            None => SearchOutcome {
+                best: None,
+                predicted_throughput: 0.0,
+                stats,
+            },
+        }
+    }
+
+    /// The O(N⁴) exhaustive oracle of §VII-E: sweep every
+    /// `<C1, F1, L1, F2>` (C2/L2 by subtraction) and keep the feasible
+    /// configuration with the highest predicted throughput.
+    pub fn exhaustive(&self, qps: f64) -> SearchOutcome {
+        let started = Instant::now();
+        let calls_before = self.predictor.prediction_count();
+        let top = self.spec.max_freq_level();
+        let mut best: Option<(PairConfig, f64)> = None;
+        let mut candidates = 0usize;
+        for c1 in 1..=self.max_c1() {
+            let c2 = self.spec.total_cores - c1;
+            for f1 in 0..=top {
+                for l1 in 1..=self.max_l1() {
+                    if !self.ls_ok(c1, f1, l1, qps) {
+                        continue;
+                    }
+                    let l2 = self.spec.total_llc_ways - l1;
+                    for f2 in (0..=top).rev() {
+                        let cfg = PairConfig::new(
+                            Allocation::new(c1, f1, l1),
+                            Allocation::new(c2, f2, l2),
+                        );
+                        if self.predictor.total_power_w(&cfg, &self.spec, qps) > self.budget_w {
+                            continue;
+                        }
+                        candidates += 1;
+                        let t = self.predictor.be_throughput(
+                            c2,
+                            self.spec.freq_ghz(f2),
+                            l2,
+                        );
+                        if best.as_ref().is_none_or(|(_, bt)| t > *bt) {
+                            best = Some((cfg, t));
+                        }
+                        break; // lower F2 is strictly worse for this (c1,f1,l1)
+                    }
+                }
+            }
+        }
+        let stats = SearchStats {
+            model_calls: self.predictor.prediction_count() - calls_before,
+            candidates,
+            duration: started.elapsed(),
+        };
+        match best {
+            Some((cfg, t)) => SearchOutcome {
+                best: Some(cfg),
+                predicted_throughput: t,
+                stats,
+            },
+            None => SearchOutcome {
+                best: None,
+                predicted_throughput: 0.0,
+                stats,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::{PerfPowerPredictor, PredictorConfig};
+    use crate::profiler::{Profiler, ProfilerConfig};
+    use sturgeon_simnode::{NodeSpec, PowerModel};
+    use sturgeon_workloads::catalog::{be_app, ls_service, BeAppId, LsServiceId};
+    use sturgeon_workloads::env::CoLocationEnv;
+    use sturgeon_workloads::interference::InterferenceParams;
+
+    fn setup() -> (CoLocationEnv, PerfPowerPredictor) {
+        let env = CoLocationEnv::new(
+            NodeSpec::xeon_e5_2630_v4(),
+            PowerModel::default(),
+            ls_service(LsServiceId::Memcached),
+            be_app(BeAppId::Raytrace),
+            InterferenceParams::none(),
+            0,
+        );
+        let d = Profiler::new(
+            &env,
+            ProfilerConfig {
+                ls_samples_per_load: 120,
+                ls_load_fractions: vec![0.15, 0.2, 0.3, 0.4, 0.5, 0.65, 0.8],
+                be_samples: 500,
+                seed: 5,
+            },
+        )
+        .collect()
+        .unwrap();
+        let p = PerfPowerPredictor::train(
+            &d,
+            PredictorConfig::default(),
+            env.static_power_w(),
+            env.be().params.input_level as f64,
+            env.ls().params.qos_target_ms,
+        )
+        .unwrap();
+        (env, p)
+    }
+
+    #[test]
+    fn least_satisfying_finds_boundary() {
+        assert_eq!(least_satisfying(0, 10, |x| x >= 7), Some(7));
+        assert_eq!(least_satisfying(0, 10, |_| true), Some(0));
+        assert_eq!(least_satisfying(0, 10, |_| false), None);
+        assert_eq!(least_satisfying(5, 4, |_| true), None);
+    }
+
+    #[test]
+    fn greatest_satisfying_finds_boundary() {
+        assert_eq!(greatest_satisfying(0, 10, |x| x <= 7), Some(7));
+        assert_eq!(greatest_satisfying(0, 10, |_| true), Some(10));
+        assert_eq!(greatest_satisfying(0, 10, |_| false), None);
+    }
+
+    #[test]
+    fn binary_search_matches_linear_scan() {
+        // Property-style check over many monotone predicates.
+        for threshold in 0..=20u32 {
+            let pred = |x: u32| x >= threshold;
+            let expect = (0..=15u32).find(|&x| pred(x));
+            assert_eq!(least_satisfying(0, 15, pred), expect);
+            let pred2 = |x: u32| x <= threshold;
+            let expect2 = (0..=15u32).rev().find(|&x| pred2(x));
+            assert_eq!(greatest_satisfying(0, 15, pred2), expect2);
+        }
+    }
+
+    #[test]
+    fn search_returns_feasible_config() {
+        let (env, p) = setup();
+        let search =
+            ConfigSearch::new(&p, env.spec().clone(), env.budget_w(), SearchParams::default());
+        for frac in [0.2, 0.35, 0.5, 0.7] {
+            let qps = frac * env.ls().params.peak_qps;
+            let out = search.best_config(qps);
+            let cfg = out.best.expect("feasible config must exist");
+            assert!(cfg.validate(env.spec()).is_ok());
+            // The chosen config must actually be predicted feasible.
+            assert!(p.feasible(&cfg, env.spec(), qps, env.budget_w()));
+            assert!(out.predicted_throughput > 0.0);
+        }
+    }
+
+    #[test]
+    fn search_is_fast_in_model_calls() {
+        let (env, p) = setup();
+        let search =
+            ConfigSearch::new(&p, env.spec().clone(), env.budget_w(), SearchParams::default());
+        let out = search.best_config(0.3 * env.ls().params.peak_qps);
+        // §VII-E bounds the fast search by (16 + 11·19)·4 models per
+        // prediction round ≈ 900 calls; exhaustive needs ~40 000·4.
+        assert!(
+            out.stats.model_calls < 2_000,
+            "model calls {}",
+            out.stats.model_calls
+        );
+    }
+
+    #[test]
+    fn fast_search_close_to_exhaustive() {
+        let (env, p) = setup();
+        let search =
+            ConfigSearch::new(&p, env.spec().clone(), env.budget_w(), SearchParams::default());
+        let qps = 0.3 * env.ls().params.peak_qps;
+        let fast = search.best_config(qps);
+        let full = search.exhaustive(qps);
+        let ft = fast.predicted_throughput;
+        let xt = full.predicted_throughput;
+        // The fast path restricts itself to minimal-LS candidates, so it
+        // may be slightly below the oracle but must stay within 10%.
+        assert!(ft >= 0.9 * xt, "fast {ft} vs exhaustive {xt}");
+        assert!(full.stats.model_calls > fast.stats.model_calls * 5);
+    }
+
+    #[test]
+    fn impossible_load_yields_none() {
+        let (env, p) = setup();
+        let search =
+            ConfigSearch::new(&p, env.spec().clone(), env.budget_w(), SearchParams::default());
+        // 5× peak load cannot be served even by the whole node.
+        let out = search.best_config(5.0 * env.ls().params.peak_qps);
+        assert!(out.best.is_none());
+        assert_eq!(out.predicted_throughput, 0.0);
+    }
+
+    #[test]
+    fn tighter_budget_never_increases_throughput() {
+        let (env, p) = setup();
+        let qps = 0.3 * env.ls().params.peak_qps;
+        let normal =
+            ConfigSearch::new(&p, env.spec().clone(), env.budget_w(), SearchParams::default())
+                .best_config(qps);
+        let tight = ConfigSearch::new(
+            &p,
+            env.spec().clone(),
+            0.85 * env.budget_w(),
+            SearchParams::default(),
+        )
+        .best_config(qps);
+        assert!(tight.predicted_throughput <= normal.predicted_throughput + 1e-9);
+    }
+}

@@ -1,0 +1,263 @@
+//! Random forests: bagged ensembles of CART trees with per-split feature
+//! subsampling.
+//!
+//! Not one of the paper's five evaluated families — included as an
+//! extension because a forest is the natural robustness upgrade over the
+//! single decision tree the paper deploys: bootstrap aggregation smooths
+//! the hard leaf boundaries that caused the "feasible island"
+//! hallucinations documented in `sturgeon::predictor`, at a few hundred
+//! microseconds of extra training time. The ablation bench compares both.
+
+use crate::model::{check_binary_targets, Classifier, Dataset, MlError, Regressor};
+use crate::tree::{DecisionTreeClassifier, DecisionTreeRegressor, TreeParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Forest hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ForestParams {
+    /// Number of bagged trees.
+    pub trees: usize,
+    /// Structural parameters of each tree.
+    pub tree: TreeParams,
+    /// Bootstrap sample size as a fraction of the training set.
+    pub sample_fraction: f64,
+    /// RNG seed for bootstrapping.
+    pub seed: u64,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        Self {
+            trees: 25,
+            tree: TreeParams::default(),
+            sample_fraction: 0.8,
+            seed: 0xF0_7E_57,
+        }
+    }
+}
+
+fn validate(params: &ForestParams) -> Result<(), MlError> {
+    if params.trees == 0 {
+        return Err(MlError::InvalidParameter("trees must be ≥ 1".into()));
+    }
+    if !(0.05..=1.0).contains(&params.sample_fraction) {
+        return Err(MlError::InvalidParameter(
+            "sample_fraction must be in [0.05, 1]".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Draws a bootstrap sample (with replacement) of the dataset.
+fn bootstrap(data: &Dataset, fraction: f64, rng: &mut StdRng) -> Dataset {
+    let n = data.len();
+    let m = ((n as f64 * fraction).round() as usize).max(1);
+    let mut x = Vec::with_capacity(m);
+    let mut y = Vec::with_capacity(m);
+    for _ in 0..m {
+        let i = rng.gen_range(0..n);
+        x.push(data.x[i].clone());
+        y.push(data.y[i]);
+    }
+    Dataset { x, y }
+}
+
+/// Bagged regression forest (mean of tree predictions).
+#[derive(Debug, Clone, Default)]
+pub struct RandomForestRegressor {
+    /// Hyper-parameters.
+    pub params: ForestParams,
+    trees: Vec<DecisionTreeRegressor>,
+}
+
+impl RandomForestRegressor {
+    /// A forest with the given parameters.
+    pub fn new(params: ForestParams) -> Self {
+        Self {
+            params,
+            trees: Vec::new(),
+        }
+    }
+
+    /// Number of fitted trees.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Regressor for RandomForestRegressor {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        validate(&self.params)?;
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        self.trees.clear();
+        for _ in 0..self.params.trees {
+            let sample = bootstrap(data, self.params.sample_fraction, &mut rng);
+            let mut tree = DecisionTreeRegressor::new(self.params.tree);
+            tree.fit(&sample)?;
+            self.trees.push(tree);
+        }
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        assert!(!self.trees.is_empty(), "predict before fit");
+        self.trees.iter().map(|t| t.predict(x)).sum::<f64>() / self.trees.len() as f64
+    }
+}
+
+/// Bagged classification forest (soft vote: mean leaf positive-rate).
+#[derive(Debug, Clone, Default)]
+pub struct RandomForestClassifier {
+    /// Hyper-parameters.
+    pub params: ForestParams,
+    trees: Vec<DecisionTreeClassifier>,
+}
+
+impl RandomForestClassifier {
+    /// A forest with the given parameters.
+    pub fn new(params: ForestParams) -> Self {
+        Self {
+            params,
+            trees: Vec::new(),
+        }
+    }
+
+    /// Number of fitted trees.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Classifier for RandomForestClassifier {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        validate(&self.params)?;
+        check_binary_targets(data)?;
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        self.trees.clear();
+        for _ in 0..self.params.trees {
+            let sample = bootstrap(data, self.params.sample_fraction, &mut rng);
+            let mut tree = DecisionTreeClassifier::new(self.params.tree);
+            tree.fit(&sample)?;
+            self.trees.push(tree);
+        }
+        Ok(())
+    }
+
+    fn predict_score(&self, x: &[f64]) -> f64 {
+        assert!(!self.trees.is_empty(), "predict before fit");
+        self.trees.iter().map(|t| t.predict_score(x)).sum::<f64>() / self.trees.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{accuracy, r2_score};
+    use rand::Rng;
+
+    fn noisy_quadratic(seed: u64, n: usize) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0)])
+            .collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| r[0] * r[0] + r[1] + rng.gen_range(-0.2..0.2))
+            .collect();
+        Dataset::new(x, y).unwrap()
+    }
+
+    #[test]
+    fn regressor_fits_nonlinear_data() {
+        let data = noisy_quadratic(1, 400);
+        let mut f = RandomForestRegressor::default();
+        f.fit(&data).unwrap();
+        let pred = f.predict_batch(&data.x);
+        assert!(r2_score(&data.y, &pred) > 0.9);
+        assert_eq!(f.tree_count(), 25);
+    }
+
+    #[test]
+    fn forest_smooths_single_tree_variance() {
+        // Out-of-sample error of the forest should not exceed a single
+        // deep tree's on noisy data.
+        let train = noisy_quadratic(2, 300);
+        let test = noisy_quadratic(3, 200);
+        let mut forest = RandomForestRegressor::default();
+        forest.fit(&train).unwrap();
+        let mut tree = DecisionTreeRegressor::default();
+        tree.fit(&train).unwrap();
+        let forest_r2 = r2_score(&test.y, &forest.predict_batch(&test.x));
+        let tree_r2 = r2_score(&test.y, &tree.predict_batch(&test.x));
+        assert!(
+            forest_r2 >= tree_r2 - 0.02,
+            "forest {forest_r2} vs tree {tree_r2}"
+        );
+    }
+
+    #[test]
+    fn classifier_learns_boundary() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x: Vec<Vec<f64>> = (0..400)
+            .map(|_| vec![rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)])
+            .collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| if r[0] * r[1] > 25.0 { 1.0 } else { 0.0 })
+            .collect();
+        let data = Dataset::new(x, y).unwrap();
+        let mut f = RandomForestClassifier::default();
+        f.fit(&data).unwrap();
+        let pred: Vec<bool> = data.x.iter().map(|r| f.predict_label(r)).collect();
+        let truth: Vec<bool> = data.y.iter().map(|&v| v == 1.0).collect();
+        assert!(accuracy(&truth, &pred) > 0.93);
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let data = Dataset::new(
+            (0..50).map(|i| vec![i as f64]).collect(),
+            (0..50).map(|i| if i > 25 { 1.0 } else { 0.0 }).collect(),
+        )
+        .unwrap();
+        let mut f = RandomForestClassifier::default();
+        f.fit(&data).unwrap();
+        for v in [0.0, 20.0, 30.0, 49.0] {
+            let s = f.predict_score(&[v]);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        let data = noisy_quadratic(5, 20);
+        let mut f = RandomForestRegressor::new(ForestParams {
+            trees: 0,
+            ..ForestParams::default()
+        });
+        assert!(f.fit(&data).is_err());
+        let mut f = RandomForestRegressor::new(ForestParams {
+            sample_fraction: 0.0,
+            ..ForestParams::default()
+        });
+        assert!(f.fit(&data).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = noisy_quadratic(6, 200);
+        let mut a = RandomForestRegressor::default();
+        let mut b = RandomForestRegressor::default();
+        a.fit(&data).unwrap();
+        b.fit(&data).unwrap();
+        assert_eq!(a.predict(&[1.5, -0.5]), b.predict(&[1.5, -0.5]));
+    }
+
+    #[test]
+    fn classifier_rejects_non_binary() {
+        let data = Dataset::new(vec![vec![0.0], vec![1.0]], vec![0.0, 2.0]).unwrap();
+        let mut f = RandomForestClassifier::default();
+        assert!(f.fit(&data).is_err());
+    }
+}

@@ -1,0 +1,214 @@
+//! Gradient-boosted regression trees (least-squares boosting).
+//!
+//! The second ensemble extension beyond the paper's Fig. 6/7 lineup
+//! (alongside [`crate::forest`]): stage-wise fitting of shallow CART
+//! trees to the residuals of the running prediction, shrunk by a learning
+//! rate. On Sturgeon's smooth power/throughput surfaces a few dozen depth-3
+//! trees match KNN's accuracy with O(depth) prediction cost, which is why
+//! the `prediction_latency` bench includes it.
+
+use crate::model::{Dataset, MlError, Regressor};
+use crate::tree::{DecisionTreeRegressor, TreeParams};
+
+/// Boosting hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GbrtParams {
+    /// Number of boosting stages.
+    pub stages: usize,
+    /// Shrinkage per stage in `(0, 1]`.
+    pub learning_rate: f64,
+    /// Structure of each weak learner (shallow by default).
+    pub tree: TreeParams,
+}
+
+impl Default for GbrtParams {
+    fn default() -> Self {
+        Self {
+            stages: 60,
+            learning_rate: 0.2,
+            tree: TreeParams {
+                max_depth: 3,
+                min_samples_split: 4,
+                min_samples_leaf: 2,
+            },
+        }
+    }
+}
+
+/// Gradient-boosted regressor.
+#[derive(Debug, Clone, Default)]
+pub struct GbrtRegressor {
+    /// Hyper-parameters.
+    pub params: GbrtParams,
+    base: f64,
+    stages: Vec<DecisionTreeRegressor>,
+}
+
+impl GbrtRegressor {
+    /// A regressor with the given parameters.
+    pub fn new(params: GbrtParams) -> Self {
+        Self {
+            params,
+            base: 0.0,
+            stages: Vec::new(),
+        }
+    }
+
+    /// Number of fitted stages.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Training-set RMSE after each stage (useful to pick `stages`);
+    /// only meaningful right after `fit`.
+    pub fn staged_rmse(&self, data: &Dataset) -> Vec<f64> {
+        let mut pred = vec![self.base; data.len()];
+        let mut out = Vec::with_capacity(self.stages.len());
+        for tree in &self.stages {
+            for (p, row) in pred.iter_mut().zip(&data.x) {
+                *p += self.params.learning_rate * tree.predict(row);
+            }
+            let mse = pred
+                .iter()
+                .zip(&data.y)
+                .map(|(p, y)| (p - y).powi(2))
+                .sum::<f64>()
+                / data.len() as f64;
+            out.push(mse.sqrt());
+        }
+        out
+    }
+}
+
+impl Regressor for GbrtRegressor {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        if self.params.stages == 0 {
+            return Err(MlError::InvalidParameter("stages must be ≥ 1".into()));
+        }
+        if !(0.0..=1.0).contains(&self.params.learning_rate) || self.params.learning_rate == 0.0 {
+            return Err(MlError::InvalidParameter(
+                "learning_rate must be in (0, 1]".into(),
+            ));
+        }
+        self.base = data.y.iter().sum::<f64>() / data.len() as f64;
+        self.stages.clear();
+        let mut residual: Vec<f64> = data.y.iter().map(|y| y - self.base).collect();
+        for _ in 0..self.params.stages {
+            let stage_data = Dataset {
+                x: data.x.clone(),
+                y: residual.clone(),
+            };
+            let mut tree = DecisionTreeRegressor::new(self.params.tree);
+            tree.fit(&stage_data)?;
+            for (r, row) in residual.iter_mut().zip(&data.x) {
+                *r -= self.params.learning_rate * tree.predict(row);
+            }
+            self.stages.push(tree);
+        }
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        let mut out = self.base;
+        for tree in &self.stages {
+            out += self.params.learning_rate * tree.predict(x);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score;
+    use rand::{Rng, SeedableRng};
+
+    fn friedmanish(seed: u64, n: usize) -> Dataset {
+        // A mildly non-linear, interaction-bearing target.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                vec![
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..1.0),
+                ]
+            })
+            .collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| 10.0 * (std::f64::consts::PI * r[0] * r[1]).sin() + 5.0 * r[2])
+            .collect();
+        Dataset::new(x, y).unwrap()
+    }
+
+    #[test]
+    fn fits_nonlinear_interactions() {
+        let data = friedmanish(1, 500);
+        let mut g = GbrtRegressor::default();
+        g.fit(&data).unwrap();
+        let pred = g.predict_batch(&data.x);
+        assert!(r2_score(&data.y, &pred) > 0.95, "{}", r2_score(&data.y, &pred));
+        assert_eq!(g.stage_count(), 60);
+    }
+
+    #[test]
+    fn boosting_beats_a_single_shallow_tree() {
+        let train = friedmanish(2, 400);
+        let test = friedmanish(3, 200);
+        let mut g = GbrtRegressor::default();
+        g.fit(&train).unwrap();
+        let mut single = DecisionTreeRegressor::new(GbrtParams::default().tree);
+        single.fit(&train).unwrap();
+        let g_r2 = r2_score(&test.y, &g.predict_batch(&test.x));
+        let t_r2 = r2_score(&test.y, &single.predict_batch(&test.x));
+        assert!(g_r2 > t_r2, "gbrt {g_r2} vs single tree {t_r2}");
+    }
+
+    #[test]
+    fn staged_rmse_decreases() {
+        let data = friedmanish(4, 300);
+        let mut g = GbrtRegressor::default();
+        g.fit(&data).unwrap();
+        let rmse = g.staged_rmse(&data);
+        assert_eq!(rmse.len(), 60);
+        assert!(rmse.last().unwrap() < &rmse[0], "{:?}", (&rmse[0], rmse.last()));
+        // Mostly monotone: no stage should blow the error up.
+        for w in rmse.windows(2) {
+            assert!(w[1] <= w[0] * 1.05, "stage regressed: {} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn constant_target_is_exact() {
+        let data = Dataset::new((0..20).map(|i| vec![i as f64]).collect(), vec![7.0; 20]).unwrap();
+        let mut g = GbrtRegressor::default();
+        g.fit(&data).unwrap();
+        assert!((g.predict(&[3.0]) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        let data = friedmanish(5, 50);
+        let mut g = GbrtRegressor::new(GbrtParams {
+            stages: 0,
+            ..GbrtParams::default()
+        });
+        assert!(g.fit(&data).is_err());
+        let mut g = GbrtRegressor::new(GbrtParams {
+            learning_rate: 0.0,
+            ..GbrtParams::default()
+        });
+        assert!(g.fit(&data).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let data = friedmanish(6, 200);
+        let mut a = GbrtRegressor::default();
+        let mut b = GbrtRegressor::default();
+        a.fit(&data).unwrap();
+        b.fit(&data).unwrap();
+        assert_eq!(a.predict(&[0.3, 0.6, 0.9]), b.predict(&[0.3, 0.6, 0.9]));
+    }
+}

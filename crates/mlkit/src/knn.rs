@@ -1,0 +1,263 @@
+//! K-nearest-neighbour regression and classification.
+//!
+//! The paper finds KNN regression "the most suitable for the power model
+//! of both LS/BE applications" and competitive for BE performance models
+//! (Fig. 6/7). With only four features and a few thousand profiling
+//! samples, a brute-force scan with a bounded max-heap is both simple and
+//! fast (well under the paper's 0.04 ms/prediction budget in release
+//! builds).
+
+use crate::model::{check_binary_targets, Classifier, Dataset, MlError, Regressor};
+use crate::preprocess::Standardizer;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A `(distance, target)` pair ordered by distance for the bounded heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Neighbor {
+    dist2: f64,
+    y: f64,
+}
+
+impl Eq for Neighbor {}
+
+impl PartialOrd for Neighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Neighbor {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist2.total_cmp(&other.dist2)
+    }
+}
+
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+}
+
+/// Shared KNN core: standardizes features at fit time and finds the `k`
+/// nearest training rows at query time.
+#[derive(Debug, Clone)]
+struct KnnCore {
+    k: usize,
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+    scaler: Option<Standardizer>,
+}
+
+impl KnnCore {
+    fn new(k: usize) -> Self {
+        Self {
+            k,
+            x: Vec::new(),
+            y: Vec::new(),
+            scaler: None,
+        }
+    }
+
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        if self.k == 0 {
+            return Err(MlError::InvalidParameter("k must be ≥ 1".into()));
+        }
+        if data.len() < self.k {
+            return Err(MlError::InvalidDataset(format!(
+                "k = {} exceeds dataset size {}",
+                self.k,
+                data.len()
+            )));
+        }
+        let scaler = Standardizer::fit(data);
+        let scaled = scaler.transform(data);
+        self.x = scaled.x;
+        self.y = scaled.y;
+        self.scaler = Some(scaler);
+        Ok(())
+    }
+
+    /// Returns the `(squared distance, target)` pairs of the `k` nearest
+    /// neighbours of `x`.
+    fn neighbors(&self, x: &[f64]) -> Vec<Neighbor> {
+        let scaler = self.scaler.as_ref().expect("predict before fit");
+        let q = scaler.transformed(x);
+        // Max-heap of size k keyed on distance: the root is the current
+        // worst candidate and is evicted by any closer point.
+        let mut heap: BinaryHeap<Neighbor> = BinaryHeap::with_capacity(self.k + 1);
+        for (row, &y) in self.x.iter().zip(&self.y) {
+            let dist2 = squared_distance(&q, row);
+            if heap.len() < self.k {
+                heap.push(Neighbor { dist2, y });
+            } else if dist2 < heap.peek().expect("heap non-empty").dist2 {
+                heap.pop();
+                heap.push(Neighbor { dist2, y });
+            }
+        }
+        heap.into_vec()
+    }
+}
+
+/// Averages neighbour targets, optionally weighting by inverse distance.
+/// Inverse-distance weighting removes the smoothing bias at the edges of
+/// the training domain (critical for power models queried at the
+/// all-cores/max-frequency corner).
+fn aggregate(neighbors: &[Neighbor], weighted: bool) -> f64 {
+    if neighbors.is_empty() {
+        return 0.0;
+    }
+    if weighted {
+        // An exact-match neighbour short-circuits to its target.
+        if let Some(hit) = neighbors.iter().find(|n| n.dist2 < 1e-18) {
+            return hit.y;
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for n in neighbors {
+            let w = 1.0 / n.dist2.sqrt();
+            num += w * n.y;
+            den += w;
+        }
+        num / den
+    } else {
+        neighbors.iter().map(|n| n.y).sum::<f64>() / neighbors.len() as f64
+    }
+}
+
+/// KNN regressor: predicts the (optionally distance-weighted) mean target
+/// of the `k` nearest neighbours.
+#[derive(Debug, Clone)]
+pub struct KnnRegressor {
+    core: KnnCore,
+    weighted: bool,
+}
+
+impl KnnRegressor {
+    /// Creates a plain-mean regressor with neighbourhood size `k`.
+    pub fn new(k: usize) -> Self {
+        Self {
+            core: KnnCore::new(k),
+            weighted: false,
+        }
+    }
+
+    /// Creates an inverse-distance-weighted regressor.
+    pub fn weighted(k: usize) -> Self {
+        Self {
+            core: KnnCore::new(k),
+            weighted: true,
+        }
+    }
+}
+
+impl Regressor for KnnRegressor {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        self.core.fit(data)
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        aggregate(&self.core.neighbors(x), self.weighted)
+    }
+}
+
+/// KNN classifier: majority vote of the `k` nearest neighbours.
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    core: KnnCore,
+}
+
+impl KnnClassifier {
+    /// Creates a classifier with neighbourhood size `k` (odd values avoid
+    /// ties).
+    pub fn new(k: usize) -> Self {
+        Self { core: KnnCore::new(k) }
+    }
+}
+
+impl Classifier for KnnClassifier {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        check_binary_targets(data)?;
+        self.core.fit(data)
+    }
+
+    fn predict_score(&self, x: &[f64]) -> f64 {
+        aggregate(&self.core.neighbors(x), false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Dataset {
+        // y = x0 + x1 over a 10×10 grid.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                x.push(vec![i as f64, j as f64]);
+                y.push((i + j) as f64);
+            }
+        }
+        Dataset::new(x, y).unwrap()
+    }
+
+    #[test]
+    fn k1_memorizes_training_points() {
+        let data = grid();
+        let mut m = KnnRegressor::new(1);
+        m.fit(&data).unwrap();
+        for (row, &y) in data.x.iter().zip(&data.y) {
+            assert_eq!(m.predict(row), y);
+        }
+    }
+
+    #[test]
+    fn interpolates_smooth_functions() {
+        let data = grid();
+        let mut m = KnnRegressor::new(4);
+        m.fit(&data).unwrap();
+        // Query the centre of a grid cell: 4 symmetric neighbours average
+        // to the exact function value.
+        assert!((m.predict(&[4.5, 4.5]) - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_zero_k_and_oversized_k() {
+        let data = grid();
+        assert!(KnnRegressor::new(0).fit(&data).is_err());
+        assert!(KnnRegressor::new(101).fit(&data).is_err());
+    }
+
+    #[test]
+    fn classifier_majority_vote() {
+        // Class 1 iff x0 > 5.
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 2.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| if r[0] > 5.0 { 1.0 } else { 0.0 }).collect();
+        let data = Dataset::new(x, y).unwrap();
+        let mut m = KnnClassifier::new(3);
+        m.fit(&data).unwrap();
+        assert!(m.predict_label(&[9.0]));
+        assert!(!m.predict_label(&[1.0]));
+    }
+
+    #[test]
+    fn classifier_rejects_non_binary() {
+        let data = Dataset::new(vec![vec![0.0], vec![1.0]], vec![0.0, 3.0]).unwrap();
+        assert!(KnnClassifier::new(1).fit(&data).is_err());
+    }
+
+    #[test]
+    fn scaling_makes_features_comparable() {
+        // Feature 1 has a huge scale but is irrelevant; with
+        // standardization the relevant feature 0 still dominates.
+        let x: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i % 10) as f64, (i as f64) * 1e6])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0]).collect();
+        let data = Dataset::new(x, y).unwrap();
+        let mut m = KnnRegressor::new(5);
+        m.fit(&data).unwrap();
+        let p = m.predict(&[3.0, 25.0e6]);
+        assert!(p.is_finite());
+    }
+}

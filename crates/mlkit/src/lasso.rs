@@ -1,0 +1,253 @@
+//! Lasso (L1-regularized least squares) via cyclic coordinate descent.
+//!
+//! The paper (§V-A) uses Lasso regression to select the four
+//! high-correlation features (input size, cores, frequency, LLC ways) that
+//! feed every performance/power model. Coordinate descent with the
+//! soft-thresholding operator is the standard solver (Friedman et al.,
+//! "Pathwise coordinate optimization").
+
+use crate::model::{Dataset, MlError, Regressor};
+
+/// Lasso regression `min ½n‖y − Xw − b‖² + λ‖w‖₁`.
+#[derive(Debug, Clone)]
+pub struct Lasso {
+    /// L1 penalty λ. Larger values zero out more coefficients.
+    pub lambda: f64,
+    /// Convergence tolerance on the maximum coefficient update.
+    pub tol: f64,
+    /// Hard cap on coordinate-descent sweeps.
+    pub max_iter: usize,
+    weights: Vec<f64>,
+    intercept: f64,
+    /// Column means/stds captured during fit (internal standardization
+    /// makes λ scale-free, matching scikit-learn behaviour).
+    col_mean: Vec<f64>,
+    col_std: Vec<f64>,
+    y_mean: f64,
+}
+
+impl Lasso {
+    /// Creates a Lasso solver with penalty `lambda`.
+    pub fn new(lambda: f64) -> Self {
+        Self {
+            lambda,
+            tol: 1e-8,
+            max_iter: 10_000,
+            weights: Vec::new(),
+            intercept: 0.0,
+            col_mean: Vec::new(),
+            col_std: Vec::new(),
+            y_mean: 0.0,
+        }
+    }
+
+    /// Fitted coefficients in the *original* (unstandardized) feature space.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Fitted intercept in the original feature space.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// Indices of features with non-zero coefficients — the paper's
+    /// feature-selection output.
+    pub fn selected_features(&self) -> Vec<usize> {
+        self.weights
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.abs() > 1e-10)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+fn soft_threshold(z: f64, g: f64) -> f64 {
+    if z > g {
+        z - g
+    } else if z < -g {
+        z + g
+    } else {
+        0.0
+    }
+}
+
+impl Regressor for Lasso {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        if self.lambda < 0.0 {
+            return Err(MlError::InvalidParameter("lambda must be ≥ 0".into()));
+        }
+        let n = data.len();
+        let d = data.dims();
+        let nf = n as f64;
+
+        // Standardize columns and center targets so λ is scale-free.
+        let mut mean = vec![0.0; d];
+        for row in &data.x {
+            for (m, v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= nf;
+        }
+        let mut std = vec![0.0; d];
+        for row in &data.x {
+            for ((s, v), m) in std.iter_mut().zip(row).zip(&mean) {
+                *s += (v - m).powi(2);
+            }
+        }
+        for s in &mut std {
+            *s = (*s / nf).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        let y_mean = data.y.iter().sum::<f64>() / nf;
+
+        // Column-major standardized design matrix for cache-friendly
+        // coordinate sweeps.
+        let cols: Vec<Vec<f64>> = (0..d)
+            .map(|j| {
+                data.x
+                    .iter()
+                    .map(|row| (row[j] - mean[j]) / std[j])
+                    .collect()
+            })
+            .collect();
+        let yc: Vec<f64> = data.y.iter().map(|y| y - y_mean).collect();
+
+        let mut w = vec![0.0; d];
+        let mut residual = yc.clone(); // r = y − Xw, maintained incrementally
+        for _ in 0..self.max_iter {
+            let mut max_delta: f64 = 0.0;
+            for j in 0..d {
+                let col = &cols[j];
+                // rho = (1/n) Σ x_ij (r_i + w_j x_ij)
+                let mut rho = 0.0;
+                for (xi, ri) in col.iter().zip(&residual) {
+                    rho += xi * ri;
+                }
+                rho = rho / nf + w[j]; // columns have unit variance
+                let new_w = soft_threshold(rho, self.lambda);
+                let delta = new_w - w[j];
+                if delta != 0.0 {
+                    for (ri, xi) in residual.iter_mut().zip(col) {
+                        *ri -= delta * xi;
+                    }
+                    w[j] = new_w;
+                    max_delta = max_delta.max(delta.abs());
+                }
+            }
+            if max_delta < self.tol {
+                break;
+            }
+        }
+
+        // Map back to the original feature space.
+        self.weights = w.iter().zip(&std).map(|(wj, s)| wj / s).collect();
+        self.intercept = y_mean
+            - self
+                .weights
+                .iter()
+                .zip(&mean)
+                .map(|(wj, m)| wj * m)
+                .sum::<f64>();
+        self.col_mean = mean;
+        self.col_std = std;
+        self.y_mean = y_mean;
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        self.intercept
+            + self
+                .weights
+                .iter()
+                .zip(x)
+                .map(|(w, v)| w * v)
+                .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score;
+    use rand::{Rng, SeedableRng};
+
+    fn noisy_linear(seed: u64) -> Dataset {
+        // y = 4*x0 + 0*x1 + 2*x2 + noise; x1 is irrelevant.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x: Vec<Vec<f64>> = (0..200)
+            .map(|_| {
+                vec![
+                    rng.gen_range(0.0..10.0),
+                    rng.gen_range(0.0..10.0),
+                    rng.gen_range(0.0..10.0),
+                ]
+            })
+            .collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| 4.0 * r[0] + 2.0 * r[2] + rng.gen_range(-0.1..0.1))
+            .collect();
+        Dataset::new(x, y).unwrap()
+    }
+
+    #[test]
+    fn near_zero_lambda_recovers_ols() {
+        let data = noisy_linear(1);
+        let mut l = Lasso::new(1e-6);
+        l.fit(&data).unwrap();
+        assert!((l.weights()[0] - 4.0).abs() < 0.05, "{:?}", l.weights());
+        assert!(l.weights()[1].abs() < 0.05);
+        assert!((l.weights()[2] - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn selects_relevant_features() {
+        let data = noisy_linear(2);
+        let mut l = Lasso::new(0.5);
+        l.fit(&data).unwrap();
+        let sel = l.selected_features();
+        assert!(sel.contains(&0), "selected {sel:?}");
+        assert!(sel.contains(&2), "selected {sel:?}");
+        assert!(!sel.contains(&1), "irrelevant feature kept: {sel:?}");
+    }
+
+    #[test]
+    fn huge_lambda_zeroes_everything() {
+        let data = noisy_linear(3);
+        let mut l = Lasso::new(1e6);
+        l.fit(&data).unwrap();
+        assert!(l.selected_features().is_empty());
+        // Prediction degenerates to the target mean.
+        let mean = data.y.iter().sum::<f64>() / data.len() as f64;
+        assert!((l.predict(&[1.0, 1.0, 1.0]) - mean).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fit_quality_is_high_on_linear_data() {
+        let data = noisy_linear(4);
+        let mut l = Lasso::new(0.01);
+        l.fit(&data).unwrap();
+        let pred = l.predict_batch(&data.x);
+        assert!(r2_score(&data.y, &pred) > 0.99);
+    }
+
+    #[test]
+    fn rejects_negative_lambda() {
+        let data = noisy_linear(5);
+        let mut l = Lasso::new(-1.0);
+        assert!(l.fit(&data).is_err());
+    }
+
+    #[test]
+    fn soft_threshold_shrinks_towards_zero() {
+        assert_eq!(soft_threshold(3.0, 1.0), 2.0);
+        assert_eq!(soft_threshold(-3.0, 1.0), -2.0);
+        assert_eq!(soft_threshold(0.5, 1.0), 0.0);
+    }
+}

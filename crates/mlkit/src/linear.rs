@@ -1,0 +1,197 @@
+//! Ordinary least squares linear regression, solved by the normal
+//! equations with a tiny ridge term for numerical stability.
+//!
+//! Sturgeon's feature space is 4-dimensional, so forming `XᵀX` (5×5 with
+//! intercept) and solving by Gaussian elimination with partial pivoting is
+//! exact and instantaneous.
+
+use crate::model::{Dataset, MlError, Regressor};
+
+/// Linear regression `y = w·x + b`.
+#[derive(Debug, Clone)]
+pub struct LinearRegression {
+    /// L2 regularization strength applied to weights (not the intercept).
+    /// Zero gives plain OLS; the default `1e-9` only guards singularity.
+    pub ridge: f64,
+    weights: Vec<f64>,
+    intercept: f64,
+    fitted: bool,
+}
+
+impl Default for LinearRegression {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LinearRegression {
+    /// OLS with a vanishing ridge term for stability.
+    pub fn new() -> Self {
+        Self::with_ridge(1e-9)
+    }
+
+    /// Ridge regression with the given L2 strength.
+    pub fn with_ridge(ridge: f64) -> Self {
+        Self {
+            ridge,
+            weights: Vec::new(),
+            intercept: 0.0,
+            fitted: false,
+        }
+    }
+
+    /// Fitted coefficients (empty before `fit`).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+}
+
+/// Solves `A·x = b` in place via Gaussian elimination with partial
+/// pivoting. `A` is row-major `n×n`.
+// Indexed loops mirror the textbook elimination; iterator forms obscure
+// the row/column structure here.
+#[allow(clippy::needless_range_loop)]
+pub(crate) fn solve_linear_system(a: &mut [Vec<f64>], b: &mut [f64]) -> Result<Vec<f64>, MlError> {
+    let n = b.len();
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty range");
+        if a[pivot][col].abs() < 1e-12 {
+            return Err(MlError::Numerical("singular normal equations".into()));
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let inv = 1.0 / a[col][col];
+        for row in (col + 1)..n {
+            let factor = a[row][col] * inv;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in (col + 1)..n {
+            acc -= a[col][k] * x[k];
+        }
+        x[col] = acc / a[col][col];
+    }
+    Ok(x)
+}
+
+impl Regressor for LinearRegression {
+    #[allow(clippy::needless_range_loop)] // symmetric-matrix indexing
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        let d = data.dims();
+        let aug = d + 1; // trailing column is the intercept
+        let mut xtx = vec![vec![0.0; aug]; aug];
+        let mut xty = vec![0.0; aug];
+        for (row, &y) in data.x.iter().zip(&data.y) {
+            for i in 0..aug {
+                let xi = if i < d { row[i] } else { 1.0 };
+                xty[i] += xi * y;
+                for j in i..aug {
+                    let xj = if j < d { row[j] } else { 1.0 };
+                    xtx[i][j] += xi * xj;
+                }
+            }
+        }
+        // Mirror the upper triangle and add the ridge term to weight dims.
+        for i in 0..aug {
+            for j in 0..i {
+                let v = xtx[j][i];
+                xtx[i][j] = v;
+            }
+        }
+        for (i, row) in xtx.iter_mut().enumerate().take(d) {
+            row[i] += self.ridge.max(0.0);
+        }
+        let sol = solve_linear_system(&mut xtx, &mut xty)?;
+        self.intercept = sol[d];
+        self.weights = sol[..d].to_vec();
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        debug_assert!(self.fitted, "predict before fit");
+        self.intercept
+            + self
+                .weights
+                .iter()
+                .zip(x)
+                .map(|(w, v)| w * v)
+                .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_function() {
+        // y = 3x0 - 2x1 + 5
+        let x: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i * i % 7) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 5.0).collect();
+        let data = Dataset::new(x, y).unwrap();
+        let mut lr = LinearRegression::new();
+        lr.fit(&data).unwrap();
+        assert!((lr.weights()[0] - 3.0).abs() < 1e-6);
+        assert!((lr.weights()[1] + 2.0).abs() < 1e-6);
+        assert!((lr.intercept() - 5.0).abs() < 1e-5);
+        assert!((lr.predict(&[10.0, 1.0]) - 33.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn handles_collinear_features_via_ridge() {
+        // x1 = 2*x0 exactly: OLS is singular, ridge resolves it.
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let data = Dataset::new(x, y).unwrap();
+        let mut lr = LinearRegression::with_ridge(1e-6);
+        lr.fit(&data).unwrap();
+        // Prediction still matches the underlying function y = x0.
+        assert!((lr.predict(&[4.0, 8.0]) - 4.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn single_feature_mean_behaviour() {
+        let data = Dataset::new(vec![vec![0.0], vec![1.0]], vec![1.0, 3.0]).unwrap();
+        let mut lr = LinearRegression::new();
+        lr.fit(&data).unwrap();
+        assert!((lr.predict(&[0.5]) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solve_detects_singular_matrix() {
+        let mut a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        let mut b = vec![1.0, 2.0];
+        assert!(solve_linear_system(&mut a, &mut b).is_err());
+    }
+
+    #[test]
+    fn solve_simple_system() {
+        // 2x + y = 5; x - y = 1  =>  x = 2, y = 1
+        let mut a = vec![vec![2.0, 1.0], vec![1.0, -1.0]];
+        let mut b = vec![5.0, 1.0];
+        let x = solve_linear_system(&mut a, &mut b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((x[1] - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,176 @@
+//! Binary logistic regression trained by full-batch gradient descent.
+//!
+//! In the Fig. 6 reproduction this is the "LR" entry for LS-service
+//! performance models: the model only needs to answer "does this
+//! configuration violate QoS?" (paper §V-C), a binary question.
+
+use crate::model::{check_binary_targets, Classifier, Dataset, MlError};
+use crate::preprocess::Standardizer;
+
+/// Logistic regression `P(y=1|x) = σ(w·x + b)`.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// Gradient-descent step size.
+    pub learning_rate: f64,
+    /// Number of full-batch epochs.
+    pub epochs: usize,
+    /// L2 regularization strength.
+    pub l2: f64,
+    weights: Vec<f64>,
+    intercept: f64,
+    scaler: Option<Standardizer>,
+}
+
+impl Default for LogisticRegression {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogisticRegression {
+    /// Sensible defaults for small tabular problems.
+    pub fn new() -> Self {
+        Self {
+            learning_rate: 0.5,
+            epochs: 500,
+            l2: 1e-4,
+            weights: Vec::new(),
+            intercept: 0.0,
+            scaler: None,
+        }
+    }
+
+    fn sigmoid(z: f64) -> f64 {
+        if z >= 0.0 {
+            1.0 / (1.0 + (-z).exp())
+        } else {
+            let e = z.exp();
+            e / (1.0 + e)
+        }
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        check_binary_targets(data)?;
+        if self.learning_rate <= 0.0 || self.epochs == 0 {
+            return Err(MlError::InvalidParameter(
+                "learning_rate must be > 0 and epochs ≥ 1".into(),
+            ));
+        }
+        let scaler = Standardizer::fit(data);
+        let scaled = scaler.transform(data);
+        let n = scaled.len() as f64;
+        let d = scaled.dims();
+        let mut w = vec![0.0; d];
+        let mut b = 0.0;
+        for _ in 0..self.epochs {
+            let mut gw = vec![0.0; d];
+            let mut gb = 0.0;
+            for (row, &y) in scaled.x.iter().zip(&scaled.y) {
+                let z = b + w.iter().zip(row).map(|(wi, xi)| wi * xi).sum::<f64>();
+                let err = Self::sigmoid(z) - y;
+                for (g, xi) in gw.iter_mut().zip(row) {
+                    *g += err * xi;
+                }
+                gb += err;
+            }
+            for (wi, g) in w.iter_mut().zip(&gw) {
+                *wi -= self.learning_rate * (g / n + self.l2 * *wi);
+            }
+            b -= self.learning_rate * gb / n;
+        }
+        if w.iter().any(|v| !v.is_finite()) || !b.is_finite() {
+            return Err(MlError::Numerical("diverged: non-finite weights".into()));
+        }
+        self.weights = w;
+        self.intercept = b;
+        self.scaler = Some(scaler);
+        Ok(())
+    }
+
+    fn predict_score(&self, x: &[f64]) -> f64 {
+        let scaler = self.scaler.as_ref().expect("predict before fit");
+        let xs = scaler.transformed(x);
+        let z = self.intercept
+            + self
+                .weights
+                .iter()
+                .zip(&xs)
+                .map(|(w, v)| w * v)
+                .sum::<f64>();
+        Self::sigmoid(z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use rand::{Rng, SeedableRng};
+
+    fn separable(seed: u64, n: usize) -> Dataset {
+        // Positive class iff x0 + x1 > 10.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)])
+            .collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| if r[0] + r[1] > 10.0 { 1.0 } else { 0.0 })
+            .collect();
+        Dataset::new(x, y).unwrap()
+    }
+
+    #[test]
+    fn learns_separable_boundary() {
+        let data = separable(11, 300);
+        let mut m = LogisticRegression::new();
+        m.fit(&data).unwrap();
+        let pred: Vec<bool> = data.x.iter().map(|r| m.predict_label(r)).collect();
+        let truth: Vec<bool> = data.y.iter().map(|&v| v == 1.0).collect();
+        assert!(accuracy(&truth, &pred) > 0.95);
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let data = separable(12, 100);
+        let mut m = LogisticRegression::new();
+        m.fit(&data).unwrap();
+        for row in &data.x {
+            let s = m.predict_score(row);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn confident_on_extreme_points() {
+        let data = separable(13, 300);
+        let mut m = LogisticRegression::new();
+        m.fit(&data).unwrap();
+        assert!(m.predict_score(&[9.5, 9.5]) > 0.9);
+        assert!(m.predict_score(&[0.5, 0.5]) < 0.1);
+    }
+
+    #[test]
+    fn rejects_non_binary_targets() {
+        let data = Dataset::new(vec![vec![1.0], vec![2.0]], vec![0.0, 2.0]).unwrap();
+        let mut m = LogisticRegression::new();
+        assert!(m.fit(&data).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_hyperparams() {
+        let data = separable(14, 20);
+        let mut m = LogisticRegression::new();
+        m.learning_rate = 0.0;
+        assert!(m.fit(&data).is_err());
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert!(LogisticRegression::sigmoid(1000.0) <= 1.0);
+        assert!(LogisticRegression::sigmoid(-1000.0) >= 0.0);
+        assert!((LogisticRegression::sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,135 @@
+//! Evaluation metrics. The paper reports the coefficient of determination
+//! R² for every model family (Figs. 6 and 7); classification models are
+//! also scored with plain accuracy.
+
+/// Coefficient of determination R² = 1 − SS_res / SS_tot.
+///
+/// Returns 1.0 for a perfect fit. When the targets are constant the metric
+/// degenerates: we follow scikit-learn and return 1.0 if predictions are
+/// also exact, else 0.0. Empty inputs yield 0.0.
+pub fn r2_score(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let n = y_true.len() as f64;
+    let mean = y_true.iter().sum::<f64>() / n;
+    let ss_tot: f64 = y_true.iter().map(|y| (y - mean).powi(2)).sum();
+    let ss_res: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p).powi(2))
+        .sum();
+    if ss_tot == 0.0 {
+        return if ss_res == 0.0 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Mean squared error.
+pub fn mean_squared_error(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p).powi(2))
+        .sum::<f64>()
+        / y_true.len() as f64
+}
+
+/// Mean absolute error.
+pub fn mean_absolute_error(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p).abs())
+        .sum::<f64>()
+        / y_true.len() as f64
+}
+
+/// Fraction of matching hard labels.
+pub fn accuracy(y_true: &[bool], y_pred: &[bool]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let hits = y_true.iter().zip(y_pred).filter(|(t, p)| t == p).count();
+    hits as f64 / y_true.len() as f64
+}
+
+/// R² analogue for classifiers so they can share one axis with regressors
+/// in the Fig. 6 reproduction: computed on the 0/1 labels, as is standard
+/// when scoring a classifier with `r2_score`.
+pub fn classification_r2(y_true: &[f64], labels_pred: &[bool]) -> f64 {
+    let pred: Vec<f64> = labels_pred.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+    r2_score(y_true, &pred)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r2_perfect_fit_is_one() {
+        let y = [1.0, 2.0, 3.0];
+        assert!((r2_score(&y, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_mean_predictor_is_zero() {
+        let y = [1.0, 2.0, 3.0];
+        let p = [2.0, 2.0, 2.0];
+        assert!(r2_score(&y, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_worse_than_mean_is_negative() {
+        let y = [1.0, 2.0, 3.0];
+        let p = [3.0, 2.0, 1.0];
+        assert!(r2_score(&y, &p) < 0.0);
+    }
+
+    #[test]
+    fn r2_constant_targets() {
+        let y = [5.0, 5.0];
+        assert_eq!(r2_score(&y, &[5.0, 5.0]), 1.0);
+        assert_eq!(r2_score(&y, &[5.0, 6.0]), 0.0);
+    }
+
+    #[test]
+    fn mse_and_mae() {
+        let y = [0.0, 2.0];
+        let p = [1.0, 0.0];
+        assert!((mean_squared_error(&y, &p) - 2.5).abs() < 1e-12);
+        assert!((mean_absolute_error(&y, &p) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let t = [true, false, true, true];
+        let p = [true, true, true, false];
+        assert!((accuracy(&t, &p) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(r2_score(&[], &[]), 0.0);
+        assert_eq!(mean_squared_error(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn classification_r2_matches_regression_on_labels() {
+        let y = [0.0, 1.0, 1.0, 0.0];
+        let labels = [false, true, false, false];
+        let as_f: Vec<f64> = labels.iter().map(|&b| b as u8 as f64).collect();
+        assert_eq!(classification_r2(&y, &labels), r2_score(&y, &as_f));
+    }
+}

@@ -1,0 +1,362 @@
+//! Multi-layer perceptron (one hidden layer, tanh activation) trained with
+//! mini-batch SGD and momentum.
+//!
+//! The paper finds MLP regression competitive for BE-application
+//! performance models (Fig. 6). The throughput surface over
+//! (input size, cores, frequency, ways) is smooth but non-linear
+//! (Amdahl saturation × frequency scaling × cache miss curves), which a
+//! small tanh network captures well.
+
+use crate::model::{check_binary_targets, Classifier, Dataset, MlError, Regressor};
+use crate::preprocess::Standardizer;
+use rand::{Rng, SeedableRng};
+
+/// Hyper-parameters for the MLP.
+#[derive(Debug, Clone, Copy)]
+pub struct MlpParams {
+    /// Hidden layer width.
+    pub hidden: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// RNG seed for weight initialization and shuffling.
+    pub seed: u64,
+}
+
+impl Default for MlpParams {
+    fn default() -> Self {
+        Self {
+            hidden: 24,
+            learning_rate: 0.02,
+            epochs: 300,
+            batch: 16,
+            momentum: 0.9,
+            seed: 0x5742_4d4c,
+        }
+    }
+}
+
+/// One-hidden-layer network. `w1` is `hidden × d`, `w2` is `hidden`.
+#[derive(Debug, Clone)]
+struct Network {
+    w1: Vec<Vec<f64>>,
+    b1: Vec<f64>,
+    w2: Vec<f64>,
+    b2: f64,
+}
+
+impl Network {
+    fn init(d: usize, hidden: usize, rng: &mut impl Rng) -> Self {
+        // Xavier-style initialization keeps tanh units in their active range.
+        let scale = (1.0 / d as f64).sqrt();
+        Self {
+            w1: (0..hidden)
+                .map(|_| (0..d).map(|_| rng.gen_range(-scale..scale)).collect())
+                .collect(),
+            b1: vec![0.0; hidden],
+            w2: (0..hidden)
+                .map(|_| rng.gen_range(-scale..scale))
+                .collect(),
+            b2: 0.0,
+        }
+    }
+
+    /// Forward pass; returns (hidden activations, output pre-activation).
+    fn forward(&self, x: &[f64]) -> (Vec<f64>, f64) {
+        let h: Vec<f64> = self
+            .w1
+            .iter()
+            .zip(&self.b1)
+            .map(|(w, b)| {
+                let z = b + w.iter().zip(x).map(|(wi, xi)| wi * xi).sum::<f64>();
+                z.tanh()
+            })
+            .collect();
+        let out = self.b2 + self.w2.iter().zip(&h).map(|(w, hi)| w * hi).sum::<f64>();
+        (h, out)
+    }
+}
+
+/// Shared training core. `link` maps network output to prediction space;
+/// for regression it is identity, for classification a sigmoid.
+#[derive(Debug, Clone)]
+struct MlpCore {
+    params: MlpParams,
+    net: Option<Network>,
+    x_scaler: Option<Standardizer>,
+    /// Regression standardizes targets too, so the learning rate is
+    /// scale-free; classification leaves them as 0/1.
+    y_mean: f64,
+    y_std: f64,
+}
+
+impl MlpCore {
+    fn new(params: MlpParams) -> Self {
+        Self {
+            params,
+            net: None,
+            x_scaler: None,
+            y_mean: 0.0,
+            y_std: 1.0,
+        }
+    }
+
+    fn fit(&mut self, data: &Dataset, classify: bool) -> Result<(), MlError> {
+        let p = self.params;
+        if p.hidden == 0 || p.epochs == 0 || p.batch == 0 || p.learning_rate <= 0.0 {
+            return Err(MlError::InvalidParameter(
+                "hidden, epochs, batch ≥ 1 and learning_rate > 0 required".into(),
+            ));
+        }
+        let scaler = Standardizer::fit(data);
+        let xs: Vec<Vec<f64>> = data.x.iter().map(|r| scaler.transformed(r)).collect();
+        let (y_mean, y_std);
+        let ys: Vec<f64> = if classify {
+            y_mean = 0.0;
+            y_std = 1.0;
+            data.y.clone()
+        } else {
+            let n = data.len() as f64;
+            y_mean = data.y.iter().sum::<f64>() / n;
+            let var = data.y.iter().map(|y| (y - y_mean).powi(2)).sum::<f64>() / n;
+            y_std = var.sqrt().max(1e-9);
+            data.y.iter().map(|y| (y - y_mean) / y_std).collect()
+        };
+
+        let d = data.dims();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(p.seed);
+        let mut net = Network::init(d, p.hidden, &mut rng);
+        // Momentum buffers mirror the weight shapes.
+        let mut vw1 = vec![vec![0.0; d]; p.hidden];
+        let mut vb1 = vec![0.0; p.hidden];
+        let mut vw2 = vec![0.0; p.hidden];
+        let mut vb2 = 0.0;
+
+        let n = xs.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        for _ in 0..p.epochs {
+            // Fisher–Yates shuffle with the fitted RNG keeps runs
+            // deterministic per seed.
+            for i in (1..n).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            for chunk in order.chunks(p.batch) {
+                let m = chunk.len() as f64;
+                let mut gw1 = vec![vec![0.0; d]; p.hidden];
+                let mut gb1 = vec![0.0; p.hidden];
+                let mut gw2 = vec![0.0; p.hidden];
+                let mut gb2 = 0.0;
+                for &i in chunk {
+                    let x = &xs[i];
+                    let (h, z) = net.forward(x);
+                    let out = if classify { sigmoid(z) } else { z };
+                    // Squared loss for regression, log-loss for
+                    // classification: both give delta = out − y.
+                    let delta = out - ys[i];
+                    gb2 += delta;
+                    for j in 0..p.hidden {
+                        gw2[j] += delta * h[j];
+                        // Backprop into the hidden layer: dtanh = 1 − h².
+                        let dh = delta * net.w2[j] * (1.0 - h[j] * h[j]);
+                        gb1[j] += dh;
+                        for (g, xi) in gw1[j].iter_mut().zip(x) {
+                            *g += dh * xi;
+                        }
+                    }
+                }
+                let lr = p.learning_rate / m;
+                let mu = p.momentum;
+                for j in 0..p.hidden {
+                    for k in 0..d {
+                        vw1[j][k] = mu * vw1[j][k] - lr * gw1[j][k];
+                        net.w1[j][k] += vw1[j][k];
+                    }
+                    vb1[j] = mu * vb1[j] - lr * gb1[j];
+                    net.b1[j] += vb1[j];
+                    vw2[j] = mu * vw2[j] - lr * gw2[j];
+                    net.w2[j] += vw2[j];
+                }
+                vb2 = mu * vb2 - lr * gb2;
+                net.b2 += vb2;
+            }
+        }
+        if net.w2.iter().any(|v| !v.is_finite()) || !net.b2.is_finite() {
+            return Err(MlError::Numerical("MLP training diverged".into()));
+        }
+        self.net = Some(net);
+        self.x_scaler = Some(scaler);
+        self.y_mean = y_mean;
+        self.y_std = y_std;
+        Ok(())
+    }
+
+    fn raw_output(&self, x: &[f64]) -> f64 {
+        let scaler = self.x_scaler.as_ref().expect("predict before fit");
+        let net = self.net.as_ref().expect("predict before fit");
+        let xs = scaler.transformed(x);
+        net.forward(&xs).1
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// MLP regressor.
+#[derive(Debug, Clone)]
+pub struct MlpRegressor {
+    core: MlpCore,
+}
+
+impl Default for MlpRegressor {
+    fn default() -> Self {
+        Self::new(MlpParams::default())
+    }
+}
+
+impl MlpRegressor {
+    /// Creates a regressor with the given hyper-parameters.
+    pub fn new(params: MlpParams) -> Self {
+        Self { core: MlpCore::new(params) }
+    }
+}
+
+impl Regressor for MlpRegressor {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        self.core.fit(data, false)
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        self.core.raw_output(x) * self.core.y_std + self.core.y_mean
+    }
+}
+
+/// MLP binary classifier (sigmoid output, log loss).
+#[derive(Debug, Clone)]
+pub struct MlpClassifier {
+    core: MlpCore,
+}
+
+impl Default for MlpClassifier {
+    fn default() -> Self {
+        Self::new(MlpParams::default())
+    }
+}
+
+impl MlpClassifier {
+    /// Creates a classifier with the given hyper-parameters.
+    pub fn new(params: MlpParams) -> Self {
+        Self { core: MlpCore::new(params) }
+    }
+}
+
+impl Classifier for MlpClassifier {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        check_binary_targets(data)?;
+        self.core.fit(data, true)
+    }
+
+    fn predict_score(&self, x: &[f64]) -> f64 {
+        sigmoid(self.core.raw_output(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{accuracy, r2_score};
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn regressor_learns_nonlinear_function() {
+        // y = x0² − x1, a function a linear model cannot fit.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let x: Vec<Vec<f64>> = (0..300)
+            .map(|_| vec![rng.gen_range(-2.0..2.0), rng.gen_range(-2.0..2.0)])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] * r[0] - r[1]).collect();
+        let data = Dataset::new(x, y).unwrap();
+        let mut m = MlpRegressor::default();
+        m.fit(&data).unwrap();
+        let pred = m.predict_batch(&data.x);
+        assert!(r2_score(&data.y, &pred) > 0.9, "R² = {}", r2_score(&data.y, &pred));
+    }
+
+    #[test]
+    fn classifier_learns_xor() {
+        // XOR is the canonical not-linearly-separable problem.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        for _ in 0..400 {
+            let a = rng.gen_range(0.0..1.0_f64);
+            let b = rng.gen_range(0.0..1.0_f64);
+            x.push(vec![a, b]);
+            y.push(if (a > 0.5) != (b > 0.5) { 1.0 } else { 0.0 });
+        }
+        let data = Dataset::new(x, y).unwrap();
+        let mut m = MlpClassifier::new(MlpParams {
+            epochs: 600,
+            ..MlpParams::default()
+        });
+        m.fit(&data).unwrap();
+        let pred: Vec<bool> = data.x.iter().map(|r| m.predict_label(r)).collect();
+        let truth: Vec<bool> = data.y.iter().map(|&v| v == 1.0).collect();
+        assert!(accuracy(&truth, &pred) > 0.9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = Dataset::new(
+            (0..50).map(|i| vec![i as f64 / 10.0]).collect(),
+            (0..50).map(|i| (i as f64 / 10.0).sin()).collect(),
+        )
+        .unwrap();
+        let mut a = MlpRegressor::default();
+        let mut b = MlpRegressor::default();
+        a.fit(&data).unwrap();
+        b.fit(&data).unwrap();
+        assert_eq!(a.predict(&[2.5]), b.predict(&[2.5]));
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        let data = Dataset::new(vec![vec![0.0], vec![1.0]], vec![0.0, 1.0]).unwrap();
+        let mut m = MlpRegressor::new(MlpParams {
+            hidden: 0,
+            ..MlpParams::default()
+        });
+        assert!(m.fit(&data).is_err());
+    }
+
+    #[test]
+    fn classifier_rejects_non_binary() {
+        let data = Dataset::new(vec![vec![0.0], vec![1.0]], vec![0.0, 2.0]).unwrap();
+        let mut m = MlpClassifier::default();
+        assert!(m.fit(&data).is_err());
+    }
+
+    #[test]
+    fn scores_bounded() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let x: Vec<Vec<f64>> = (0..60).map(|_| vec![rng.gen_range(-5.0..5.0)]).collect();
+        let y: Vec<f64> = x.iter().map(|r| if r[0] > 0.0 { 1.0 } else { 0.0 }).collect();
+        let data = Dataset::new(x, y).unwrap();
+        let mut m = MlpClassifier::default();
+        m.fit(&data).unwrap();
+        for v in [-100.0, -1.0, 0.0, 1.0, 100.0] {
+            let s = m.predict_score(&[v]);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Gaussian naive Bayes binary classification.
+//!
+//! An extension family beyond the paper's Fig. 6 lineup: per-class
+//! feature Gaussians with a shared prior, closed-form training (one pass,
+//! no hyper-parameters), O(d) prediction. On Sturgeon's QoS boundary its
+//! independence assumption is clearly violated (cores and frequency trade
+//! off), so it mainly serves as the fast-and-wrong baseline the
+//! model-selection tests compare the real families against.
+
+use crate::model::{check_binary_targets, Classifier, Dataset, MlError};
+
+/// Per-class Gaussian parameters.
+#[derive(Debug, Clone, Default)]
+struct ClassStats {
+    prior_ln: f64,
+    means: Vec<f64>,
+    vars: Vec<f64>,
+}
+
+impl ClassStats {
+    fn log_likelihood(&self, x: &[f64]) -> f64 {
+        let mut ll = self.prior_ln;
+        for ((&xi, &m), &v) in x.iter().zip(&self.means).zip(&self.vars) {
+            let diff = xi - m;
+            ll += -0.5 * (v * std::f64::consts::TAU).ln() - diff * diff / (2.0 * v);
+        }
+        ll
+    }
+}
+
+/// Gaussian naive Bayes with variance smoothing.
+#[derive(Debug, Clone)]
+pub struct GaussianNb {
+    /// Added to every variance to guard degenerate (constant) features,
+    /// relative to the largest feature variance.
+    pub var_smoothing: f64,
+    negative: ClassStats,
+    positive: ClassStats,
+    fitted: bool,
+}
+
+impl Default for GaussianNb {
+    fn default() -> Self {
+        Self {
+            var_smoothing: 1e-9,
+            negative: ClassStats::default(),
+            positive: ClassStats::default(),
+            fitted: false,
+        }
+    }
+}
+
+fn class_stats(rows: &[&Vec<f64>], d: usize, prior: f64, floor: f64) -> ClassStats {
+    let n = rows.len().max(1) as f64;
+    let mut means = vec![0.0; d];
+    for r in rows {
+        for (m, v) in means.iter_mut().zip(r.iter()) {
+            *m += v;
+        }
+    }
+    for m in &mut means {
+        *m /= n;
+    }
+    let mut vars = vec![0.0; d];
+    for r in rows {
+        for ((s, v), m) in vars.iter_mut().zip(r.iter()).zip(&means) {
+            *s += (v - m) * (v - m);
+        }
+    }
+    for s in &mut vars {
+        *s = (*s / n) + floor;
+    }
+    ClassStats {
+        prior_ln: prior.max(f64::MIN_POSITIVE).ln(),
+        means,
+        vars,
+    }
+}
+
+impl Classifier for GaussianNb {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        check_binary_targets(data)?;
+        let d = data.dims();
+        let pos: Vec<&Vec<f64>> = data
+            .x
+            .iter()
+            .zip(&data.y)
+            .filter(|(_, &y)| y == 1.0)
+            .map(|(r, _)| r)
+            .collect();
+        let neg: Vec<&Vec<f64>> = data
+            .x
+            .iter()
+            .zip(&data.y)
+            .filter(|(_, &y)| y == 0.0)
+            .map(|(r, _)| r)
+            .collect();
+        if pos.is_empty() || neg.is_empty() {
+            return Err(MlError::InvalidDataset(
+                "both classes must be present".into(),
+            ));
+        }
+        // Smoothing floor proportional to the largest overall variance.
+        let n = data.len() as f64;
+        let max_var = (0..d)
+            .map(|j| {
+                let mean = data.x.iter().map(|r| r[j]).sum::<f64>() / n;
+                data.x.iter().map(|r| (r[j] - mean).powi(2)).sum::<f64>() / n
+            })
+            .fold(0.0f64, f64::max);
+        let floor = (self.var_smoothing * max_var).max(1e-12);
+        let p_pos = pos.len() as f64 / n;
+        self.positive = class_stats(&pos, d, p_pos, floor);
+        self.negative = class_stats(&neg, d, 1.0 - p_pos, floor);
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict_score(&self, x: &[f64]) -> f64 {
+        assert!(self.fitted, "predict before fit");
+        let lp = self.positive.log_likelihood(x);
+        let ln = self.negative.log_likelihood(x);
+        // Softmax over the two joint log-likelihoods, stabilized.
+        let m = lp.max(ln);
+        let ep = (lp - m).exp();
+        let en = (ln - m).exp();
+        ep / (ep + en)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use rand::{Rng, SeedableRng};
+
+    fn two_blobs(seed: u64, n: usize, sep: f64) -> Dataset {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut x = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let label = i % 2 == 0;
+            let center = if label { sep } else { -sep };
+            x.push(vec![
+                center + rng.gen_range(-1.0..1.0),
+                center + rng.gen_range(-1.0..1.0),
+            ]);
+            y.push(if label { 1.0 } else { 0.0 });
+        }
+        Dataset::new(x, y).unwrap()
+    }
+
+    #[test]
+    fn separates_gaussian_blobs() {
+        let data = two_blobs(1, 400, 2.0);
+        let mut nb = GaussianNb::default();
+        nb.fit(&data).unwrap();
+        let pred: Vec<bool> = data.x.iter().map(|r| nb.predict_label(r)).collect();
+        let truth: Vec<bool> = data.y.iter().map(|&v| v == 1.0).collect();
+        assert!(accuracy(&truth, &pred) > 0.97);
+    }
+
+    #[test]
+    fn scores_are_probabilities_and_calibrated_at_midpoint() {
+        let data = two_blobs(2, 400, 2.0);
+        let mut nb = GaussianNb::default();
+        nb.fit(&data).unwrap();
+        for v in [-4.0, -1.0, 0.0, 1.0, 4.0] {
+            let s = nb.predict_score(&[v, v]);
+            assert!((0.0..=1.0).contains(&s));
+        }
+        // Exactly between symmetric blobs: ~0.5.
+        let mid = nb.predict_score(&[0.0, 0.0]);
+        assert!((mid - 0.5).abs() < 0.1, "midpoint score {mid}");
+    }
+
+    #[test]
+    fn handles_constant_features_via_smoothing() {
+        // Feature 1 is constant: without smoothing its variance is 0.
+        let x: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![if i % 2 == 0 { 1.0 } else { -1.0 }, 5.0])
+            .collect();
+        let y: Vec<f64> = (0..40).map(|i| (i % 2 == 0) as u8 as f64).collect();
+        let data = Dataset::new(x, y).unwrap();
+        let mut nb = GaussianNb::default();
+        nb.fit(&data).unwrap();
+        assert!(nb.predict_label(&[1.0, 5.0]));
+        assert!(!nb.predict_label(&[-1.0, 5.0]));
+        assert!(nb.predict_score(&[1.0, 5.0]).is_finite());
+    }
+
+    #[test]
+    fn rejects_single_class_datasets() {
+        let data = Dataset::new(vec![vec![1.0], vec![2.0]], vec![1.0, 1.0]).unwrap();
+        let mut nb = GaussianNb::default();
+        assert!(nb.fit(&data).is_err());
+    }
+
+    #[test]
+    fn imbalanced_priors_shift_the_boundary() {
+        // 90% negatives: an ambiguous point should lean negative.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for i in 0..200 {
+            let label = i % 10 == 0;
+            let center = if label { 1.0 } else { -1.0 };
+            x.push(vec![center + rng.gen_range(-1.5..1.5)]);
+            y.push(label as u8 as f64);
+        }
+        let data = Dataset::new(x, y).unwrap();
+        let mut nb = GaussianNb::default();
+        nb.fit(&data).unwrap();
+        assert!(nb.predict_score(&[0.0]) < 0.5);
+    }
+}

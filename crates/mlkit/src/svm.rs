@@ -1,0 +1,332 @@
+//! Linear support-vector models trained by averaged stochastic
+//! (sub)gradient descent: hinge loss for classification (Pegasos-style)
+//! and ε-insensitive loss for regression.
+//!
+//! These are the "SV" bars of Figs. 6 and 7. The paper does not find SV
+//! models best for any Sturgeon model, but evaluates them as candidates;
+//! we do the same.
+
+use crate::model::{check_binary_targets, Classifier, Dataset, MlError, Regressor};
+use crate::preprocess::Standardizer;
+use rand::{Rng, SeedableRng};
+
+/// Shared SGD hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SvmParams {
+    /// L2 regularization strength λ.
+    pub lambda: f64,
+    /// Epochs over the training set.
+    pub epochs: usize,
+    /// ε for the regression tube (ignored by the classifier).
+    pub epsilon: f64,
+    /// RNG seed for sample order.
+    pub seed: u64,
+}
+
+impl Default for SvmParams {
+    fn default() -> Self {
+        Self {
+            lambda: 1e-4,
+            epochs: 60,
+            epsilon: 0.05,
+            seed: 0x53_56_4d,
+        }
+    }
+}
+
+/// Common linear model state.
+#[derive(Debug, Clone)]
+struct LinearSvmCore {
+    params: SvmParams,
+    weights: Vec<f64>,
+    intercept: f64,
+    x_scaler: Option<Standardizer>,
+    y_mean: f64,
+    y_std: f64,
+}
+
+impl LinearSvmCore {
+    fn new(params: SvmParams) -> Self {
+        Self {
+            params,
+            weights: Vec::new(),
+            intercept: 0.0,
+            x_scaler: None,
+            y_mean: 0.0,
+            y_std: 1.0,
+        }
+    }
+
+    fn validate(&self) -> Result<(), MlError> {
+        if self.params.lambda <= 0.0 || self.params.epochs == 0 {
+            return Err(MlError::InvalidParameter(
+                "lambda > 0 and epochs ≥ 1 required".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn decision(&self, x: &[f64]) -> f64 {
+        let scaler = self.x_scaler.as_ref().expect("predict before fit");
+        let xs = scaler.transformed(x);
+        self.intercept
+            + self
+                .weights
+                .iter()
+                .zip(&xs)
+                .map(|(w, v)| w * v)
+                .sum::<f64>()
+    }
+}
+
+/// Linear SVM classifier (Pegasos). Targets 0/1 are mapped to −1/+1
+/// internally; `predict_score` squashes the margin through a sigmoid.
+#[derive(Debug, Clone)]
+pub struct SvmClassifier {
+    core: LinearSvmCore,
+}
+
+impl Default for SvmClassifier {
+    fn default() -> Self {
+        Self::new(SvmParams::default())
+    }
+}
+
+impl SvmClassifier {
+    /// A classifier with the given hyper-parameters.
+    pub fn new(params: SvmParams) -> Self {
+        Self { core: LinearSvmCore::new(params) }
+    }
+
+    /// Signed distance to the separating hyperplane (in scaled space).
+    pub fn margin(&self, x: &[f64]) -> f64 {
+        self.core.decision(x)
+    }
+}
+
+impl Classifier for SvmClassifier {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        self.core.validate()?;
+        check_binary_targets(data)?;
+        let p = self.core.params;
+        let scaler = Standardizer::fit(data);
+        let xs: Vec<Vec<f64>> = data.x.iter().map(|r| scaler.transformed(r)).collect();
+        let ys: Vec<f64> = data.y.iter().map(|&y| if y == 1.0 { 1.0 } else { -1.0 }).collect();
+        let d = data.dims();
+        let n = xs.len();
+        let mut w = vec![0.0; d];
+        let mut b = 0.0;
+        // Averaged weights smooth SGD noise (Polyak averaging).
+        let mut w_avg = vec![0.0; d];
+        let mut b_avg = 0.0;
+        let total = (p.epochs * n) as u64;
+        let burn_in = total / 2; // average the second half only
+        let mut averaged: u64 = 0;
+        let mut t: u64 = 0;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(p.seed);
+        for _ in 0..p.epochs {
+            for _ in 0..n {
+                t += 1;
+                let i = rng.gen_range(0..n);
+                // Bottou schedule: bounded at t = 0, asymptotically 1/(λt).
+                let eta = 0.5 / (1.0 + 0.5 * p.lambda * t as f64);
+                let margin = ys[i]
+                    * (b + w.iter().zip(&xs[i]).map(|(wi, xi)| wi * xi).sum::<f64>());
+                for wi in w.iter_mut() {
+                    *wi *= 1.0 - eta * p.lambda;
+                }
+                if margin < 1.0 {
+                    for (wi, xi) in w.iter_mut().zip(&xs[i]) {
+                        *wi += eta * ys[i] * xi;
+                    }
+                    b += eta * ys[i];
+                }
+                if t > burn_in {
+                    averaged += 1;
+                    for (a, wi) in w_avg.iter_mut().zip(&w) {
+                        *a += wi;
+                    }
+                    b_avg += b;
+                }
+            }
+        }
+        let tf = averaged.max(1) as f64;
+        self.core.weights = w_avg.into_iter().map(|v| v / tf).collect();
+        self.core.intercept = b_avg / tf;
+        self.core.x_scaler = Some(scaler);
+        Ok(())
+    }
+
+    fn predict_score(&self, x: &[f64]) -> f64 {
+        let m = self.core.decision(x);
+        1.0 / (1.0 + (-m).exp())
+    }
+}
+
+/// Linear SVR with ε-insensitive loss, trained by SGD on standardized
+/// features and targets.
+#[derive(Debug, Clone)]
+pub struct SvmRegressor {
+    core: LinearSvmCore,
+}
+
+impl Default for SvmRegressor {
+    fn default() -> Self {
+        Self::new(SvmParams::default())
+    }
+}
+
+impl SvmRegressor {
+    /// A regressor with the given hyper-parameters.
+    pub fn new(params: SvmParams) -> Self {
+        Self { core: LinearSvmCore::new(params) }
+    }
+}
+
+impl Regressor for SvmRegressor {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        self.core.validate()?;
+        let p = self.core.params;
+        let scaler = Standardizer::fit(data);
+        let xs: Vec<Vec<f64>> = data.x.iter().map(|r| scaler.transformed(r)).collect();
+        let n = data.len() as f64;
+        let y_mean = data.y.iter().sum::<f64>() / n;
+        let y_std = (data.y.iter().map(|y| (y - y_mean).powi(2)).sum::<f64>() / n)
+            .sqrt()
+            .max(1e-9);
+        let ys: Vec<f64> = data.y.iter().map(|y| (y - y_mean) / y_std).collect();
+        let d = data.dims();
+        let m = xs.len();
+        let mut w = vec![0.0; d];
+        let mut b = 0.0;
+        let mut w_avg = vec![0.0; d];
+        let mut b_avg = 0.0;
+        let total = (p.epochs * m) as u64;
+        let burn_in = total / 2;
+        let mut averaged: u64 = 0;
+        let mut t: u64 = 0;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(p.seed);
+        for _ in 0..p.epochs {
+            for _ in 0..m {
+                t += 1;
+                let i = rng.gen_range(0..m);
+                // Bottou schedule, as in the classifier.
+                let eta = 0.5 / (1.0 + 0.5 * p.lambda * t as f64);
+                let pred = b + w.iter().zip(&xs[i]).map(|(wi, xi)| wi * xi).sum::<f64>();
+                let err = pred - ys[i];
+                for wi in w.iter_mut() {
+                    *wi *= 1.0 - eta * p.lambda;
+                }
+                // Subgradient of the ε-insensitive loss: ±1 outside the tube.
+                if err > p.epsilon {
+                    for (wi, xi) in w.iter_mut().zip(&xs[i]) {
+                        *wi -= eta * xi;
+                    }
+                    b -= eta;
+                } else if err < -p.epsilon {
+                    for (wi, xi) in w.iter_mut().zip(&xs[i]) {
+                        *wi += eta * xi;
+                    }
+                    b += eta;
+                }
+                if t > burn_in {
+                    averaged += 1;
+                    for (a, wi) in w_avg.iter_mut().zip(&w) {
+                        *a += wi;
+                    }
+                    b_avg += b;
+                }
+            }
+        }
+        let tf = averaged.max(1) as f64;
+        self.core.weights = w_avg.into_iter().map(|v| v / tf).collect();
+        self.core.intercept = b_avg / tf;
+        self.core.x_scaler = Some(scaler);
+        self.core.y_mean = y_mean;
+        self.core.y_std = y_std;
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        self.core.decision(x) * self.core.y_std + self.core.y_mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{accuracy, r2_score};
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn classifier_separates_linear_boundary() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let x: Vec<Vec<f64>> = (0..400)
+            .map(|_| vec![rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)])
+            .collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| if 2.0 * r[0] - r[1] + 1.0 > 0.0 { 1.0 } else { 0.0 })
+            .collect();
+        let data = Dataset::new(x, y).unwrap();
+        let mut m = SvmClassifier::default();
+        m.fit(&data).unwrap();
+        let pred: Vec<bool> = data.x.iter().map(|r| m.predict_label(r)).collect();
+        let truth: Vec<bool> = data.y.iter().map(|&v| v == 1.0).collect();
+        assert!(accuracy(&truth, &pred) > 0.95);
+    }
+
+    #[test]
+    fn regressor_fits_linear_function() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+        let x: Vec<Vec<f64>> = (0..400)
+            .map(|_| vec![rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0] + r[1] - 2.0).collect();
+        let data = Dataset::new(x, y).unwrap();
+        let mut m = SvmRegressor::default();
+        m.fit(&data).unwrap();
+        let pred = m.predict_batch(&data.x);
+        assert!(r2_score(&data.y, &pred) > 0.95, "R² = {}", r2_score(&data.y, &pred));
+    }
+
+    #[test]
+    fn margin_sign_matches_label() {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 - 50.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| if r[0] > 0.0 { 1.0 } else { 0.0 }).collect();
+        let data = Dataset::new(x, y).unwrap();
+        let mut m = SvmClassifier::default();
+        m.fit(&data).unwrap();
+        assert!(m.margin(&[30.0]) > 0.0);
+        assert!(m.margin(&[-30.0]) < 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        let data = Dataset::new(vec![vec![0.0], vec![1.0]], vec![0.0, 1.0]).unwrap();
+        let mut m = SvmClassifier::new(SvmParams {
+            lambda: 0.0,
+            ..SvmParams::default()
+        });
+        assert!(m.fit(&data).is_err());
+    }
+
+    #[test]
+    fn classifier_rejects_non_binary() {
+        let data = Dataset::new(vec![vec![0.0], vec![1.0]], vec![0.0, 0.7]).unwrap();
+        let mut m = SvmClassifier::default();
+        assert!(m.fit(&data).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0]).collect();
+        let data = Dataset::new(x, y).unwrap();
+        let mut a = SvmRegressor::default();
+        let mut b = SvmRegressor::default();
+        a.fit(&data).unwrap();
+        b.fit(&data).unwrap();
+        assert_eq!(a.predict(&[10.0]), b.predict(&[10.0]));
+    }
+}

@@ -1,0 +1,354 @@
+//! CART decision trees for regression (variance reduction) and binary
+//! classification (Gini impurity).
+//!
+//! The paper finds "DT Classification is the most suitable for the
+//! performance model of LS services" (§V-C): the QoS-violation boundary in
+//! (QPS, cores, frequency, ways)-space is a step-like surface that
+//! axis-aligned splits capture very well.
+
+use crate::model::{check_binary_targets, Classifier, Dataset, MlError, Regressor};
+
+/// A tree node: either an internal split or a leaf carrying a value.
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,  // rows with x[feature] <= threshold
+        right: Box<Node>, // rows with x[feature] > threshold
+    },
+}
+
+impl Node {
+    fn predict(&self, x: &[f64]) -> f64 {
+        let mut node = self;
+        loop {
+            match node {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    fn depth(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 0,
+            Node::Split { left, right, .. } => 1 + left.depth().max(right.depth()),
+        }
+    }
+}
+
+/// Split-quality criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Criterion {
+    /// Minimize within-node target variance (regression).
+    Variance,
+    /// Minimize Gini impurity (binary classification).
+    Gini,
+}
+
+/// Hyper-parameters shared by both tree flavours.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeParams {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum rows required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum rows in each child of an accepted split.
+    pub min_samples_leaf: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self {
+            max_depth: 12,
+            min_samples_split: 4,
+            min_samples_leaf: 2,
+        }
+    }
+}
+
+/// Impurity of a multiset of targets under the given criterion, times the
+/// number of rows (so parent − children is the weighted gain).
+fn impurity(sum: f64, sum_sq: f64, n: f64, criterion: Criterion) -> f64 {
+    match criterion {
+        // n * Var = Σy² − (Σy)²/n
+        Criterion::Variance => sum_sq - sum * sum / n,
+        // For 0/1 targets: n * Gini = n * 2p(1−p), with p = sum/n.
+        Criterion::Gini => {
+            let p = sum / n;
+            2.0 * n * p * (1.0 - p)
+        }
+    }
+}
+
+/// Builds a tree on the rows referenced by `idx` (indices into the data).
+fn build(
+    data: &Dataset,
+    idx: &mut [usize],
+    depth: usize,
+    params: &TreeParams,
+    criterion: Criterion,
+) -> Node {
+    let n = idx.len();
+    let sum: f64 = idx.iter().map(|&i| data.y[i]).sum();
+    let mean = sum / n as f64;
+    let sum_sq: f64 = idx.iter().map(|&i| data.y[i] * data.y[i]).sum();
+    let parent_impurity = impurity(sum, sum_sq, n as f64, criterion);
+
+    let make_leaf = || Node::Leaf { value: mean };
+    if depth >= params.max_depth || n < params.min_samples_split || parent_impurity <= 1e-12 {
+        return make_leaf();
+    }
+
+    // Find the best (feature, threshold) by sorting indices per feature
+    // and scanning split points with running sums.
+    let d = data.dims();
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+    let mut sorted = idx.to_vec();
+    for f in 0..d {
+        sorted.sort_unstable_by(|&a, &b| data.x[a][f].total_cmp(&data.x[b][f]));
+        let mut left_sum = 0.0;
+        let mut left_sq = 0.0;
+        for k in 0..n - 1 {
+            let i = sorted[k];
+            left_sum += data.y[i];
+            left_sq += data.y[i] * data.y[i];
+            let nl = k + 1;
+            let nr = n - nl;
+            // Can't split between equal feature values.
+            if data.x[sorted[k]][f] == data.x[sorted[k + 1]][f] {
+                continue;
+            }
+            if nl < params.min_samples_leaf || nr < params.min_samples_leaf {
+                continue;
+            }
+            let right_sum = sum - left_sum;
+            let right_sq = sum_sq - left_sq;
+            let child_impurity = impurity(left_sum, left_sq, nl as f64, criterion)
+                + impurity(right_sum, right_sq, nr as f64, criterion);
+            let gain = parent_impurity - child_impurity;
+            if gain > best.map_or(1e-12, |(_, _, g)| g) {
+                let threshold = 0.5 * (data.x[sorted[k]][f] + data.x[sorted[k + 1]][f]);
+                best = Some((f, threshold, gain));
+            }
+        }
+    }
+
+    let Some((feature, threshold, _)) = best else {
+        return make_leaf();
+    };
+
+    // Partition indices in place around the chosen split.
+    let mid = itertools_partition(idx, |&i| data.x[i][feature] <= threshold);
+    let (left_idx, right_idx) = idx.split_at_mut(mid);
+    debug_assert!(!left_idx.is_empty() && !right_idx.is_empty());
+    Node::Split {
+        feature,
+        threshold,
+        left: Box::new(build(data, left_idx, depth + 1, params, criterion)),
+        right: Box::new(build(data, right_idx, depth + 1, params, criterion)),
+    }
+}
+
+/// Stable-order in-place partition; returns the index of the first element
+/// for which the predicate is false.
+fn itertools_partition<T: Copy>(slice: &mut [T], pred: impl Fn(&T) -> bool) -> usize {
+    let mut buf: Vec<T> = Vec::with_capacity(slice.len());
+    let mut mid = 0;
+    for &v in slice.iter() {
+        if pred(&v) {
+            buf.insert(mid, v);
+            mid += 1;
+        } else {
+            buf.push(v);
+        }
+    }
+    slice.copy_from_slice(&buf);
+    mid
+}
+
+/// CART regression tree.
+#[derive(Debug, Clone, Default)]
+pub struct DecisionTreeRegressor {
+    /// Structural hyper-parameters.
+    pub params: TreeParams,
+    root: Option<Node>,
+}
+
+impl DecisionTreeRegressor {
+    /// A regressor with the given parameters.
+    pub fn new(params: TreeParams) -> Self {
+        Self { params, root: None }
+    }
+
+    /// Depth of the fitted tree (0 for a single leaf).
+    pub fn depth(&self) -> usize {
+        self.root.as_ref().map_or(0, Node::depth)
+    }
+}
+
+impl Regressor for DecisionTreeRegressor {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        validate_params(&self.params)?;
+        let mut idx: Vec<usize> = (0..data.len()).collect();
+        self.root = Some(build(data, &mut idx, 0, &self.params, Criterion::Variance));
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        self.root.as_ref().expect("predict before fit").predict(x)
+    }
+}
+
+/// CART binary-classification tree; leaf values are positive-class rates.
+#[derive(Debug, Clone, Default)]
+pub struct DecisionTreeClassifier {
+    /// Structural hyper-parameters.
+    pub params: TreeParams,
+    root: Option<Node>,
+}
+
+impl DecisionTreeClassifier {
+    /// A classifier with the given parameters.
+    pub fn new(params: TreeParams) -> Self {
+        Self { params, root: None }
+    }
+
+    /// Depth of the fitted tree (0 for a single leaf).
+    pub fn depth(&self) -> usize {
+        self.root.as_ref().map_or(0, Node::depth)
+    }
+}
+
+impl Classifier for DecisionTreeClassifier {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        validate_params(&self.params)?;
+        check_binary_targets(data)?;
+        let mut idx: Vec<usize> = (0..data.len()).collect();
+        self.root = Some(build(data, &mut idx, 0, &self.params, Criterion::Gini));
+        Ok(())
+    }
+
+    fn predict_score(&self, x: &[f64]) -> f64 {
+        self.root.as_ref().expect("predict before fit").predict(x)
+    }
+}
+
+fn validate_params(p: &TreeParams) -> Result<(), MlError> {
+    if p.min_samples_leaf == 0 || p.min_samples_split < 2 {
+        return Err(MlError::InvalidParameter(
+            "min_samples_leaf ≥ 1 and min_samples_split ≥ 2 required".into(),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score;
+
+    #[test]
+    fn regressor_fits_step_function_exactly() {
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..40).map(|i| if i < 20 { 1.0 } else { 5.0 }).collect();
+        let data = Dataset::new(x, y).unwrap();
+        let mut t = DecisionTreeRegressor::default();
+        t.fit(&data).unwrap();
+        assert_eq!(t.predict(&[3.0]), 1.0);
+        assert_eq!(t.predict(&[33.0]), 5.0);
+    }
+
+    #[test]
+    fn regressor_approximates_smooth_function() {
+        let x: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 20.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| (r[0]).sin()).collect();
+        let data = Dataset::new(x, y).unwrap();
+        let mut t = DecisionTreeRegressor::default();
+        t.fit(&data).unwrap();
+        let pred = t.predict_batch(&data.x);
+        assert!(r2_score(&data.y, &pred) > 0.95);
+    }
+
+    #[test]
+    fn classifier_learns_axis_aligned_box() {
+        // Positive iff both features in [3, 7].
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..11 {
+            for j in 0..11 {
+                x.push(vec![i as f64, j as f64]);
+                let inside = (3..=7).contains(&i) && (3..=7).contains(&j);
+                y.push(if inside { 1.0 } else { 0.0 });
+            }
+        }
+        let data = Dataset::new(x, y).unwrap();
+        let mut t = DecisionTreeClassifier::default();
+        t.fit(&data).unwrap();
+        assert!(t.predict_label(&[5.0, 5.0]));
+        assert!(!t.predict_label(&[1.0, 5.0]));
+        assert!(!t.predict_label(&[5.0, 9.0]));
+    }
+
+    #[test]
+    fn max_depth_limits_tree() {
+        let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let data = Dataset::new(x, y).unwrap();
+        let mut t = DecisionTreeRegressor::new(TreeParams {
+            max_depth: 2,
+            ..TreeParams::default()
+        });
+        t.fit(&data).unwrap();
+        assert!(t.depth() <= 2);
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let data = Dataset::new(vec![vec![0.0], vec![1.0], vec![2.0]], vec![4.0; 3]).unwrap();
+        let mut t = DecisionTreeRegressor::default();
+        t.fit(&data).unwrap();
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.predict(&[77.0]), 4.0);
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        let data = Dataset::new(vec![vec![0.0], vec![1.0]], vec![0.0, 1.0]).unwrap();
+        let mut t = DecisionTreeRegressor::new(TreeParams {
+            min_samples_leaf: 0,
+            ..TreeParams::default()
+        });
+        assert!(t.fit(&data).is_err());
+    }
+
+    #[test]
+    fn partition_is_stable_and_correct() {
+        let mut v = [5, 1, 4, 2, 3];
+        let mid = itertools_partition(&mut v, |&x| x <= 3);
+        assert_eq!(mid, 3);
+        assert_eq!(&v[..mid], &[1, 2, 3]);
+        assert_eq!(&v[mid..], &[5, 4]);
+    }
+
+    #[test]
+    fn duplicate_feature_values_never_split_between_equals() {
+        // All feature values identical -> no valid split -> leaf.
+        let data = Dataset::new(vec![vec![1.0]; 10], (0..10).map(|i| i as f64).collect()).unwrap();
+        let mut t = DecisionTreeRegressor::default();
+        t.fit(&data).unwrap();
+        assert_eq!(t.depth(), 0);
+        assert!((t.predict(&[1.0]) - 4.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,268 @@
+//! Model validation utilities: k-fold cross-validation and classification
+//! diagnostics beyond plain accuracy.
+//!
+//! The paper scores each family once on a held-out split (Figs. 6/7);
+//! cross-validation gives the same comparison with variance estimates,
+//! which the `model_explorer` example and the model-selection tests use
+//! to check that family rankings are stable and not split luck.
+
+use crate::metrics::r2_score;
+use crate::model::{Classifier, Dataset, MlError, Regressor};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Mean and standard deviation of per-fold scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CvScore {
+    /// Mean score across folds.
+    pub mean: f64,
+    /// Population standard deviation across folds.
+    pub std: f64,
+    /// Number of folds evaluated.
+    pub folds: usize,
+}
+
+/// Splits `n` shuffled indices into `k` contiguous folds.
+fn fold_indices(n: usize, k: usize, seed: u64) -> Result<Vec<Vec<usize>>, MlError> {
+    if k < 2 {
+        return Err(MlError::InvalidParameter("k must be ≥ 2".into()));
+    }
+    if n < k {
+        return Err(MlError::InvalidDataset(format!(
+            "cannot split {n} rows into {k} folds"
+        )));
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let base = n / k;
+    let extra = n % k;
+    let mut folds = Vec::with_capacity(k);
+    let mut cursor = 0;
+    for f in 0..k {
+        let len = base + usize::from(f < extra);
+        folds.push(idx[cursor..cursor + len].to_vec());
+        cursor += len;
+    }
+    Ok(folds)
+}
+
+fn take(data: &Dataset, ids: impl Iterator<Item = usize>) -> Dataset {
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for i in ids {
+        x.push(data.x[i].clone());
+        y.push(data.y[i]);
+    }
+    Dataset { x, y }
+}
+
+fn summarize(scores: &[f64]) -> CvScore {
+    let n = scores.len() as f64;
+    let mean = scores.iter().sum::<f64>() / n;
+    let var = scores.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+    CvScore {
+        mean,
+        std: var.sqrt(),
+        folds: scores.len(),
+    }
+}
+
+/// k-fold cross-validated R² for a regressor factory.
+pub fn cross_validate_regressor<R: Regressor>(
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+    mut make: impl FnMut() -> R,
+) -> Result<CvScore, MlError> {
+    let folds = fold_indices(data.len(), k, seed)?;
+    let mut scores = Vec::with_capacity(k);
+    for held_out in 0..k {
+        let train_ids = folds
+            .iter()
+            .enumerate()
+            .filter(|(f, _)| *f != held_out)
+            .flat_map(|(_, ids)| ids.iter().copied());
+        let train = take(data, train_ids);
+        let test = take(data, folds[held_out].iter().copied());
+        let mut model = make();
+        model.fit(&train)?;
+        let pred = model.predict_batch(&test.x);
+        scores.push(r2_score(&test.y, &pred));
+    }
+    Ok(summarize(&scores))
+}
+
+/// k-fold cross-validated accuracy for a classifier factory.
+pub fn cross_validate_classifier<C: Classifier>(
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+    mut make: impl FnMut() -> C,
+) -> Result<CvScore, MlError> {
+    let folds = fold_indices(data.len(), k, seed)?;
+    let mut scores = Vec::with_capacity(k);
+    for held_out in 0..k {
+        let train_ids = folds
+            .iter()
+            .enumerate()
+            .filter(|(f, _)| *f != held_out)
+            .flat_map(|(_, ids)| ids.iter().copied());
+        let train = take(data, train_ids);
+        let test = take(data, folds[held_out].iter().copied());
+        let mut model = make();
+        model.fit(&train)?;
+        let hits = test
+            .x
+            .iter()
+            .zip(&test.y)
+            .filter(|(row, &y)| model.predict_label(row) == (y == 1.0))
+            .count();
+        scores.push(hits as f64 / test.len().max(1) as f64);
+    }
+    Ok(summarize(&scores))
+}
+
+/// Binary-classification confusion counts and derived rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// Predicted positive, actually positive.
+    pub tp: usize,
+    /// Predicted positive, actually negative.
+    pub fp: usize,
+    /// Predicted negative, actually negative.
+    pub tn: usize,
+    /// Predicted negative, actually positive.
+    pub fn_: usize,
+}
+
+impl ConfusionMatrix {
+    /// Tallies predictions against truth.
+    pub fn from_labels(truth: &[bool], predicted: &[bool]) -> Self {
+        assert_eq!(truth.len(), predicted.len(), "length mismatch");
+        let mut m = Self {
+            tp: 0,
+            fp: 0,
+            tn: 0,
+            fn_: 0,
+        };
+        for (&t, &p) in truth.iter().zip(predicted) {
+            match (t, p) {
+                (true, true) => m.tp += 1,
+                (false, true) => m.fp += 1,
+                (false, false) => m.tn += 1,
+                (true, false) => m.fn_ += 1,
+            }
+        }
+        m
+    }
+
+    /// TP / (TP + FP); 1.0 when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            return 1.0;
+        }
+        self.tp as f64 / denom as f64
+    }
+
+    /// TP / (TP + FN); 1.0 when there are no positives.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            return 1.0;
+        }
+        self.tp as f64 / denom as f64
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+
+    /// For Sturgeon's QoS classifier, the *false-positive rate* is the
+    /// safety metric: a false positive is a configuration declared
+    /// feasible that actually violates QoS. FP / (FP + TN).
+    pub fn false_positive_rate(&self) -> f64 {
+        let denom = self.fp + self.tn;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.fp as f64 / denom as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::KnnRegressor;
+    use crate::logistic::LogisticRegression;
+    use rand::{Rng, SeedableRng};
+
+    fn linear_data(seed: u64, n: usize) -> Dataset {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.gen_range(0.0..10.0)]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] + 1.0).collect();
+        Dataset::new(x, y).unwrap()
+    }
+
+    #[test]
+    fn folds_partition_all_rows() {
+        let folds = fold_indices(103, 5, 1).unwrap();
+        assert_eq!(folds.len(), 5);
+        let mut all: Vec<usize> = folds.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..103).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cv_regressor_scores_high_on_learnable_data() {
+        let data = linear_data(1, 200);
+        let cv = cross_validate_regressor(&data, 5, 42, || KnnRegressor::new(3)).unwrap();
+        assert!(cv.mean > 0.95, "cv mean {}", cv.mean);
+        assert_eq!(cv.folds, 5);
+        assert!(cv.std < 0.1);
+    }
+
+    #[test]
+    fn cv_classifier_scores_high_on_separable_data() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let x: Vec<Vec<f64>> = (0..200).map(|_| vec![rng.gen_range(-5.0..5.0)]).collect();
+        let y: Vec<f64> = x.iter().map(|r| if r[0] > 0.0 { 1.0 } else { 0.0 }).collect();
+        let data = Dataset::new(x, y).unwrap();
+        let cv = cross_validate_classifier(&data, 4, 7, LogisticRegression::new).unwrap();
+        assert!(cv.mean > 0.9, "cv mean {}", cv.mean);
+    }
+
+    #[test]
+    fn cv_rejects_bad_parameters() {
+        let data = linear_data(3, 10);
+        assert!(cross_validate_regressor(&data, 1, 1, || KnnRegressor::new(1)).is_err());
+        assert!(cross_validate_regressor(&data, 11, 1, || KnnRegressor::new(1)).is_err());
+    }
+
+    #[test]
+    fn confusion_matrix_counts_and_rates() {
+        let truth = [true, true, false, false, true];
+        let pred = [true, false, true, false, true];
+        let m = ConfusionMatrix::from_labels(&truth, &pred);
+        assert_eq!((m.tp, m.fp, m.tn, m.fn_), (2, 1, 1, 1));
+        assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.f1() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.false_positive_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_matrix_degenerate_cases() {
+        let m = ConfusionMatrix::from_labels(&[false, false], &[false, false]);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.false_positive_rate(), 0.0);
+    }
+}

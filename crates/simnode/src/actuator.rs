@@ -1,0 +1,252 @@
+//! Actuation and measurement interfaces mirroring the paper's Table III,
+//! plus the in-memory simulated backend.
+//!
+//! | Paper tool | Trait here |
+//! |---|---|
+//! | Linux cpuset cgroups | [`CoreAllocator`] |
+//! | Intel Cache Allocation Technology | [`CacheAllocator`] |
+//! | ACPI frequency driver | [`FrequencyDriver`] |
+//! | Intel RAPL | [`PowerMeter`] |
+//!
+//! The controller only ever talks to these traits; swapping
+//! [`SimActuators`] for a sysfs/resctrl implementation would port Sturgeon
+//! to real hardware without touching any control logic.
+
+use crate::alloc::{Allocation, ConfigError, PairConfig};
+use crate::spec::NodeSpec;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// cpuset-style partitioning of logical cores between LS and BE.
+pub trait CoreAllocator {
+    /// Repartitions cores. Both partitions must stay non-empty and fit.
+    fn set_cores(&self, ls_cores: u32, be_cores: u32) -> Result<(), ConfigError>;
+    /// Current `(ls, be)` core counts.
+    fn cores(&self) -> (u32, u32);
+}
+
+/// CAT-style partitioning of LLC ways.
+pub trait CacheAllocator {
+    /// Repartitions LLC ways.
+    fn set_ways(&self, ls_ways: u32, be_ways: u32) -> Result<(), ConfigError>;
+    /// Current `(ls, be)` way counts.
+    fn ways(&self) -> (u32, u32);
+}
+
+/// ACPI-driver-style per-partition DVFS control.
+pub trait FrequencyDriver {
+    /// Sets the DVFS level of each partition.
+    fn set_freq_levels(&self, ls_level: usize, be_level: usize) -> Result<(), ConfigError>;
+    /// Current `(ls, be)` DVFS levels.
+    fn freq_levels(&self) -> (usize, usize);
+}
+
+/// RAPL-style package power measurement.
+pub trait PowerMeter {
+    /// Most recent package power in watts.
+    fn power_w(&self) -> f64;
+}
+
+#[derive(Debug)]
+struct SimState {
+    config: PairConfig,
+    power_w: f64,
+    actuations: u64,
+}
+
+/// Simulated backend for all four Table III interfaces.
+///
+/// Holds the live [`PairConfig`]; the workload simulator reads it every
+/// interval and feeds measured power back through [`SimActuators::push_power`].
+/// Cheap to clone (shared state behind an `Arc`).
+#[derive(Debug, Clone)]
+pub struct SimActuators {
+    spec: NodeSpec,
+    state: Arc<Mutex<SimState>>,
+}
+
+impl SimActuators {
+    /// Creates actuators over `spec`, starting from Algorithm 1's initial
+    /// allocation: everything to the LS service, one core/way left for the
+    /// (idle) BE partition so the partition invariant holds.
+    pub fn new(spec: NodeSpec) -> Self {
+        let ls = Allocation::new(
+            spec.total_cores - 1,
+            spec.max_freq_level(),
+            spec.total_llc_ways - 1,
+        );
+        let be = Allocation::new(1, 0, 1);
+        let config = PairConfig::new(ls, be);
+        debug_assert!(config.validate(&spec).is_ok());
+        Self {
+            spec,
+            state: Arc::new(Mutex::new(SimState {
+                config,
+                power_w: 0.0,
+                actuations: 0,
+            })),
+        }
+    }
+
+    /// The node spec these actuators enforce.
+    pub fn spec(&self) -> &NodeSpec {
+        &self.spec
+    }
+
+    /// Atomically applies a full configuration (validated against the spec).
+    pub fn apply(&self, config: PairConfig) -> Result<(), ConfigError> {
+        config.validate(&self.spec)?;
+        let mut st = self.state.lock();
+        if st.config != config {
+            st.config = config;
+            st.actuations += 1;
+        }
+        Ok(())
+    }
+
+    /// Current configuration snapshot.
+    pub fn config(&self) -> PairConfig {
+        self.state.lock().config
+    }
+
+    /// Called by the environment simulator after each interval to publish
+    /// the measured package power.
+    pub fn push_power(&self, watts: f64) {
+        self.state.lock().power_w = watts;
+    }
+
+    /// Number of configuration changes applied (no-op applies excluded);
+    /// used by the overhead accounting of §VII-E.
+    pub fn actuation_count(&self) -> u64 {
+        self.state.lock().actuations
+    }
+}
+
+impl CoreAllocator for SimActuators {
+    fn set_cores(&self, ls_cores: u32, be_cores: u32) -> Result<(), ConfigError> {
+        let mut cfg = self.config();
+        cfg.ls.cores = ls_cores;
+        cfg.be.cores = be_cores;
+        self.apply(cfg)
+    }
+
+    fn cores(&self) -> (u32, u32) {
+        let cfg = self.config();
+        (cfg.ls.cores, cfg.be.cores)
+    }
+}
+
+impl CacheAllocator for SimActuators {
+    fn set_ways(&self, ls_ways: u32, be_ways: u32) -> Result<(), ConfigError> {
+        let mut cfg = self.config();
+        cfg.ls.llc_ways = ls_ways;
+        cfg.be.llc_ways = be_ways;
+        self.apply(cfg)
+    }
+
+    fn ways(&self) -> (u32, u32) {
+        let cfg = self.config();
+        (cfg.ls.llc_ways, cfg.be.llc_ways)
+    }
+}
+
+impl FrequencyDriver for SimActuators {
+    fn set_freq_levels(&self, ls_level: usize, be_level: usize) -> Result<(), ConfigError> {
+        let mut cfg = self.config();
+        cfg.ls.freq_level = ls_level;
+        cfg.be.freq_level = be_level;
+        self.apply(cfg)
+    }
+
+    fn freq_levels(&self) -> (usize, usize) {
+        let cfg = self.config();
+        (cfg.ls.freq_level, cfg.be.freq_level)
+    }
+}
+
+impl PowerMeter for SimActuators {
+    fn power_w(&self) -> f64 {
+        self.state.lock().power_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acts() -> SimActuators {
+        SimActuators::new(NodeSpec::xeon_e5_2630_v4())
+    }
+
+    #[test]
+    fn initial_allocation_favours_ls() {
+        let a = acts();
+        let cfg = a.config();
+        assert_eq!(cfg.ls.cores, 19);
+        assert_eq!(cfg.ls.llc_ways, 19);
+        assert_eq!(cfg.ls.freq_level, 9);
+        assert!(cfg.validate(a.spec()).is_ok());
+    }
+
+    #[test]
+    fn apply_validates_against_spec() {
+        let a = acts();
+        let bad = PairConfig::new(Allocation::new(15, 0, 10), Allocation::new(15, 0, 10));
+        assert!(a.apply(bad).is_err());
+        // State unchanged after a rejected apply.
+        assert_eq!(a.config().ls.cores, 19);
+    }
+
+    #[test]
+    fn set_cores_roundtrip() {
+        let a = acts();
+        a.set_cores(8, 12).unwrap();
+        assert_eq!(a.cores(), (8, 12));
+    }
+
+    #[test]
+    fn set_ways_roundtrip() {
+        let a = acts();
+        a.set_ways(7, 13).unwrap();
+        assert_eq!(a.ways(), (7, 13));
+    }
+
+    #[test]
+    fn set_freq_levels_roundtrip() {
+        let a = acts();
+        a.set_freq_levels(3, 9).unwrap();
+        assert_eq!(a.freq_levels(), (3, 9));
+    }
+
+    #[test]
+    fn rejects_oversubscribed_cores() {
+        let a = acts();
+        assert!(a.set_cores(12, 12).is_err());
+    }
+
+    #[test]
+    fn power_meter_reflects_pushed_power() {
+        let a = acts();
+        assert_eq!(a.power_w(), 0.0);
+        a.push_power(97.5);
+        assert_eq!(a.power_w(), 97.5);
+    }
+
+    #[test]
+    fn actuation_count_skips_noop_applies() {
+        let a = acts();
+        let cfg = a.config();
+        a.apply(cfg).unwrap();
+        assert_eq!(a.actuation_count(), 0);
+        a.set_cores(10, 10).unwrap();
+        assert_eq!(a.actuation_count(), 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = acts();
+        let b = a.clone();
+        a.set_cores(5, 15).unwrap();
+        assert_eq!(b.cores(), (5, 15));
+    }
+}

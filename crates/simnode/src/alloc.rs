@@ -1,0 +1,276 @@
+//! Resource allocations and the paired co-location configuration
+//! `<C1, F1, L1; C2, F2, L2>` from the paper.
+
+use crate::spec::NodeSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors raised when a configuration does not fit the node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Combined core demand exceeds the node's cores.
+    CoreOversubscription { requested: u32, available: u32 },
+    /// Combined LLC way demand exceeds the node's ways.
+    WayOversubscription { requested: u32, available: u32 },
+    /// A partition was given zero cores or zero ways.
+    EmptyPartition,
+    /// A frequency level index beyond the spec's DVFS table.
+    BadFrequencyLevel { level: usize, levels: usize },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::CoreOversubscription { requested, available } => {
+                write!(f, "requested {requested} cores but node has {available}")
+            }
+            ConfigError::WayOversubscription { requested, available } => {
+                write!(f, "requested {requested} LLC ways but node has {available}")
+            }
+            ConfigError::EmptyPartition => write!(f, "partitions need ≥ 1 core and ≥ 1 way"),
+            ConfigError::BadFrequencyLevel { level, levels } => {
+                write!(f, "frequency level {level} out of range (node has {levels})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Resources granted to one application: cores, a DVFS level for those
+/// cores, and LLC ways.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Number of logical cores.
+    pub cores: u32,
+    /// Index into [`NodeSpec::freq_levels_ghz`].
+    pub freq_level: usize,
+    /// Number of LLC ways.
+    pub llc_ways: u32,
+}
+
+impl Allocation {
+    /// Convenience constructor.
+    pub fn new(cores: u32, freq_level: usize, llc_ways: u32) -> Self {
+        Self {
+            cores,
+            freq_level,
+            llc_ways,
+        }
+    }
+
+    /// Frequency in GHz under the given spec.
+    pub fn freq_ghz(&self, spec: &NodeSpec) -> f64 {
+        spec.freq_ghz(self.freq_level)
+    }
+
+    /// Checks this allocation alone against the spec.
+    pub fn validate(&self, spec: &NodeSpec) -> Result<(), ConfigError> {
+        if self.cores == 0 || self.llc_ways == 0 {
+            return Err(ConfigError::EmptyPartition);
+        }
+        if self.cores > spec.total_cores {
+            return Err(ConfigError::CoreOversubscription {
+                requested: self.cores,
+                available: spec.total_cores,
+            });
+        }
+        if self.llc_ways > spec.total_llc_ways {
+            return Err(ConfigError::WayOversubscription {
+                requested: self.llc_ways,
+                available: spec.total_llc_ways,
+            });
+        }
+        if self.freq_level >= spec.freq_level_count() {
+            return Err(ConfigError::BadFrequencyLevel {
+                level: self.freq_level,
+                levels: spec.freq_level_count(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Allocation of the whole node at maximum frequency — Algorithm 1's
+    /// initialization gives everything to the LS service.
+    pub fn whole_node(spec: &NodeSpec) -> Self {
+        Self {
+            cores: spec.total_cores,
+            freq_level: spec.max_freq_level(),
+            llc_ways: spec.total_llc_ways,
+        }
+    }
+}
+
+/// A co-location configuration: the LS service's and the BE application's
+/// allocations. Rendered as the paper's `<C1,F1,L1; C2,F2,L2>` notation.
+///
+/// ```
+/// use sturgeon_simnode::{Allocation, NodeSpec, PairConfig};
+///
+/// let spec = NodeSpec::xeon_e5_2630_v4();
+/// let cfg = PairConfig::new(Allocation::new(8, 3, 7), Allocation::new(12, 9, 13));
+/// assert!(cfg.validate(&spec).is_ok());
+/// assert_eq!(cfg.to_string(), "<8C, F3, 7L; 12C, F9, 13L>");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PairConfig {
+    /// Latency-sensitive service's share.
+    pub ls: Allocation,
+    /// Best-effort application's share.
+    pub be: Allocation,
+}
+
+impl PairConfig {
+    /// Convenience constructor.
+    pub fn new(ls: Allocation, be: Allocation) -> Self {
+        Self { ls, be }
+    }
+
+    /// Validates both allocations and their combined footprint. Cores and
+    /// LLC ways are strictly partitioned (cpuset/CAT semantics); the two
+    /// partitions may run at different frequency levels (per-core DVFS).
+    pub fn validate(&self, spec: &NodeSpec) -> Result<(), ConfigError> {
+        self.ls.validate(spec)?;
+        self.be.validate(spec)?;
+        let cores = self.ls.cores + self.be.cores;
+        if cores > spec.total_cores {
+            return Err(ConfigError::CoreOversubscription {
+                requested: cores,
+                available: spec.total_cores,
+            });
+        }
+        let ways = self.ls.llc_ways + self.be.llc_ways;
+        if ways > spec.total_llc_ways {
+            return Err(ConfigError::WayOversubscription {
+                requested: ways,
+                available: spec.total_llc_ways,
+            });
+        }
+        Ok(())
+    }
+
+    /// The complementary BE allocation that uses every core and way the LS
+    /// allocation leaves free ("determined by a simple subtraction
+    /// according to the CPU/cache capacity", §V-B).
+    pub fn complement_be(spec: &NodeSpec, ls: Allocation, be_freq_level: usize) -> Option<Self> {
+        if ls.cores >= spec.total_cores || ls.llc_ways >= spec.total_llc_ways {
+            return None;
+        }
+        let be = Allocation {
+            cores: spec.total_cores - ls.cores,
+            freq_level: be_freq_level,
+            llc_ways: spec.total_llc_ways - ls.llc_ways,
+        };
+        let cfg = Self { ls, be };
+        cfg.validate(spec).ok()?;
+        Some(cfg)
+    }
+}
+
+impl fmt::Display for PairConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "<{}C, F{}, {}L; {}C, F{}, {}L>",
+            self.ls.cores,
+            self.ls.freq_level,
+            self.ls.llc_ways,
+            self.be.cores,
+            self.be.freq_level,
+            self.be.llc_ways
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> NodeSpec {
+        NodeSpec::xeon_e5_2630_v4()
+    }
+
+    #[test]
+    fn valid_pair_passes() {
+        let cfg = PairConfig::new(Allocation::new(8, 3, 7), Allocation::new(12, 9, 13));
+        assert!(cfg.validate(&spec()).is_ok());
+    }
+
+    #[test]
+    fn core_oversubscription_detected() {
+        let cfg = PairConfig::new(Allocation::new(12, 0, 5), Allocation::new(12, 0, 5));
+        assert!(matches!(
+            cfg.validate(&spec()),
+            Err(ConfigError::CoreOversubscription { requested: 24, .. })
+        ));
+    }
+
+    #[test]
+    fn way_oversubscription_detected() {
+        let cfg = PairConfig::new(Allocation::new(4, 0, 15), Allocation::new(4, 0, 15));
+        assert!(matches!(
+            cfg.validate(&spec()),
+            Err(ConfigError::WayOversubscription { requested: 30, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_partition_detected() {
+        let cfg = PairConfig::new(Allocation::new(0, 0, 5), Allocation::new(4, 0, 5));
+        assert_eq!(cfg.validate(&spec()), Err(ConfigError::EmptyPartition));
+        let cfg = PairConfig::new(Allocation::new(4, 0, 0), Allocation::new(4, 0, 5));
+        assert_eq!(cfg.validate(&spec()), Err(ConfigError::EmptyPartition));
+    }
+
+    #[test]
+    fn bad_frequency_level_detected() {
+        let cfg = PairConfig::new(Allocation::new(4, 10, 5), Allocation::new(4, 0, 5));
+        assert!(matches!(
+            cfg.validate(&spec()),
+            Err(ConfigError::BadFrequencyLevel { level: 10, levels: 10 })
+        ));
+    }
+
+    #[test]
+    fn whole_node_uses_everything_at_max_freq() {
+        let s = spec();
+        let a = Allocation::whole_node(&s);
+        assert_eq!(a.cores, 20);
+        assert_eq!(a.llc_ways, 20);
+        assert_eq!(a.freq_level, 9);
+        assert!(a.validate(&s).is_ok());
+    }
+
+    #[test]
+    fn complement_be_fills_remaining_resources() {
+        let s = spec();
+        let ls = Allocation::new(4, 4, 6);
+        let cfg = PairConfig::complement_be(&s, ls, 7).unwrap();
+        assert_eq!(cfg.be.cores, 16);
+        assert_eq!(cfg.be.llc_ways, 14);
+        assert_eq!(cfg.be.freq_level, 7);
+        assert!(cfg.validate(&s).is_ok());
+    }
+
+    #[test]
+    fn complement_be_refuses_when_nothing_left() {
+        let s = spec();
+        let ls = Allocation::whole_node(&s);
+        assert!(PairConfig::complement_be(&s, ls, 0).is_none());
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        let cfg = PairConfig::new(Allocation::new(8, 1, 7), Allocation::new(12, 9, 13));
+        assert_eq!(cfg.to_string(), "<8C, F1, 7L; 12C, F9, 13L>");
+    }
+
+    #[test]
+    fn freq_ghz_maps_levels() {
+        let s = spec();
+        let a = Allocation::new(4, 0, 4);
+        assert!((a.freq_ghz(&s) - 1.2).abs() < 1e-9);
+        let a = Allocation::new(4, 9, 4);
+        assert!((a.freq_ghz(&s) - 2.2).abs() < 1e-9);
+    }
+}

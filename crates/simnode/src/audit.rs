@@ -1,0 +1,248 @@
+//! Actuation audit trail and resctrl-style rendering.
+//!
+//! Production resource managers keep an audit log of every knob they
+//! turn — both for postmortems ("who throttled the BE partition at
+//! 03:12?") and because resctrl/cpuset writes are the system's source of
+//! truth. This module records configuration transitions with timestamps
+//! and renders each state in the textual formats the real interfaces use:
+//!
+//! * CAT ways as a resctrl `schemata` line (`L3:0=3ff00`-style hex masks,
+//!   LS ways packed from the low end, BE from the high end);
+//! * cpuset core lists (`0-7` / `8-19` ranges).
+
+use crate::alloc::PairConfig;
+use crate::spec::NodeSpec;
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// Renders a contiguous core range as a cpuset list (`"4-11"`, `"7"`).
+fn cpuset_range(start: u32, len: u32) -> String {
+    match len {
+        0 => String::new(),
+        1 => format!("{start}"),
+        _ => format!("{}-{}", start, start + len - 1),
+    }
+}
+
+/// cpuset strings for a configuration: LS cores packed from CPU 0, BE
+/// cores packed after them (the layout a cpuset backend would install).
+pub fn cpuset_lists(config: &PairConfig) -> (String, String) {
+    (
+        cpuset_range(0, config.ls.cores),
+        cpuset_range(config.ls.cores, config.be.cores),
+    )
+}
+
+/// Contiguous way mask of `len` ways starting at bit `start`.
+fn way_mask(start: u32, len: u32) -> u64 {
+    if len == 0 {
+        return 0;
+    }
+    (((1u128 << len) - 1) << start) as u64
+}
+
+/// resctrl `schemata` lines for a configuration on the given node: the LS
+/// partition takes the low ways, the BE partition the high ways, with any
+/// unallocated ways left to neither (as CAT permits).
+pub fn resctrl_schemata(spec: &NodeSpec, config: &PairConfig) -> (String, String) {
+    let ls_mask = way_mask(0, config.ls.llc_ways);
+    let be_mask = way_mask(
+        spec.total_llc_ways - config.be.llc_ways,
+        config.be.llc_ways,
+    );
+    (format!("L3:0={ls_mask:x}"), format!("L3:0={be_mask:x}"))
+}
+
+/// One recorded configuration change.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AuditEntry {
+    /// Time of the change (s since experiment start).
+    pub t_s: f64,
+    /// Configuration before.
+    pub from: PairConfig,
+    /// Configuration after.
+    pub to: PairConfig,
+    /// Who asked (controller name or subsystem).
+    pub actor: String,
+}
+
+impl AuditEntry {
+    /// Human-readable one-line description of what moved.
+    pub fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        let (f, t) = (&self.from, &self.to);
+        if f.ls.cores != t.ls.cores {
+            parts.push(format!("LS cores {}→{}", f.ls.cores, t.ls.cores));
+        }
+        if f.ls.freq_level != t.ls.freq_level {
+            parts.push(format!("LS freq F{}→F{}", f.ls.freq_level, t.ls.freq_level));
+        }
+        if f.ls.llc_ways != t.ls.llc_ways {
+            parts.push(format!("LS ways {}→{}", f.ls.llc_ways, t.ls.llc_ways));
+        }
+        if f.be.freq_level != t.be.freq_level {
+            parts.push(format!("BE freq F{}→F{}", f.be.freq_level, t.be.freq_level));
+        }
+        if parts.is_empty() {
+            parts.push("no-op".to_string());
+        }
+        let mut out = format!("[{:>8.1}s] {}: ", self.t_s, self.actor);
+        out.push_str(&parts.join(", "));
+        out
+    }
+}
+
+/// Append-only audit log of configuration changes.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct AuditLog {
+    entries: Vec<AuditEntry>,
+}
+
+impl AuditLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a transition (no-ops are skipped).
+    pub fn record(&mut self, t_s: f64, actor: &str, from: PairConfig, to: PairConfig) {
+        if from == to {
+            return;
+        }
+        self.entries.push(AuditEntry {
+            t_s,
+            from,
+            to,
+            actor: actor.to_string(),
+        });
+    }
+
+    /// All entries in order.
+    pub fn entries(&self) -> &[AuditEntry] {
+        &self.entries
+    }
+
+    /// Number of recorded changes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Changes per simulated second over a window — the actuation-rate
+    /// metric operators alarm on (thrashing controllers flap knobs).
+    pub fn change_rate_per_s(&self, window_s: f64) -> f64 {
+        if window_s <= 0.0 || self.entries.is_empty() {
+            return 0.0;
+        }
+        let end = self.entries.last().expect("non-empty").t_s;
+        let start = end - window_s;
+        let count = self.entries.iter().filter(|e| e.t_s > start).count();
+        count as f64 / window_s
+    }
+
+    /// Renders the whole log as text, one line per change.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            let _ = writeln!(out, "{}", e.describe());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::Allocation;
+
+    fn cfg(c1: u32, f1: usize, l1: u32, c2: u32, f2: usize, l2: u32) -> PairConfig {
+        PairConfig::new(Allocation::new(c1, f1, l1), Allocation::new(c2, f2, l2))
+    }
+
+    #[test]
+    fn cpuset_lists_pack_cores() {
+        let (ls, be) = cpuset_lists(&cfg(8, 0, 10, 12, 0, 10));
+        assert_eq!(ls, "0-7");
+        assert_eq!(be, "8-19");
+        let (ls, be) = cpuset_lists(&cfg(1, 0, 10, 1, 0, 10));
+        assert_eq!(ls, "0");
+        assert_eq!(be, "1");
+    }
+
+    #[test]
+    fn schemata_masks_are_disjoint_and_sized() {
+        let spec = NodeSpec::xeon_e5_2630_v4();
+        let c = cfg(8, 0, 7, 12, 0, 13);
+        let (ls, be) = resctrl_schemata(&spec, &c);
+        assert_eq!(ls, "L3:0=7f"); // 7 low ways
+        let be_mask = u64::from_str_radix(be.strip_prefix("L3:0=").unwrap(), 16).unwrap();
+        let ls_mask = 0x7fu64;
+        assert_eq!(be_mask.count_ones(), 13);
+        assert_eq!(be_mask & ls_mask, 0, "masks must not overlap");
+    }
+
+    #[test]
+    fn full_way_allocation_renders() {
+        let spec = NodeSpec::xeon_e5_2630_v4();
+        let c = cfg(10, 0, 19, 10, 0, 1);
+        let (ls, be) = resctrl_schemata(&spec, &c);
+        assert_eq!(ls, "L3:0=7ffff");
+        assert_eq!(be, "L3:0=80000");
+    }
+
+    #[test]
+    fn audit_records_and_describes_changes() {
+        let mut log = AuditLog::new();
+        let a = cfg(8, 5, 10, 12, 9, 10);
+        let mut b = a;
+        b.ls.cores += 1;
+        b.be.cores -= 1;
+        b.be.freq_level = 7;
+        log.record(10.0, "balancer", a, b);
+        assert_eq!(log.len(), 1);
+        let line = log.entries()[0].describe();
+        assert!(line.contains("LS cores 8→9"), "{line}");
+        assert!(line.contains("BE freq F9→F7"), "{line}");
+        assert!(line.contains("balancer"), "{line}");
+    }
+
+    #[test]
+    fn noop_transitions_are_skipped() {
+        let mut log = AuditLog::new();
+        let a = cfg(8, 5, 10, 12, 9, 10);
+        log.record(1.0, "controller", a, a);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn change_rate_counts_recent_window() {
+        let mut log = AuditLog::new();
+        let a = cfg(8, 5, 10, 12, 9, 10);
+        let mut b = a;
+        for t in 0..10 {
+            b.ls.freq_level = (t % 2) + 4;
+            log.record(t as f64, "controller", a, b);
+        }
+        // All 9 non-noop... every t flips level 4/5 alternately vs a's 5:
+        // t even -> level 4 (change), t odd -> 5 (no-op vs a).
+        assert!(log.change_rate_per_s(10.0) > 0.0);
+        assert_eq!(log.change_rate_per_s(0.0), 0.0);
+    }
+
+    #[test]
+    fn render_emits_one_line_per_change() {
+        let mut log = AuditLog::new();
+        let a = cfg(8, 5, 10, 12, 9, 10);
+        let mut b = a;
+        b.ls.llc_ways += 2;
+        b.be.llc_ways -= 2;
+        log.record(3.0, "search", a, b);
+        let text = log.render();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("LS ways 10→12"));
+    }
+}

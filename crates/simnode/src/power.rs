@@ -1,0 +1,173 @@
+//! Ground-truth analytic power model (the RAPL substitution).
+//!
+//! First-order CMOS physics: per-core dynamic power is
+//! `a · c_dyn · f³ · util` (activity factor × switched capacitance ×
+//! frequency × voltage², with voltage ≈ linear in frequency over the DVFS
+//! range) plus leakage `c_leak · f`, on top of a constant package
+//! static/uncore term. The paper's two load-bearing facts both fall out:
+//!
+//! 1. power rises superlinearly with frequency, so the *power budget
+//!    matters* when choosing between "more cores" and "higher frequency"
+//!    (§III-C), and
+//! 2. applications differ in activity factor, so a BE application can
+//!    draw more power than the LS service on the same allocation — the
+//!    root cause of the Fig. 2 overload.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-core electrical coefficients.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorePowerParams {
+    /// Dynamic coefficient in W/GHz³ per logical core at activity 1.0.
+    pub dyn_w_per_ghz3: f64,
+    /// Leakage coefficient in W/GHz per logical core.
+    pub leak_w_per_ghz: f64,
+}
+
+impl Default for CorePowerParams {
+    fn default() -> Self {
+        // Tuned so one socket lands in a realistic envelope: a logical core
+        // at 2.2 GHz and full activity draws ≈ 3.9 W dynamic + 0.7 W
+        // leakage; 20 such cores plus static ≈ 110 W package power.
+        Self {
+            dyn_w_per_ghz3: 0.36,
+            leak_w_per_ghz: 0.32,
+        }
+    }
+}
+
+/// One partition's contribution to node power.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartitionLoad {
+    /// Logical cores in the partition.
+    pub cores: u32,
+    /// Operating frequency in GHz.
+    pub freq_ghz: f64,
+    /// Application activity factor in `[0, ~1.2]`: how aggressively the
+    /// code exercises the execution units (AVX-heavy BE apps exceed 1.0).
+    pub activity: f64,
+    /// Fraction of time the cores are busy in `[0, 1]` (LS services are
+    /// mostly idle at low load; BE apps pin their cores at 1.0).
+    pub utilization: f64,
+}
+
+/// Analytic node power model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Package static + uncore power in watts (fans/VRs excluded).
+    pub static_w: f64,
+    /// Per-core coefficients.
+    pub core: CorePowerParams,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self {
+            static_w: 22.0,
+            core: CorePowerParams::default(),
+        }
+    }
+}
+
+impl PowerModel {
+    /// Power drawn by one partition, excluding the static term.
+    pub fn partition_power_w(&self, load: &PartitionLoad) -> f64 {
+        let f = load.freq_ghz.max(0.0);
+        let dynamic = self.core.dyn_w_per_ghz3 * f * f * f * load.activity * load.utilization;
+        // Idle cores still leak; leakage does not scale with utilization.
+        let leakage = self.core.leak_w_per_ghz * f;
+        load.cores as f64 * (dynamic + leakage)
+    }
+
+    /// Total node power for a set of partitions.
+    pub fn node_power_w(&self, loads: &[PartitionLoad]) -> f64 {
+        self.static_w + loads.iter().map(|l| self.partition_power_w(l)).sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(cores: u32, f: f64, a: f64, u: f64) -> PartitionLoad {
+        PartitionLoad {
+            cores,
+            freq_ghz: f,
+            activity: a,
+            utilization: u,
+        }
+    }
+
+    #[test]
+    fn zero_partitions_give_static_power() {
+        let m = PowerModel::default();
+        assert_eq!(m.node_power_w(&[]), m.static_w);
+    }
+
+    #[test]
+    fn power_monotonic_in_frequency() {
+        let m = PowerModel::default();
+        let lo = m.partition_power_w(&load(8, 1.2, 0.8, 1.0));
+        let hi = m.partition_power_w(&load(8, 2.2, 0.8, 1.0));
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn power_superlinear_in_frequency() {
+        // Doubling frequency should far more than double dynamic power.
+        let m = PowerModel {
+            static_w: 0.0,
+            core: CorePowerParams {
+                dyn_w_per_ghz3: 1.0,
+                leak_w_per_ghz: 0.0,
+            },
+        };
+        let p1 = m.partition_power_w(&load(1, 1.0, 1.0, 1.0));
+        let p2 = m.partition_power_w(&load(1, 2.0, 1.0, 1.0));
+        assert!((p2 / p1 - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_linear_in_cores() {
+        let m = PowerModel::default();
+        let p4 = m.partition_power_w(&load(4, 1.8, 0.7, 0.9));
+        let p8 = m.partition_power_w(&load(8, 1.8, 0.7, 0.9));
+        assert!((p8 - 2.0 * p4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_activity_draws_more_power() {
+        let m = PowerModel::default();
+        let ls = m.partition_power_w(&load(10, 2.2, 0.5, 1.0));
+        let be = m.partition_power_w(&load(10, 2.2, 0.9, 1.0));
+        assert!(be > ls, "BE apps must out-draw LS services at equal shares");
+    }
+
+    #[test]
+    fn idle_cores_still_leak() {
+        let m = PowerModel::default();
+        let p = m.partition_power_w(&load(10, 2.2, 0.8, 0.0));
+        assert!(p > 0.0);
+        let expected = 10.0 * m.core.leak_w_per_ghz * 2.2;
+        assert!((p - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_power_sums_partitions() {
+        let m = PowerModel::default();
+        let a = load(4, 1.6, 0.5, 0.5);
+        let b = load(16, 2.2, 0.9, 1.0);
+        let total = m.node_power_w(&[a, b]);
+        let expected = m.static_w + m.partition_power_w(&a) + m.partition_power_w(&b);
+        assert!((total - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_envelope_is_realistic() {
+        // Whole socket busy at max frequency lands near a Xeon's package
+        // power (between 80 W and 150 W).
+        let m = PowerModel::default();
+        let p = m.node_power_w(&[load(20, 2.2, 1.0, 1.0)]);
+        assert!((80.0..150.0).contains(&p), "package power {p} W");
+    }
+}

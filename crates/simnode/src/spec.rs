@@ -1,0 +1,155 @@
+//! Hardware topology of the simulated node (paper Table II).
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of a node's partitionable resources.
+///
+/// The paper's experiments use one socket of a Xeon E5-2630 v4 with
+/// hyper-threading enabled: 20 logical cores, 10 frequency steps from
+/// 1.2 GHz to 2.2 GHz, and a 25 MB last-level cache with 20 ways.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Logical cores available for partitioning.
+    pub total_cores: u32,
+    /// Discrete DVFS operating points in GHz, ascending.
+    pub freq_levels_ghz: Vec<f64>,
+    /// LLC ways available for CAT partitioning.
+    pub total_llc_ways: u32,
+    /// Total LLC capacity in MiB (25 MB on the paper's machine).
+    pub llc_mb: f64,
+}
+
+impl NodeSpec {
+    /// The paper's evaluation platform (Table II), one socket,
+    /// hyper-threading on: 20 logical cores, 1.2–2.2 GHz in 10 steps,
+    /// 20 LLC ways.
+    pub fn xeon_e5_2630_v4() -> Self {
+        // 10 levels spanning 1.2–2.2 GHz inclusive (paper: "20 cores,
+        // 10-level frequencies and 20 LLC ways").
+        let freq_levels_ghz: Vec<f64> = (0..10).map(|i| 1.2 + 0.1111111111111111 * i as f64).collect();
+        Self {
+            total_cores: 20,
+            freq_levels_ghz,
+            total_llc_ways: 20,
+            llc_mb: 25.0,
+        }
+    }
+
+    /// Number of DVFS levels.
+    pub fn freq_level_count(&self) -> usize {
+        self.freq_levels_ghz.len()
+    }
+
+    /// Frequency in GHz of a level, clamped to the valid range.
+    pub fn freq_ghz(&self, level: usize) -> f64 {
+        let idx = level.min(self.freq_levels_ghz.len() - 1);
+        self.freq_levels_ghz[idx]
+    }
+
+    /// Maximum frequency (GHz).
+    pub fn max_freq_ghz(&self) -> f64 {
+        *self
+            .freq_levels_ghz
+            .last()
+            .expect("spec has at least one frequency level")
+    }
+
+    /// Minimum frequency (GHz).
+    pub fn min_freq_ghz(&self) -> f64 {
+        self.freq_levels_ghz[0]
+    }
+
+    /// Index of the highest DVFS level.
+    pub fn max_freq_level(&self) -> usize {
+        self.freq_levels_ghz.len() - 1
+    }
+
+    /// Size of the exhaustive `<C1,F1,L1,F2>` search space the paper
+    /// quotes (§V-B): cores × freqs × ways × freqs = 40 000 on this spec.
+    /// (C2 and L2 are determined by subtraction.)
+    pub fn config_space_size(&self) -> usize {
+        self.total_cores as usize
+            * self.freq_level_count()
+            * self.total_llc_ways as usize
+            * self.freq_level_count()
+    }
+
+    /// Validates internal consistency (non-empty, ascending frequencies,
+    /// non-zero resources).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.total_cores == 0 || self.total_llc_ways == 0 {
+            return Err("node must have at least one core and one LLC way".into());
+        }
+        if self.freq_levels_ghz.is_empty() {
+            return Err("node must have at least one frequency level".into());
+        }
+        if self.freq_levels_ghz.iter().any(|f| *f <= 0.0) {
+            return Err("frequencies must be positive".into());
+        }
+        if self
+            .freq_levels_ghz
+            .windows(2)
+            .any(|w| w[1] <= w[0])
+        {
+            return Err("frequency levels must be strictly ascending".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for NodeSpec {
+    fn default() -> Self {
+        Self::xeon_e5_2630_v4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_platform_matches_table_ii() {
+        let s = NodeSpec::xeon_e5_2630_v4();
+        assert_eq!(s.total_cores, 20);
+        assert_eq!(s.total_llc_ways, 20);
+        assert_eq!(s.freq_level_count(), 10);
+        assert!((s.min_freq_ghz() - 1.2).abs() < 1e-9);
+        assert!((s.max_freq_ghz() - 2.2).abs() < 1e-9);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn search_space_is_40000_as_in_section_v_b() {
+        assert_eq!(NodeSpec::xeon_e5_2630_v4().config_space_size(), 40_000);
+    }
+
+    #[test]
+    fn freq_lookup_clamps() {
+        let s = NodeSpec::xeon_e5_2630_v4();
+        assert_eq!(s.freq_ghz(999), s.max_freq_ghz());
+        assert_eq!(s.freq_ghz(0), s.min_freq_ghz());
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        let mut s = NodeSpec::xeon_e5_2630_v4();
+        s.total_cores = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = NodeSpec::xeon_e5_2630_v4();
+        s.freq_levels_ghz = vec![2.0, 1.0];
+        assert!(s.validate().is_err());
+
+        let mut s = NodeSpec::xeon_e5_2630_v4();
+        s.freq_levels_ghz.clear();
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn frequency_levels_ascending() {
+        let s = NodeSpec::xeon_e5_2630_v4();
+        for w in s.freq_levels_ghz.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+}

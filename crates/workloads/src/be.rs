@@ -1,0 +1,229 @@
+//! Best-effort application models (the six PARSEC benchmarks).
+//!
+//! Ground-truth throughput combines three separable effects:
+//!
+//! ```text
+//! rate(c, f, w) = amdahl(c) · (f / f_max)^φ · cache_factor(w)
+//! ```
+//!
+//! * `amdahl(c) = 1 / ((1−p) + p/c)` — thread scalability with per-app
+//!   parallel fraction `p` (ferret's pipeline scales almost perfectly,
+//!   fluidanimate's neighbour synchronization does not);
+//! * `(f/f_max)^φ` — frequency sensitivity (compute-bound blackscholes
+//!   and swaptions have φ ≈ 1, memory-bound codes stall on DRAM and gain
+//!   less from clock speed);
+//! * `cache_factor(w)` — LLC miss curve (streaming codes barely notice
+//!   cache loss, ferret/facesim working sets do).
+//!
+//! This heterogeneity is precisely what makes co-location "preference
+//! aware" worthwhile: given the same power headroom, one app wants cores
+//! and another wants gigahertz (paper Fig. 3).
+
+use serde::Serialize;
+
+/// Calibration constants for one BE application.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BeAppParams {
+    /// Application name (e.g. "blackscholes").
+    pub name: &'static str,
+    /// Amdahl parallel fraction `p` in `[0, 1)`.
+    pub parallel_fraction: f64,
+    /// Throughput sensitivity to frequency: rate ∝ f^φ.
+    pub freq_exponent: f64,
+    /// LLC ways beyond which the app gains nothing.
+    pub cache_sat_ways: u32,
+    /// Relative throughput lost when squeezed to one way.
+    pub cache_penalty: f64,
+    /// Power activity factor (BE codes keep their pipelines busy).
+    pub activity: f64,
+    /// Relative memory traffic generated at full tilt — the coupling
+    /// knob for interference on the co-located LS service.
+    pub traffic_factor: f64,
+    /// PARSEC input-set level (0 = test … 5 = native); scales total work.
+    pub input_level: u32,
+}
+
+/// A BE application instance.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BeAppModel {
+    /// Calibration constants.
+    pub params: BeAppParams,
+    /// Node maximum frequency (GHz) for normalization.
+    pub max_freq_ghz: f64,
+    /// Node core count for solo-run normalization.
+    pub total_cores: u32,
+    /// Node way count for solo-run normalization.
+    pub total_ways: u32,
+}
+
+impl BeAppModel {
+    /// Creates a model over a node with the given ceiling resources.
+    pub fn new(params: BeAppParams, max_freq_ghz: f64, total_cores: u32, total_ways: u32) -> Self {
+        Self {
+            params,
+            max_freq_ghz,
+            total_cores,
+            total_ways,
+        }
+    }
+
+    /// Amdahl speedup at `c` cores (relative to one core).
+    pub fn amdahl(&self, cores: u32) -> f64 {
+        let p = self.params.parallel_fraction;
+        let c = cores.max(1) as f64;
+        1.0 / ((1.0 - p) + p / c)
+    }
+
+    /// Multiplicative throughput factor from the LLC share, in `(0, 1]`.
+    pub fn cache_factor(&self, ways: u32) -> f64 {
+        let sat = self.params.cache_sat_ways.max(2);
+        if ways >= sat {
+            return 1.0;
+        }
+        let deficit = (sat - ways.max(1)) as f64 / (sat - 1) as f64;
+        (1.0 - self.params.cache_penalty * deficit.powf(1.5)).max(0.05)
+    }
+
+    /// Absolute throughput rate (work units/s, arbitrary scale).
+    pub fn rate(&self, cores: u32, freq_ghz: f64, ways: u32) -> f64 {
+        if cores == 0 {
+            return 0.0;
+        }
+        let f = (freq_ghz / self.max_freq_ghz).max(1e-3);
+        self.amdahl(cores) * f.powf(self.params.freq_exponent) * self.cache_factor(ways)
+    }
+
+    /// Throughput normalized to the solo run on the whole node at max
+    /// frequency — the y-axis of the paper's Figs. 3 and 10.
+    pub fn normalized_throughput(&self, cores: u32, freq_ghz: f64, ways: u32) -> f64 {
+        let solo = self.rate(self.total_cores, self.max_freq_ghz, self.total_ways);
+        self.rate(cores, freq_ghz, ways) / solo
+    }
+
+    /// Instructions-per-cycle proxy: useful work per core-cycle. This is
+    /// the metric the paper's BE performance models are trained on (§V-A).
+    pub fn ipc(&self, cores: u32, freq_ghz: f64, ways: u32) -> f64 {
+        if cores == 0 {
+            return 0.0;
+        }
+        let cycles = cores as f64 * (freq_ghz / self.max_freq_ghz);
+        self.rate(cores, freq_ghz, ways) / cycles
+    }
+
+    /// Memory traffic pressure this app exerts on the shared memory
+    /// system, in `[0, 1]`-ish units: more cores, higher frequency and a
+    /// smaller cache share (more misses) all raise it.
+    pub fn memory_traffic(&self, cores: u32, freq_ghz: f64, ways: u32) -> f64 {
+        if cores == 0 {
+            return 0.0;
+        }
+        let drive = (cores as f64 / self.total_cores as f64)
+            * (freq_ghz / self.max_freq_ghz);
+        // Lost cache hits turn into memory traffic: 1 at full cache,
+        // up to 2 when squeezed.
+        let miss_amp = 2.0 - self.cache_factor(ways);
+        (self.params.traffic_factor * drive * miss_amp).min(1.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{be_apps, BeAppId};
+
+    fn app(id: BeAppId) -> BeAppModel {
+        be_apps()
+            .into_iter()
+            .find(|m| m.params.name == id.name())
+            .unwrap()
+    }
+
+    #[test]
+    fn amdahl_monotone_with_diminishing_returns() {
+        let m = app(BeAppId::Blackscholes);
+        let mut prev = 0.0;
+        let mut prev_gain = f64::INFINITY;
+        for c in 1..=20 {
+            let s = m.amdahl(c);
+            assert!(s > prev);
+            let gain = s - prev;
+            assert!(gain <= prev_gain + 1e-9, "marginal core gain must shrink");
+            prev_gain = gain;
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn solo_normalization_is_one() {
+        for m in be_apps() {
+            let t = m.normalized_throughput(20, 2.2, 20);
+            assert!((t - 1.0).abs() < 1e-12, "{}: {t}", m.params.name);
+        }
+    }
+
+    #[test]
+    fn throughput_monotone_in_each_resource() {
+        for m in be_apps() {
+            assert!(m.rate(8, 2.0, 10) < m.rate(12, 2.0, 10));
+            assert!(m.rate(8, 1.6, 10) < m.rate(8, 2.0, 10));
+            assert!(m.rate(8, 2.0, 2) <= m.rate(8, 2.0, 10));
+        }
+    }
+
+    #[test]
+    fn zero_cores_zero_rate() {
+        let m = app(BeAppId::Ferret);
+        assert_eq!(m.rate(0, 2.2, 10), 0.0);
+        assert_eq!(m.ipc(0, 2.2, 10), 0.0);
+        assert_eq!(m.memory_traffic(0, 2.2, 10), 0.0);
+    }
+
+    #[test]
+    fn cache_factor_bounded() {
+        for m in be_apps() {
+            for w in 1..=20 {
+                let cf = m.cache_factor(w);
+                assert!((0.05..=1.0).contains(&cf), "{} w={w}: {cf}", m.params.name);
+            }
+            assert_eq!(m.cache_factor(20), 1.0);
+        }
+    }
+
+    #[test]
+    fn ferret_scales_better_than_fluidanimate() {
+        // The paper's core-preferring app vs a sync-bound one.
+        let fe = app(BeAppId::Ferret);
+        let fd = app(BeAppId::Fluidanimate);
+        let fe_gain = fe.amdahl(16) / fe.amdahl(8);
+        let fd_gain = fd.amdahl(16) / fd.amdahl(8);
+        assert!(fe_gain > fd_gain);
+    }
+
+    #[test]
+    fn blackscholes_more_frequency_sensitive_than_fluidanimate() {
+        let bs = app(BeAppId::Blackscholes);
+        let fd = app(BeAppId::Fluidanimate);
+        let bs_gain = bs.rate(8, 2.2, 10) / bs.rate(8, 1.4, 10);
+        let fd_gain = fd.rate(8, 2.2, 10) / fd.rate(8, 1.4, 10);
+        assert!(bs_gain > fd_gain);
+    }
+
+    #[test]
+    fn ipc_decreases_with_contention_for_cache() {
+        let fe = app(BeAppId::Ferret);
+        assert!(fe.ipc(8, 2.0, 2) < fe.ipc(8, 2.0, 12));
+    }
+
+    #[test]
+    fn memory_traffic_rises_when_cache_shrinks() {
+        let fd = app(BeAppId::Fluidanimate);
+        assert!(fd.memory_traffic(12, 2.2, 2) > fd.memory_traffic(12, 2.2, 14));
+    }
+
+    #[test]
+    fn memory_traffic_rises_with_cores_and_freq() {
+        let fd = app(BeAppId::Fluidanimate);
+        assert!(fd.memory_traffic(16, 2.2, 10) > fd.memory_traffic(8, 2.2, 10));
+        assert!(fd.memory_traffic(8, 2.2, 10) > fd.memory_traffic(8, 1.4, 10));
+    }
+}

@@ -1,0 +1,366 @@
+//! The co-location environment: one LS service and one BE application
+//! sharing a simulated power-constrained node.
+//!
+//! [`CoLocationEnv::step`] plays the role of "one second of reality":
+//! given the current resource configuration and offered load it returns
+//! the observations a real deployment would collect (tail latency, RAPL
+//! power, BE progress). Controllers must treat it as a black box — the
+//! predictor trains on *profiled samples* of it, never on its equations.
+
+use crate::be::BeAppModel;
+use crate::interference::{InterferenceModel, InterferenceParams};
+use crate::ls::LsServiceModel;
+use sturgeon_simnode::power::{PartitionLoad, PowerModel};
+use sturgeon_simnode::{NodeSpec, PairConfig};
+
+/// One interval's observations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Interval end time (s).
+    pub t_s: f64,
+    /// Offered LS load (queries/s).
+    pub qps: f64,
+    /// Measured p95 latency (ms), including interference.
+    pub p95_ms: f64,
+    /// Fraction of the interval's queries within the QoS target.
+    pub in_target_fraction: f64,
+    /// LS core utilization (≥ 1 means saturated).
+    pub ls_utilization: f64,
+    /// Package power (W).
+    pub power_w: f64,
+    /// BE throughput normalized to its whole-node solo run.
+    pub be_throughput_norm: f64,
+    /// BE IPC proxy (per-core per-cycle efficiency).
+    pub be_ipc: f64,
+    /// Interference multiplier that was applied this interval.
+    pub interference: f64,
+}
+
+/// A co-location of one LS service and one BE app on one node.
+#[derive(Debug, Clone)]
+pub struct CoLocationEnv {
+    spec: NodeSpec,
+    power: PowerModel,
+    ls: LsServiceModel,
+    be: BeAppModel,
+    interference: InterferenceModel,
+    budget_w: f64,
+    t_s: f64,
+}
+
+impl CoLocationEnv {
+    /// Builds the environment. The power budget follows the paper's §III-B
+    /// rule: "the power budget for a server is set to be the power
+    /// consumption when the server runs the LS service at the peak load"
+    /// (solo, whole node, maximum frequency).
+    pub fn new(
+        spec: NodeSpec,
+        power: PowerModel,
+        ls: LsServiceModel,
+        be: BeAppModel,
+        interference: InterferenceParams,
+        seed: u64,
+    ) -> Self {
+        let budget_w = Self::ls_solo_peak_power(&spec, &power, &ls);
+        Self {
+            spec,
+            power,
+            ls,
+            be,
+            interference: InterferenceModel::new(interference, seed),
+            budget_w,
+            t_s: 0.0,
+        }
+    }
+
+    /// Power of the LS service running alone on the whole node at peak
+    /// load and maximum frequency — the budget definition.
+    fn ls_solo_peak_power(spec: &NodeSpec, power: &PowerModel, ls: &LsServiceModel) -> f64 {
+        let f = spec.max_freq_ghz();
+        let lat = ls.latency(
+            spec.total_cores,
+            f,
+            spec.total_llc_ways,
+            ls.params.peak_qps,
+            1.0,
+        );
+        let load = PartitionLoad {
+            cores: spec.total_cores,
+            freq_ghz: f,
+            activity: ls.params.activity,
+            utilization: ls.power_utilization(lat.utilization),
+        };
+        power.node_power_w(&[load])
+    }
+
+    /// The node's power budget in watts.
+    pub fn budget_w(&self) -> f64 {
+        self.budget_w
+    }
+
+    /// The node spec.
+    pub fn spec(&self) -> &NodeSpec {
+        &self.spec
+    }
+
+    /// The LS service model (read-only: controllers should *not* use its
+    /// equations, only its public constants like the QoS target).
+    pub fn ls(&self) -> &LsServiceModel {
+        &self.ls
+    }
+
+    /// The BE application model.
+    pub fn be(&self) -> &BeAppModel {
+        &self.be
+    }
+
+    /// The ground-truth power model.
+    pub fn power_model(&self) -> &PowerModel {
+        &self.power
+    }
+
+    /// Elapsed simulated time (s).
+    pub fn now_s(&self) -> f64 {
+        self.t_s
+    }
+
+    /// LS partition power (W) at a configuration and load, interference-free.
+    pub fn ls_partition_power(&self, cores: u32, freq_ghz: f64, ways: u32, qps: f64) -> f64 {
+        let lat = self.ls.latency(cores, freq_ghz, ways, qps, 1.0);
+        self.power.partition_power_w(&PartitionLoad {
+            cores,
+            freq_ghz,
+            activity: self.ls.params.activity,
+            utilization: self.ls.power_utilization(lat.utilization),
+        })
+    }
+
+    /// BE partition power (W) at a configuration (BE apps pin their cores).
+    pub fn be_partition_power(&self, cores: u32, freq_ghz: f64) -> f64 {
+        self.power.partition_power_w(&PartitionLoad {
+            cores,
+            freq_ghz,
+            activity: self.be.params.activity,
+            utilization: 1.0,
+        })
+    }
+
+    /// Static/uncore watts (needed to assemble total power from the two
+    /// partition models).
+    pub fn static_power_w(&self) -> f64 {
+        self.power.static_w
+    }
+
+    /// Ground-truth total power at a configuration and load (W).
+    pub fn total_power(&self, config: &PairConfig, qps: f64) -> f64 {
+        self.static_power_w()
+            + self.ls_partition_power(
+                config.ls.cores,
+                config.ls.freq_ghz(&self.spec),
+                config.ls.llc_ways,
+                qps,
+            )
+            + self.be_partition_power(config.be.cores, config.be.freq_ghz(&self.spec))
+    }
+
+    /// Simulates one monitoring interval (1 s) under `config` at `qps`.
+    pub fn step(&mut self, config: &PairConfig, qps: f64) -> Observation {
+        debug_assert!(config.validate(&self.spec).is_ok(), "invalid config");
+        self.t_s += 1.0;
+        let ls_f = config.ls.freq_ghz(&self.spec);
+        let be_f = config.be.freq_ghz(&self.spec);
+
+        // Interference from the BE co-runner plus OS jitter.
+        let be_traffic = self
+            .be
+            .memory_traffic(config.be.cores, be_f, config.be.llc_ways);
+        let ls_ways_fraction = config.ls.llc_ways as f64 / self.spec.total_llc_ways as f64;
+        let disturbance = self
+            .interference
+            .step(be_traffic, ls_ways_fraction, self.ls.params.bw_sensitivity);
+
+        let lat = self.ls.latency_disturbed(
+            config.ls.cores,
+            ls_f,
+            config.ls.llc_ways,
+            qps,
+            disturbance.multiplier,
+            disturbance.additive_ms,
+        );
+
+        let power_w = self.total_power(config, qps);
+        let be_tput = self
+            .be
+            .normalized_throughput(config.be.cores, be_f, config.be.llc_ways);
+        let be_ipc = self.be.ipc(config.be.cores, be_f, config.be.llc_ways);
+
+        Observation {
+            t_s: self.t_s,
+            qps,
+            p95_ms: lat.p95_ms,
+            in_target_fraction: lat.in_target_fraction,
+            ls_utilization: lat.utilization,
+            power_w,
+            be_throughput_norm: be_tput,
+            be_ipc,
+            interference: disturbance.multiplier,
+        }
+    }
+
+    /// Interference-free probe of an operating point — what a dedicated
+    /// profiling cluster measures when collecting training samples (§V-A).
+    pub fn profile(&self, config: &PairConfig, qps: f64) -> Observation {
+        let ls_f = config.ls.freq_ghz(&self.spec);
+        let be_f = config.be.freq_ghz(&self.spec);
+        let lat = self
+            .ls
+            .latency(config.ls.cores, ls_f, config.ls.llc_ways, qps, 1.0);
+        Observation {
+            t_s: self.t_s,
+            qps,
+            p95_ms: lat.p95_ms,
+            in_target_fraction: lat.in_target_fraction,
+            ls_utilization: lat.utilization,
+            power_w: self.total_power(config, qps),
+            be_throughput_norm: self.be.normalized_throughput(
+                config.be.cores,
+                be_f,
+                config.be.llc_ways,
+            ),
+            be_ipc: self.be.ipc(config.be.cores, be_f, config.be.llc_ways),
+            interference: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{be_app, ls_service, BeAppId, LsServiceId};
+    use sturgeon_simnode::Allocation;
+
+    fn env(ls: LsServiceId, be: BeAppId, seed: u64) -> CoLocationEnv {
+        CoLocationEnv::new(
+            NodeSpec::xeon_e5_2630_v4(),
+            PowerModel::default(),
+            ls_service(ls),
+            be_app(be),
+            InterferenceParams::default(),
+            seed,
+        )
+    }
+
+    fn quiet_env(ls: LsServiceId, be: BeAppId) -> CoLocationEnv {
+        CoLocationEnv::new(
+            NodeSpec::xeon_e5_2630_v4(),
+            PowerModel::default(),
+            ls_service(ls),
+            be_app(be),
+            InterferenceParams::none(),
+            0,
+        )
+    }
+
+    fn cfg(c1: u32, f1: usize, l1: u32, c2: u32, f2: usize, l2: u32) -> PairConfig {
+        PairConfig::new(Allocation::new(c1, f1, l1), Allocation::new(c2, f2, l2))
+    }
+
+    #[test]
+    fn budget_is_positive_and_plausible() {
+        for ls in LsServiceId::all() {
+            let e = quiet_env(ls, BeAppId::Raytrace);
+            let b = e.budget_w();
+            assert!((40.0..150.0).contains(&b), "{}: budget {b} W", ls.name());
+        }
+    }
+
+    #[test]
+    fn fig2_overload_band_holds() {
+        // Fig. 2: allocate "just enough" to the LS at 20% load, hand the
+        // rest to the BE at max frequency → power exceeds the budget by
+        // roughly 2–13% for every one of the 18 pairs.
+        for (ls_id, be_id) in crate::catalog::all_pairs() {
+            let e = quiet_env(ls_id, be_id);
+            let ls = e.ls().clone();
+            let qps = 0.2 * ls.params.peak_qps;
+            // "Just enough": smallest cores at a mid frequency with
+            // just-enough ways, mirroring §III-B.
+            let ways = 6u32;
+            let freq_level = 5usize; // ~1.75 GHz
+            let f_ghz = e.spec().freq_ghz(freq_level);
+            let min_cores = (1..=19)
+                .find(|&c| ls.meets_qos(c, f_ghz, ways, qps))
+                .expect("feasible core count");
+            let config = cfg(
+                min_cores,
+                freq_level,
+                ways,
+                20 - min_cores,
+                9,
+                20 - ways,
+            );
+            let power = e.total_power(&config, qps);
+            let over = power / e.budget_w() - 1.0;
+            assert!(
+                (0.015..0.14).contains(&over),
+                "{}+{}: overload {:.1}% outside the paper's Fig. 2 band",
+                ls_id.name(),
+                be_id.name(),
+                over * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn step_advances_time_and_observes() {
+        let mut e = env(LsServiceId::Memcached, BeAppId::Blackscholes, 3);
+        let c = cfg(6, 9, 8, 14, 5, 12);
+        let o1 = e.step(&c, 12_000.0);
+        let o2 = e.step(&c, 12_000.0);
+        assert_eq!(o1.t_s, 1.0);
+        assert_eq!(o2.t_s, 2.0);
+        assert!(o1.p95_ms > 0.0);
+        assert!(o1.power_w > 0.0);
+        assert!(o1.be_throughput_norm > 0.0);
+    }
+
+    #[test]
+    fn profile_is_deterministic_and_quiet() {
+        let e = env(LsServiceId::Xapian, BeAppId::Ferret, 5);
+        let c = cfg(6, 7, 8, 14, 4, 12);
+        let a = e.profile(&c, 1_000.0);
+        let b = e.profile(&c, 1_000.0);
+        assert_eq!(a, b);
+        assert_eq!(a.interference, 1.0);
+    }
+
+    #[test]
+    fn interference_hurts_latency_on_average() {
+        let c = cfg(5, 7, 6, 15, 9, 14);
+        let qps = 0.3 * 60_000.0;
+        let quiet = quiet_env(LsServiceId::Memcached, BeAppId::Fluidanimate)
+            .profile(&c, qps)
+            .p95_ms;
+        let mut noisy = env(LsServiceId::Memcached, BeAppId::Fluidanimate, 11);
+        let avg: f64 = (0..50).map(|_| noisy.step(&c, qps).p95_ms).sum::<f64>() / 50.0;
+        assert!(avg > quiet, "noisy {avg} vs quiet {quiet}");
+    }
+
+    #[test]
+    fn total_power_decomposes() {
+        let e = quiet_env(LsServiceId::ImgDnn, BeAppId::Swaptions);
+        let c = cfg(4, 6, 5, 16, 8, 15);
+        let qps = 600.0;
+        let total = e.total_power(&c, qps);
+        let sum = e.static_power_w()
+            + e.ls_partition_power(4, e.spec().freq_ghz(6), 5, qps)
+            + e.be_partition_power(16, e.spec().freq_ghz(8));
+        assert!((total - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn be_only_power_grows_with_frequency() {
+        let e = quiet_env(LsServiceId::Memcached, BeAppId::Blackscholes);
+        assert!(e.be_partition_power(12, 2.2) > e.be_partition_power(12, 1.2));
+    }
+}

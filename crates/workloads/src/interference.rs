@@ -1,0 +1,262 @@
+//! Unmanaged-resource interference: the disturbance Algorithm 2 rejects.
+//!
+//! Cores, LLC ways and frequency are *managed* (partitioned) resources.
+//! Memory bandwidth is not, and neither are OS-level effects (interrupt
+//! handling, kernel threads, TLB shootdowns). The paper's balancer exists
+//! precisely because the predictor cannot foresee these (§IV, §VI).
+//!
+//! Two components:
+//!
+//! * **Bandwidth pressure** — deterministic coupling from the BE
+//!   co-runner: its memory traffic inflates the LS service time, shielded
+//!   in part by the LS service's own LLC share (more ways → higher hit
+//!   rate → fewer DRAM-bound accesses exposed to contention). This is why
+//!   "harvesting cache space indirectly regulates memory bandwidth"
+//!   (§VII-C) works in our reproduction exactly as in the paper.
+//! * **OS jitter** — random multiplicative latency spikes with a
+//!   geometric duration, modelling interrupt storms and background
+//!   daemons. Seeded, so every experiment is reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Tunables for the interference process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterferenceParams {
+    /// Scales BE memory traffic into LS service-time inflation.
+    pub bw_coupling: f64,
+    /// Scales BE memory traffic into an *additive* tail-latency term (ms):
+    /// queueing on the memory controller and OS-level delays add to the
+    /// response time directly rather than stretching every request.
+    pub additive_coupling_ms: f64,
+    /// Per-interval probability that an OS jitter burst starts.
+    pub spike_probability: f64,
+    /// Per-interval probability that an ongoing burst ends.
+    pub spike_end_probability: f64,
+    /// Multiplicative latency inflation range while a burst is active.
+    pub spike_magnitude: (f64, f64),
+}
+
+impl Default for InterferenceParams {
+    fn default() -> Self {
+        Self {
+            bw_coupling: 0.20,
+            additive_coupling_ms: 33.0,
+            spike_probability: 0.02,
+            spike_end_probability: 0.5,
+            spike_magnitude: (1.10, 1.5),
+        }
+    }
+}
+
+impl InterferenceParams {
+    /// A quiet environment (profiling on a dedicated cluster, §V-A: the
+    /// offline training data is collected without co-location noise).
+    pub fn none() -> Self {
+        Self {
+            bw_coupling: 0.0,
+            additive_coupling_ms: 0.0,
+            spike_probability: 0.0,
+            spike_end_probability: 1.0,
+            spike_magnitude: (1.0, 1.0),
+        }
+    }
+}
+
+/// The disturbance applied to one monitoring interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Disturbance {
+    /// Multiplicative service-time inflation (≥ 1).
+    pub multiplier: f64,
+    /// Additive tail-latency term in ms (≥ 0).
+    pub additive_ms: f64,
+}
+
+impl Disturbance {
+    /// No disturbance.
+    pub fn none() -> Self {
+        Self {
+            multiplier: 1.0,
+            additive_ms: 0.0,
+        }
+    }
+}
+
+/// Stateful interference process; one per co-location run.
+#[derive(Debug, Clone)]
+pub struct InterferenceModel {
+    params: InterferenceParams,
+    rng: StdRng,
+    active_spike: Option<f64>,
+}
+
+impl InterferenceModel {
+    /// Creates the process with a deterministic seed.
+    pub fn new(params: InterferenceParams, seed: u64) -> Self {
+        Self {
+            params,
+            rng: StdRng::seed_from_u64(seed),
+            active_spike: None,
+        }
+    }
+
+    /// Parameters in force.
+    pub fn params(&self) -> &InterferenceParams {
+        &self.params
+    }
+
+    /// Deterministic component: LS service-time multiplier ≥ 1 induced by
+    /// the BE co-runner's memory traffic, shielded by the LS cache share.
+    ///
+    /// `be_traffic` comes from [`crate::be::BeAppModel::memory_traffic`];
+    /// `ls_ways_fraction` is the LS share of LLC ways in `[0, 1]`;
+    /// `ls_bw_sensitivity` is the per-service constant.
+    pub fn bandwidth_multiplier(
+        &self,
+        be_traffic: f64,
+        ls_ways_fraction: f64,
+        ls_bw_sensitivity: f64,
+    ) -> f64 {
+        // A bigger LS cache share shields it: at a full-cache share the
+        // exposure drops to 30% of the unshielded value.
+        let shield = 1.0 - 0.7 * ls_ways_fraction.clamp(0.0, 1.0);
+        1.0 + self.params.bw_coupling * be_traffic.max(0.0) * shield * ls_bw_sensitivity
+    }
+
+    /// Advances the OS-jitter process one interval and returns its
+    /// multiplicative latency factor (1.0 when quiet).
+    pub fn step_jitter(&mut self) -> f64 {
+        match self.active_spike {
+            Some(mag) => {
+                if self.rng.gen_bool(self.params.spike_end_probability.clamp(0.0, 1.0)) {
+                    self.active_spike = None;
+                }
+                mag
+            }
+            None => {
+                if self.params.spike_probability > 0.0
+                    && self.rng.gen_bool(self.params.spike_probability.clamp(0.0, 1.0))
+                {
+                    let (lo, hi) = self.params.spike_magnitude;
+                    let mag = if hi > lo { self.rng.gen_range(lo..hi) } else { lo };
+                    self.active_spike = Some(mag);
+                    mag
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+
+    /// Deterministic additive tail-latency term (ms) from memory-system
+    /// queueing induced by the BE co-runner.
+    pub fn additive_ms(
+        &self,
+        be_traffic: f64,
+        ls_ways_fraction: f64,
+        ls_bw_sensitivity: f64,
+    ) -> f64 {
+        let shield = 1.0 - 0.7 * ls_ways_fraction.clamp(0.0, 1.0);
+        self.params.additive_coupling_ms * be_traffic.max(0.0) * shield * ls_bw_sensitivity
+    }
+
+    /// Advances the process one interval and returns the combined
+    /// disturbance.
+    pub fn step(
+        &mut self,
+        be_traffic: f64,
+        ls_ways_fraction: f64,
+        ls_bw_sensitivity: f64,
+    ) -> Disturbance {
+        Disturbance {
+            multiplier: self
+                .bandwidth_multiplier(be_traffic, ls_ways_fraction, ls_bw_sensitivity)
+                * self.step_jitter(),
+            additive_ms: self.additive_ms(be_traffic, ls_ways_fraction, ls_bw_sensitivity),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_params_give_unity() {
+        let mut m = InterferenceModel::new(InterferenceParams::none(), 1);
+        for _ in 0..100 {
+            assert_eq!(m.step(0.8, 0.3, 0.8), Disturbance::none());
+        }
+    }
+
+    #[test]
+    fn additive_term_scales_with_traffic_and_shield() {
+        let m = InterferenceModel::new(InterferenceParams::default(), 1);
+        assert!(m.additive_ms(0.8, 0.3, 0.8) > m.additive_ms(0.2, 0.3, 0.8));
+        assert!(m.additive_ms(0.8, 0.9, 0.8) < m.additive_ms(0.8, 0.1, 0.8));
+        assert_eq!(m.additive_ms(0.0, 0.3, 0.8), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_multiplier_grows_with_traffic() {
+        let m = InterferenceModel::new(InterferenceParams::default(), 1);
+        let low = m.bandwidth_multiplier(0.1, 0.3, 0.6);
+        let high = m.bandwidth_multiplier(0.9, 0.3, 0.6);
+        assert!(high > low);
+        assert!(low >= 1.0);
+    }
+
+    #[test]
+    fn more_ls_ways_shield_interference() {
+        let m = InterferenceModel::new(InterferenceParams::default(), 1);
+        let unshielded = m.bandwidth_multiplier(0.8, 0.1, 0.8);
+        let shielded = m.bandwidth_multiplier(0.8, 0.9, 0.8);
+        assert!(shielded < unshielded);
+    }
+
+    #[test]
+    fn jitter_spikes_occur_and_end() {
+        let params = InterferenceParams {
+            spike_probability: 0.5,
+            spike_end_probability: 0.5,
+            ..InterferenceParams::default()
+        };
+        let mut m = InterferenceModel::new(params, 42);
+        let mut spiked = 0;
+        let mut quiet = 0;
+        for _ in 0..500 {
+            if m.step_jitter() > 1.0 {
+                spiked += 1;
+            } else {
+                quiet += 1;
+            }
+        }
+        assert!(spiked > 50, "expected spikes, got {spiked}");
+        assert!(quiet > 50, "expected quiet intervals, got {quiet}");
+    }
+
+    #[test]
+    fn jitter_magnitude_in_range() {
+        let params = InterferenceParams {
+            spike_probability: 1.0,
+            spike_end_probability: 1.0,
+            spike_magnitude: (1.2, 1.5),
+            ..InterferenceParams::default()
+        };
+        let mut m = InterferenceModel::new(params, 7);
+        for _ in 0..100 {
+            let j = m.step_jitter();
+            assert!((1.2..=1.5).contains(&j) || j == 1.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = InterferenceModel::new(InterferenceParams::default(), 99);
+        let mut b = InterferenceModel::new(InterferenceParams::default(), 99);
+        for _ in 0..200 {
+            assert_eq!(a.step_jitter(), b.step_jitter());
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Open-loop load generation for LS services.
+//!
+//! LS services experience a diurnal pattern (§II-B); the paper's
+//! evaluation drives each service with a fluctuating load that climbs
+//! from 20% to 80% of peak and back (§VII-A), and the Fig. 11 case study
+//! uses a 20%→50% ramp.
+
+use serde::{Deserialize, Serialize};
+
+/// A deterministic load profile: maps time to a fraction of peak load.
+///
+/// ```
+/// use sturgeon_workloads::loadgen::LoadProfile;
+///
+/// let load = LoadProfile::paper_fluctuating(600.0); // 20% → 80% → 20%
+/// assert!((load.fraction_at(0.0) - 0.2).abs() < 1e-12);
+/// assert!((load.fraction_at(300.0) - 0.8).abs() < 1e-12);
+/// assert_eq!(load.qps_at(300.0, 60_000.0), 48_000.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LoadProfile {
+    /// Constant fraction of peak.
+    Constant {
+        /// Load fraction in `[0, 1]`.
+        fraction: f64,
+    },
+    /// Linear ramp between two fractions over a duration, then hold.
+    Ramp {
+        /// Starting fraction.
+        from: f64,
+        /// Final fraction.
+        to: f64,
+        /// Seconds over which the ramp runs.
+        duration_s: f64,
+    },
+    /// The paper's evaluation load: rise `low → high` over the first half
+    /// of the period, fall back over the second half, repeating.
+    Triangle {
+        /// Trough fraction (paper: 0.2).
+        low: f64,
+        /// Crest fraction (paper: 0.8).
+        high: f64,
+        /// Full up-down period in seconds.
+        period_s: f64,
+    },
+    /// A smooth 24-hour-like pattern: sinusoid between `low` and `high`
+    /// with the crest at half period ("load reaches the maximum near
+    /// midday and the lowest during night").
+    Diurnal {
+        /// Night-time trough fraction.
+        low: f64,
+        /// Midday crest fraction.
+        high: f64,
+        /// Length of the simulated day in seconds.
+        day_s: f64,
+    },
+    /// Step change at a given time (for disturbance-rejection tests).
+    Step {
+        /// Fraction before the step.
+        before: f64,
+        /// Fraction after the step.
+        after: f64,
+        /// Step time in seconds.
+        at_s: f64,
+    },
+    /// Replay of a recorded trace: load fractions sampled every `dt_s`
+    /// seconds, linearly interpolated, holding the last sample afterwards.
+    Trace {
+        /// Fraction-of-peak samples (clamped to `[0, 1]` on evaluation).
+        samples: Vec<f64>,
+        /// Spacing between samples in seconds.
+        dt_s: f64,
+    },
+}
+
+impl LoadProfile {
+    /// The paper's §VII-A fluctuating input: 20% → 80% → 20% of peak.
+    pub fn paper_fluctuating(period_s: f64) -> Self {
+        LoadProfile::Triangle {
+            low: 0.2,
+            high: 0.8,
+            period_s,
+        }
+    }
+
+    /// The Fig. 11 case-study ramp: 20% → 50% of peak.
+    pub fn fig11_ramp(duration_s: f64) -> Self {
+        LoadProfile::Ramp {
+            from: 0.2,
+            to: 0.5,
+            duration_s,
+        }
+    }
+
+    /// Parses a trace from newline-separated fractions (comments with `#`
+    /// and blank lines ignored) — the format dumped by fleet telemetry
+    /// exports. Returns `None` when no valid sample is present.
+    pub fn trace_from_text(text: &str, dt_s: f64) -> Option<Self> {
+        let samples: Vec<f64> = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .filter_map(|l| l.parse::<f64>().ok())
+            .collect();
+        if samples.is_empty() || dt_s <= 0.0 {
+            return None;
+        }
+        Some(LoadProfile::Trace { samples, dt_s })
+    }
+
+    /// Load fraction at time `t_s`, always clamped to `[0, 1]`.
+    pub fn fraction_at(&self, t_s: f64) -> f64 {
+        let t = t_s.max(0.0);
+        let f = match self {
+            &LoadProfile::Constant { fraction } => fraction,
+            &LoadProfile::Ramp { from, to, duration_s } => {
+                if duration_s <= 0.0 || t >= duration_s {
+                    to
+                } else {
+                    from + (to - from) * (t / duration_s)
+                }
+            }
+            &LoadProfile::Triangle { low, high, period_s } => {
+                if period_s <= 0.0 {
+                    low
+                } else {
+                    let phase = (t % period_s) / period_s; // 0..1
+                    let tri = if phase < 0.5 {
+                        phase * 2.0
+                    } else {
+                        2.0 - phase * 2.0
+                    };
+                    low + (high - low) * tri
+                }
+            }
+            &LoadProfile::Diurnal { low, high, day_s } => {
+                if day_s <= 0.0 {
+                    low
+                } else {
+                    let phase = (t % day_s) / day_s;
+                    let s = 0.5 - 0.5 * (std::f64::consts::TAU * phase).cos();
+                    low + (high - low) * s
+                }
+            }
+            &LoadProfile::Step { before, after, at_s } => {
+                if t < at_s {
+                    before
+                } else {
+                    after
+                }
+            }
+            LoadProfile::Trace { samples, dt_s } => {
+                let dt_s = *dt_s;
+                if samples.is_empty() || dt_s <= 0.0 {
+                    0.0
+                } else {
+                    let pos = t / dt_s;
+                    let i = pos.floor() as usize;
+                    if i + 1 >= samples.len() {
+                        *samples.last().expect("non-empty")
+                    } else {
+                        let frac = pos - i as f64;
+                        samples[i] * (1.0 - frac) + samples[i + 1] * frac
+                    }
+                }
+            }
+        };
+        f.clamp(0.0, 1.0)
+    }
+
+    /// QPS at time `t_s` for a service with the given peak.
+    pub fn qps_at(&self, t_s: f64, peak_qps: f64) -> f64 {
+        self.fraction_at(t_s) * peak_qps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let p = LoadProfile::Constant { fraction: 0.35 };
+        assert_eq!(p.fraction_at(0.0), 0.35);
+        assert_eq!(p.fraction_at(1e6), 0.35);
+    }
+
+    #[test]
+    fn ramp_interpolates_then_holds() {
+        let p = LoadProfile::Ramp {
+            from: 0.2,
+            to: 0.5,
+            duration_s: 100.0,
+        };
+        assert!((p.fraction_at(0.0) - 0.2).abs() < 1e-12);
+        assert!((p.fraction_at(50.0) - 0.35).abs() < 1e-12);
+        assert!((p.fraction_at(100.0) - 0.5).abs() < 1e-12);
+        assert!((p.fraction_at(500.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_peaks_at_half_period() {
+        let p = LoadProfile::paper_fluctuating(600.0);
+        assert!((p.fraction_at(0.0) - 0.2).abs() < 1e-12);
+        assert!((p.fraction_at(300.0) - 0.8).abs() < 1e-12);
+        assert!((p.fraction_at(600.0) - 0.2).abs() < 1e-12);
+        // Symmetric rise/fall.
+        assert!((p.fraction_at(150.0) - p.fraction_at(450.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diurnal_trough_and_crest() {
+        let p = LoadProfile::Diurnal {
+            low: 0.1,
+            high: 0.9,
+            day_s: 86_400.0,
+        };
+        assert!((p.fraction_at(0.0) - 0.1).abs() < 1e-9);
+        assert!((p.fraction_at(43_200.0) - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_switches_at_time() {
+        let p = LoadProfile::Step {
+            before: 0.2,
+            after: 0.7,
+            at_s: 10.0,
+        };
+        assert_eq!(p.fraction_at(9.999), 0.2);
+        assert_eq!(p.fraction_at(10.0), 0.7);
+    }
+
+    #[test]
+    fn qps_scales_with_peak() {
+        let p = LoadProfile::Constant { fraction: 0.2 };
+        assert!((p.qps_at(0.0, 60_000.0) - 12_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractions_always_clamped() {
+        let p = LoadProfile::Ramp {
+            from: -0.5,
+            to: 1.5,
+            duration_s: 10.0,
+        };
+        for t in 0..20 {
+            let f = p.fraction_at(t as f64);
+            assert!((0.0..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn trace_interpolates_and_holds() {
+        let p = LoadProfile::Trace {
+            samples: vec![0.2, 0.4, 0.8],
+            dt_s: 10.0,
+        };
+        assert!((p.fraction_at(0.0) - 0.2).abs() < 1e-12);
+        assert!((p.fraction_at(5.0) - 0.3).abs() < 1e-12);
+        assert!((p.fraction_at(10.0) - 0.4).abs() < 1e-12);
+        assert!((p.fraction_at(15.0) - 0.6).abs() < 1e-12);
+        // Past the end: hold the last sample.
+        assert!((p.fraction_at(100.0) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_from_text_skips_comments_and_garbage() {
+        let text = "# fleet export\n0.2\n\n0.5\nnot-a-number\n0.9\n";
+        let p = LoadProfile::trace_from_text(text, 60.0).expect("parses");
+        match &p {
+            LoadProfile::Trace { samples, dt_s } => {
+                assert_eq!(samples, &vec![0.2, 0.5, 0.9]);
+                assert_eq!(*dt_s, 60.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(LoadProfile::trace_from_text("# only comments\n", 60.0).is_none());
+        assert!(LoadProfile::trace_from_text("0.5", 0.0).is_none());
+    }
+
+    #[test]
+    fn degenerate_periods_safe() {
+        let p = LoadProfile::Triangle {
+            low: 0.3,
+            high: 0.9,
+            period_s: 0.0,
+        };
+        assert_eq!(p.fraction_at(5.0), 0.3);
+    }
+}

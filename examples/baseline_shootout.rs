@@ -1,0 +1,98 @@
+//! Head-to-head of every controller in the crate on one co-location pair:
+//! Sturgeon, Sturgeon-NoB (balancer disabled), enhanced PARTIES, original
+//! power-oblivious PARTIES, and the static LS reservation — all facing the
+//! identical load and interference sequence.
+//!
+//! ```sh
+//! cargo run --release --example baseline_shootout [duration_s]
+//! ```
+
+use sturgeon::baselines::{PartiesController, PartiesParams, StaticReservationController};
+use sturgeon::heracles::{HeraclesController, HeraclesParams};
+use sturgeon::prelude::*;
+
+fn main() {
+    let duration: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(600);
+    let pair = ColocationPair::new(LsServiceId::Memcached, BeAppId::Fluidanimate);
+    let setup = ExperimentSetup::new(pair, 42);
+    let load = LoadProfile::paper_fluctuating(duration as f64);
+    println!(
+        "shootout: {} for {duration}s, budget {:.1} W, QoS {} ms\n",
+        pair.label(),
+        setup.budget_w(),
+        setup.qos_target_ms()
+    );
+
+    let mut results: Vec<RunResult> = Vec::new();
+
+    for balancer in [true, false] {
+        let predictor = setup.train_default_predictor();
+        let controller = SturgeonController::new(
+            predictor,
+            setup.spec().clone(),
+            setup.budget_w(),
+            setup.qos_target_ms(),
+            ControllerParams {
+                balancer_enabled: balancer,
+                ..ControllerParams::default()
+            },
+        );
+        results.push(setup.run(controller, load.clone(), duration));
+    }
+    for power_aware in [true, false] {
+        let controller = PartiesController::new(
+            setup.spec().clone(),
+            setup.budget_w(),
+            setup.qos_target_ms(),
+            PartiesParams {
+                power_aware,
+                ..PartiesParams::default()
+            },
+        );
+        results.push(setup.run(controller, load.clone(), duration));
+    }
+    results.push(setup.run(
+        HeraclesController::new(
+            setup.spec().clone(),
+            setup.budget_w(),
+            setup.qos_target_ms(),
+            HeraclesParams::default(),
+        ),
+        load.clone(),
+        duration,
+    ));
+    results.push(setup.run(StaticReservationController, load, duration));
+
+    println!(
+        "{:<14} {:>9} {:>9} {:>11} {:>11} {:>9}",
+        "controller", "QoS rate", "BE tput", "peak W", "over-budget", "verdict"
+    );
+    for r in &results {
+        let verdict = match (r.meets_qos_guarantee(), r.suffers_overload()) {
+            (true, false) => "OK",
+            (true, true) => "OVERLOAD",
+            (false, false) => "QOS-VIOL",
+            (false, true) => "BOTH-BAD",
+        };
+        println!(
+            "{:<14} {:>8.2}% {:>9.3} {:>11.1} {:>10.1}% {:>9}",
+            r.controller,
+            r.qos_rate * 100.0,
+            r.mean_be_throughput,
+            r.peak_power_w,
+            r.overload_fraction * 100.0,
+            verdict
+        );
+    }
+
+    println!("\nreading the table:");
+    println!("- Sturgeon: QoS held, budget held, highest safe BE throughput;");
+    println!("- Sturgeon-NoB: more BE throughput but the QoS guarantee is gone (§VII-C);");
+    println!("- PARTIES: safe but leaves BE throughput on the table (Fig. 10);");
+    println!("- PARTIES-orig: power-oblivious — watch the over-budget column (Fig. 2's problem);");
+    println!("- Heracles: power-safe via BE-DVFS only — preference-blind, so throughput suffers;");
+    println!("- LS-reserved: the status quo the whole paper argues against.");
+}

@@ -1,0 +1,68 @@
+//! Quickstart: co-locate memcached with raytrace on a power-constrained
+//! node and let Sturgeon manage the shared resources.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use sturgeon::prelude::*;
+
+fn main() {
+    // 1. Pick a co-location pair. The node (Table II Xeon), the power
+    //    budget (LS solo peak power) and the interference environment all
+    //    come from the paper's defaults.
+    let pair = ColocationPair::new(LsServiceId::Memcached, BeAppId::Raytrace);
+    let setup = ExperimentSetup::new(pair, 42);
+    println!(
+        "node: {} cores, {} LLC ways, {:.1}–{:.1} GHz",
+        setup.spec().total_cores,
+        setup.spec().total_llc_ways,
+        setup.spec().min_freq_ghz(),
+        setup.spec().max_freq_ghz()
+    );
+    println!(
+        "pair: {} (QoS target {} ms, peak {} QPS), power budget {:.1} W",
+        pair.label(),
+        setup.qos_target_ms(),
+        setup.peak_qps(),
+        setup.budget_w()
+    );
+
+    // 2. Offline phase: profile the applications on a "dedicated cluster"
+    //    and train the performance/power models (paper §V-A).
+    println!("\nprofiling and training the predictor (offline phase)...");
+    let predictor = setup.train_default_predictor();
+
+    // 3. Online phase: run the Algorithm 1 controller for ten minutes of
+    //    the paper's fluctuating load (20% → 80% → 20% of peak).
+    let controller = SturgeonController::new(
+        predictor,
+        setup.spec().clone(),
+        setup.budget_w(),
+        setup.qos_target_ms(),
+        ControllerParams::default(),
+    );
+    let result = setup.run(controller, LoadProfile::paper_fluctuating(600.0), 600);
+
+    // 4. The paper's three success criteria.
+    println!("\n== results over {} intervals ==", result.log.len());
+    println!(
+        "QoS guarantee rate:        {:.2}%  (target ≥ 95%)",
+        result.qos_rate * 100.0
+    );
+    println!(
+        "mean BE throughput:        {:.3}   (normalized to raytrace's solo run)",
+        result.mean_be_throughput
+    );
+    println!(
+        "power: peak {:.1} W vs budget {:.1} W — overloaded intervals: {:.1}%",
+        result.peak_power_w,
+        result.budget_w,
+        result.overload_fraction * 100.0
+    );
+    assert!(result.qos_rate >= 0.95, "QoS guarantee violated");
+    assert!(!result.suffers_overload(), "power budget violated");
+    println!("\nSturgeon kept the tail latency under target, never overloaded the budget,");
+    println!("and still extracted {:.0}% of raytrace's solo throughput from the leftovers.",
+        result.mean_be_throughput * 100.0);
+}

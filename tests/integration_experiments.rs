@@ -1,0 +1,193 @@
+//! Paper-shape regression tests: reduced-scale versions of the assertions
+//! the figure binaries print. These are the guardrails that keep the
+//! reproduction honest — if a refactor breaks a paper shape, these fail.
+
+use sturgeon_bench::{evaluate_pair, mean};
+use sturgeon::prelude::*;
+use sturgeon_simnode::{Allocation, NodeSpec, PairConfig, PowerModel};
+use sturgeon_workloads::catalog::{all_pairs, be_app, ls_service};
+use sturgeon_workloads::env::CoLocationEnv;
+use sturgeon_workloads::interference::InterferenceParams;
+
+/// Fig. 2 shape: every pair overloads the budget by a single-digit to
+/// low-double-digit percentage when co-location ignores power.
+#[test]
+fn fig2_shape_all_pairs_overload_in_band() {
+    let spec = NodeSpec::xeon_e5_2630_v4();
+    for (ls_id, be_id) in all_pairs() {
+        let env = CoLocationEnv::new(
+            spec.clone(),
+            PowerModel::default(),
+            ls_service(ls_id),
+            be_app(be_id),
+            InterferenceParams::none(),
+            0,
+        );
+        let ls = env.ls().clone();
+        let qps = 0.2 * ls.params.peak_qps;
+        let min_cores = (1..=19)
+            .find(|&c| ls.meets_qos(c, spec.freq_ghz(5), 6, qps))
+            .expect("servable");
+        let cfg = PairConfig::new(
+            Allocation::new(min_cores, 5, 6),
+            Allocation::new(20 - min_cores, 9, 14),
+        );
+        let over = env.total_power(&cfg, qps) / env.budget_w() - 1.0;
+        assert!(
+            (0.015..0.14).contains(&over),
+            "{}+{}: overload {:.1}% outside the paper band",
+            ls_id.name(),
+            be_id.name(),
+            over * 100.0
+        );
+    }
+}
+
+/// Fig. 3 shape: both core-preferring and frequency-preferring feasible
+/// configurations exist among the memcached co-locations, and ferret
+/// prefers cores at 35% load.
+#[test]
+fn fig3_shape_preferences_are_heterogeneous() {
+    let spec = NodeSpec::xeon_e5_2630_v4();
+    let ls = ls_service(sturgeon_workloads::catalog::LsServiceId::Memcached);
+    let qps = 0.35 * ls.params.peak_qps;
+
+    let best_for = |be_id| {
+        let env = CoLocationEnv::new(
+            spec.clone(),
+            PowerModel::default(),
+            ls.clone(),
+            be_app(be_id),
+            InterferenceParams::none(),
+            0,
+        );
+        // Enumerate feasible candidates: minimal LS per core count, BE at
+        // max frequency within budget.
+        let mut best: Option<(PairConfig, f64)> = None;
+        let mut most_cores: Option<(PairConfig, f64)> = None;
+        for c1 in 1..20u32 {
+            let mut found = None;
+            'o: for f1 in 0..10usize {
+                for l1 in 1..20u32 {
+                    if ls.meets_qos(c1, spec.freq_ghz(f1), l1, qps) {
+                        found = Some((f1, l1));
+                        break 'o;
+                    }
+                }
+            }
+            let Some((f1, l1)) = found else { continue };
+            let (c2, l2) = (20 - c1, 20 - l1);
+            let Some(f2) = (0..10usize).rev().find(|&f2| {
+                let cfg =
+                    PairConfig::new(Allocation::new(c1, f1, l1), Allocation::new(c2, f2, l2));
+                env.total_power(&cfg, qps) <= env.budget_w()
+            }) else {
+                continue;
+            };
+            let cfg = PairConfig::new(Allocation::new(c1, f1, l1), Allocation::new(c2, f2, l2));
+            let t = env.be().normalized_throughput(c2, spec.freq_ghz(f2), l2);
+            if best.as_ref().is_none_or(|(_, bt)| t > *bt) {
+                best = Some((cfg, t));
+            }
+            if most_cores
+                .as_ref()
+                .is_none_or(|(mc, _)| cfg.be.cores > mc.be.cores)
+            {
+                most_cores = Some((cfg, t));
+            }
+        }
+        (best.expect("feasible"), most_cores.expect("feasible"))
+    };
+
+    // Ferret must be core-preferring: its best config is the most-cores one.
+    let (fe_best, fe_most_cores) = best_for(sturgeon_workloads::catalog::BeAppId::Ferret);
+    assert_eq!(
+        fe_best.0.be.cores, fe_most_cores.0.be.cores,
+        "ferret should prefer cores at 35% load"
+    );
+
+    // Blackscholes must NOT be core-preferring at this load: its optimum
+    // trades cores for frequency.
+    let (bs_best, bs_most_cores) = best_for(sturgeon_workloads::catalog::BeAppId::Blackscholes);
+    assert!(
+        bs_best.0.be.cores < bs_most_cores.0.be.cores,
+        "blackscholes should trade cores for frequency at 35% load"
+    );
+}
+
+/// Figs. 9/10 shape at reduced scale: on three representative pairs,
+/// Sturgeon holds QoS ≥ 95% with zero overload, beats PARTIES on BE
+/// throughput, and the NoB ablation pays ≤ modest throughput for its QoS
+/// violations.
+#[test]
+fn fig9_fig10_shape_reduced() {
+    let pairs = [
+        ColocationPair::new(LsServiceId::Memcached, BeAppId::Raytrace),
+        ColocationPair::new(LsServiceId::Xapian, BeAppId::Fluidanimate),
+        ColocationPair::new(LsServiceId::ImgDnn, BeAppId::Ferret),
+    ];
+    let mut s_tput = Vec::new();
+    let mut p_tput = Vec::new();
+    for pair in pairs {
+        let eval = evaluate_pair(pair, 42, 300);
+        // 300 s runs sweep the load twice as fast as the paper's 600 s
+        // runs, so convergence transients cost ~0.5% QoS; the full-length
+        // fig9 report shows ≥ 95% for all pairs.
+        assert!(
+            eval.sturgeon.qos_rate >= 0.94,
+            "{}: Sturgeon QoS {}",
+            pair.label(),
+            eval.sturgeon.qos_rate
+        );
+        assert!(
+            !eval.sturgeon.suffers_overload(),
+            "{}: Sturgeon overloads",
+            pair.label()
+        );
+        assert!(
+            eval.parties.qos_rate >= 0.93,
+            "{}: PARTIES QoS {}",
+            pair.label(),
+            eval.parties.qos_rate
+        );
+        s_tput.push(eval.sturgeon.mean_be_throughput);
+        p_tput.push(eval.parties.mean_be_throughput);
+    }
+    let gain = mean(&s_tput) / mean(&p_tput) - 1.0;
+    assert!(
+        gain > 0.05,
+        "Sturgeon should clearly beat PARTIES; got {:+.1}%",
+        gain * 100.0
+    );
+}
+
+/// §VII-C shape: the interference-heavy pairs lose their QoS guarantee
+/// when the balancer is disabled.
+#[test]
+fn nob_violates_on_interference_heavy_pair() {
+    let pair = ColocationPair::new(LsServiceId::ImgDnn, BeAppId::Fluidanimate);
+    let eval = evaluate_pair(pair, 42, 300);
+    assert!(
+        eval.nob.qos_rate < 0.95,
+        "NoB unexpectedly met QoS: {}",
+        eval.nob.qos_rate
+    );
+    // This is the heaviest-interference pair and a fast-sweep run: the
+    // absolute level sits a little under the 600 s report's 95.6%; what
+    // this test guards is the balancer's *gap* over NoB.
+    assert!(eval.sturgeon.qos_rate >= 0.92, "{}", eval.sturgeon.qos_rate);
+    assert!(eval.sturgeon.qos_rate > eval.nob.qos_rate + 0.05);
+}
+
+/// Determinism: the full three-system evaluation of a pair reproduces
+/// bit-for-bit under the same seed.
+#[test]
+fn evaluation_is_deterministic() {
+    let pair = ColocationPair::new(LsServiceId::Xapian, BeAppId::Swaptions);
+    let a = evaluate_pair(pair, 1234, 120);
+    let b = evaluate_pair(pair, 1234, 120);
+    assert_eq!(a.sturgeon.qos_rate, b.sturgeon.qos_rate);
+    assert_eq!(a.sturgeon.mean_be_throughput, b.sturgeon.mean_be_throughput);
+    assert_eq!(a.parties.qos_rate, b.parties.qos_rate);
+    assert_eq!(a.nob.peak_power_w, b.nob.peak_power_w);
+}

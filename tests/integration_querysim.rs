@@ -1,0 +1,135 @@
+//! Integration tests for the query-level discrete-event simulator: the
+//! analytic latency surface and the measured one must agree where it
+//! matters, and Sturgeon must still deliver its guarantees when driven by
+//! *sampled* telemetry instead of closed-form observations.
+
+use sturgeon::controller::ResourceController;
+use sturgeon::prelude::*;
+use sturgeon_simnode::{IntervalSample, SimActuators, TelemetryLog};
+use sturgeon_workloads::catalog::{ls_service, LsServiceId as WLsId};
+use sturgeon_workloads::querysim::{MeasuredColocation, QueryLevelSim};
+
+/// Analytic Erlang-C p95 vs event-simulated p95 across the load range:
+/// same hockey-stick, same order of magnitude everywhere below the cliff.
+#[test]
+fn measured_latency_tracks_analytic_surface() {
+    let ls = ls_service(WLsId::Memcached);
+    for (cores, qps) in [(8u32, 8_000.0), (8, 16_000.0), (12, 30_000.0), (16, 45_000.0)] {
+        let analytic = ls.latency(cores, 2.2, 10, qps, 1.0);
+        let service_ms = ls.service_time_ms(2.2, 10, 1.0);
+        let mut sim = QueryLevelSim::new(ls.clone(), 101);
+        let mut vals = Vec::new();
+        for _ in 0..10 {
+            vals.push(sim.simulate_interval(cores, service_ms, qps, 1.0).p95_ms);
+        }
+        let measured = vals[2..].iter().sum::<f64>() / 8.0;
+        assert!(
+            measured < 3.0 * analytic.p95_ms + 0.5 && measured > 0.3 * analytic.p95_ms - 0.5,
+            "cores={cores} qps={qps}: measured {measured:.2} vs analytic {:.2}",
+            analytic.p95_ms
+        );
+    }
+}
+
+/// The latency cliff appears at the same place in both backends: below
+/// saturation both meet the target, above it both blow through.
+#[test]
+fn cliff_location_agrees() {
+    let ls = ls_service(WLsId::Memcached);
+    let service_ms = ls.service_time_ms(1.6, 6, 1.0);
+    let per_core = 1000.0 / service_ms;
+    let cores = 4u32;
+    let capacity = cores as f64 * per_core;
+
+    let mut sim = QueryLevelSim::new(ls.clone(), 7);
+    // Comfortably below capacity.
+    let mut below = Vec::new();
+    for _ in 0..8 {
+        below.push(
+            sim.simulate_interval(cores, service_ms, 0.8 * capacity, 1.0)
+                .p95_ms,
+        );
+    }
+    let below_p95 = below[2..].iter().sum::<f64>() / 6.0;
+    assert!(below_p95 < ls.params.qos_target_ms, "below: {below_p95}");
+
+    // Above capacity the backlog compounds.
+    let mut sim = QueryLevelSim::new(ls.clone(), 7);
+    let mut last = 0.0;
+    for _ in 0..6 {
+        last = sim
+            .simulate_interval(cores, service_ms, 1.15 * capacity, 1.0)
+            .p95_ms;
+    }
+    assert!(last > ls.params.qos_target_ms, "above: {last}");
+}
+
+/// End-to-end: run the full Sturgeon controller against the measured
+/// (query-sampled) environment. The guarantees must survive telemetry
+/// noise.
+#[test]
+fn sturgeon_holds_up_under_measured_telemetry() {
+    let pair = ColocationPair::new(LsServiceId::Memcached, BeAppId::Raytrace);
+    let setup = ExperimentSetup::new(pair, 42);
+    let predictor = setup.train_default_predictor();
+    let mut controller = SturgeonController::new(
+        predictor,
+        setup.spec().clone(),
+        setup.budget_w(),
+        setup.qos_target_ms(),
+        ControllerParams::default(),
+    );
+
+    let mut env = MeasuredColocation::new(setup.env().clone(), 4242);
+    let actuators = SimActuators::new(setup.spec().clone());
+    let mut log = TelemetryLog::new();
+    let load = LoadProfile::paper_fluctuating(300.0);
+    let mut config = controller.initial_config(setup.spec());
+    actuators.apply(config).expect("valid initial config");
+
+    for t in 0..300u32 {
+        let qps = load.qps_at(t as f64, setup.peak_qps());
+        let obs = env.step(&actuators.config(), qps);
+        actuators.push_power(obs.power_w);
+        log.push(IntervalSample {
+            t_s: obs.t_s,
+            qps: obs.qps,
+            p95_ms: obs.p95_ms,
+            in_target_fraction: obs.in_target_fraction,
+            power_w: obs.power_w,
+            be_throughput_norm: obs.be_throughput_norm,
+            config: actuators.config(),
+        });
+        let next = controller.decide(&obs, config);
+        if next != config {
+            actuators.apply(next).expect("valid config");
+            config = next;
+        }
+    }
+
+    let qos = log.qos_guarantee_rate();
+    let overload = log.overload_fraction(setup.budget_w());
+    let tput = log.mean_be_throughput();
+    assert!(qos > 0.93, "QoS under measured telemetry: {qos}");
+    assert!(overload < 0.02, "overload fraction {overload}");
+    assert!(tput > 0.35, "throughput {tput}");
+}
+
+/// Measured telemetry is reproducible per seed.
+#[test]
+fn measured_env_deterministic() {
+    let pair = ColocationPair::new(LsServiceId::Xapian, BeAppId::Ferret);
+    let setup = ExperimentSetup::new(pair, 3);
+    let cfg = sturgeon_simnode::PairConfig::new(
+        Allocation::new(6, 7, 8),
+        Allocation::new(14, 5, 12),
+    );
+    let run = |seed| {
+        let mut env = MeasuredColocation::new(setup.env().clone(), seed);
+        (0..20)
+            .map(|_| env.step(&cfg, 1_200.0).p95_ms)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(9), run(9));
+    assert_ne!(run(9), run(10), "different seeds must differ");
+}

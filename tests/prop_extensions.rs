@@ -1,0 +1,149 @@
+//! Property-based tests over the extension modules: multi-application
+//! configurations, resctrl/cpuset rendering, hardware counters, energy
+//! accounting, and the trace load profile.
+
+use proptest::prelude::*;
+use sturgeon_simnode::audit::{cpuset_lists, resctrl_schemata};
+use sturgeon_simnode::{Allocation, EnergyMeter, NodeSpec, PairConfig};
+use sturgeon_workloads::catalog::{be_app, ls_service, BeAppId, LsServiceId};
+use sturgeon_workloads::counters::{be_counters, ls_counters};
+use sturgeon_workloads::loadgen::LoadProfile;
+use sturgeon_workloads::multienv::MultiConfig;
+
+fn spec() -> NodeSpec {
+    NodeSpec::xeon_e5_2630_v4()
+}
+
+/// Strategy for a valid pair configuration.
+fn valid_pair() -> impl Strategy<Value = PairConfig> {
+    (1u32..19, 0usize..10, 1u32..19, 0usize..10).prop_map(|(c1, f1, l1, f2)| {
+        PairConfig::new(
+            Allocation::new(c1, f1, l1),
+            Allocation::new(20 - c1, f2, 20 - l1),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn resctrl_masks_are_disjoint_with_correct_popcounts(cfg in valid_pair()) {
+        let s = spec();
+        let (ls_line, be_line) = resctrl_schemata(&s, &cfg);
+        let parse = |line: &str| {
+            u64::from_str_radix(line.strip_prefix("L3:0=").expect("prefix"), 16).expect("hex")
+        };
+        let ls_mask = parse(&ls_line);
+        let be_mask = parse(&be_line);
+        prop_assert_eq!(ls_mask & be_mask, 0, "overlapping CAT masks");
+        prop_assert_eq!(ls_mask.count_ones(), cfg.ls.llc_ways);
+        prop_assert_eq!(be_mask.count_ones(), cfg.be.llc_ways);
+        // Both masks fit in the node's way universe.
+        let universe = (1u64 << s.total_llc_ways) - 1;
+        prop_assert_eq!(ls_mask & !universe, 0);
+        prop_assert_eq!(be_mask & !universe, 0);
+    }
+
+    #[test]
+    fn cpuset_lists_cover_all_cores_without_overlap(cfg in valid_pair()) {
+        let (ls, be) = cpuset_lists(&cfg);
+        let expand = |s: &str| -> Vec<u32> {
+            if s.is_empty() {
+                return vec![];
+            }
+            match s.split_once('-') {
+                Some((a, b)) => (a.parse().unwrap()..=b.parse().unwrap()).collect(),
+                None => vec![s.parse().unwrap()],
+            }
+        };
+        let ls_cores = expand(&ls);
+        let be_cores = expand(&be);
+        prop_assert_eq!(ls_cores.len() as u32, cfg.ls.cores);
+        prop_assert_eq!(be_cores.len() as u32, cfg.be.cores);
+        let mut all = ls_cores;
+        all.extend(&be_cores);
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len() as u32, cfg.ls.cores + cfg.be.cores, "overlap");
+        prop_assert!(all.iter().all(|&c| c < 20));
+    }
+
+    #[test]
+    fn multi_config_validation_matches_sum_rule(
+        c in proptest::collection::vec(1u32..8, 2..5),
+        w in proptest::collection::vec(1u32..8, 2..5),
+    ) {
+        let s = spec();
+        let n = c.len().min(w.len());
+        let allocs: Vec<Allocation> = (0..n)
+            .map(|i| Allocation::new(c[i], 5, w[i]))
+            .collect();
+        let (ls, be) = allocs.split_at(n / 2 + 1);
+        if be.is_empty() {
+            return Ok(());
+        }
+        let cfg = MultiConfig {
+            ls: ls.to_vec(),
+            be: be.to_vec(),
+        };
+        let fits = cfg.total_cores() <= s.total_cores && cfg.total_ways() <= s.total_llc_ways;
+        prop_assert_eq!(cfg.validate(&s).is_ok(), fits);
+    }
+
+    #[test]
+    fn counters_always_consistent(
+        cores in 1u32..20,
+        level in 0usize..10,
+        ways in 1u32..20,
+        frac in 0.05f64..0.95,
+    ) {
+        let s = spec();
+        let be = be_app(BeAppId::Facesim);
+        let alloc = Allocation::new(cores, level, ways);
+        let c = be_counters(&s, &be, &alloc);
+        prop_assert!(c.llc_misses <= c.llc_references);
+        prop_assert!(c.instructions <= 4 * c.cycles, "IPC {}", c.ipc());
+        prop_assert!((0.0..=1.0).contains(&c.llc_miss_ratio()));
+
+        let ls = ls_service(LsServiceId::Xapian);
+        let q = frac * ls.params.peak_qps;
+        let c = ls_counters(&s, &ls, &alloc, q);
+        prop_assert!(c.llc_misses <= c.llc_references);
+        prop_assert!(c.instructions <= 4 * c.cycles.max(1));
+    }
+
+    #[test]
+    fn energy_meter_wrap_recovery_is_exact(
+        powers in proptest::collection::vec(1.0f64..200.0, 1..40),
+    ) {
+        // Wrap must exceed any single step (the differencing convention
+        // can only recover one wrap per read pair), yet be small enough
+        // that multi-step sequences cross it repeatedly.
+        let mut m = EnergyMeter::with_wrap(250_000_000); // 250 J
+        let mut prev = m.energy_uj();
+        for &p in &powers {
+            m.accumulate(p, 1.0);
+            let now = m.energy_uj();
+            let recovered = m.power_from_counters(prev, now, 1.0);
+            // Exact up to µJ rounding.
+            prop_assert!((recovered - p).abs() < 1e-3, "p={p} recovered={recovered}");
+            prev = now;
+        }
+        let total: f64 = powers.iter().sum();
+        prop_assert!((m.total_joules() - total).abs() < 1e-3 * powers.len() as f64);
+    }
+
+    #[test]
+    fn trace_profile_stays_within_sample_hull(
+        samples in proptest::collection::vec(0.0f64..1.0, 2..30),
+        t in 0.0f64..5_000.0,
+        dt in 0.5f64..120.0,
+    ) {
+        let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().copied().fold(0.0f64, f64::max);
+        let p = LoadProfile::Trace { samples, dt_s: dt };
+        let f = p.fraction_at(t);
+        prop_assert!(f >= lo - 1e-12 && f <= hi + 1e-12, "{f} outside [{lo}, {hi}]");
+    }
+}
