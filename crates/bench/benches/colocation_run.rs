@@ -6,8 +6,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use sturgeon_bench::{parties_controller, sturgeon_controller};
 use sturgeon::prelude::*;
+use sturgeon_bench::{parties_controller, sturgeon_controller};
 
 fn bench_runs(c: &mut Criterion) {
     let pair = ColocationPair::new(LsServiceId::Memcached, BeAppId::Raytrace);

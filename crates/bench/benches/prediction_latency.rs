@@ -5,10 +5,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use sturgeon_mlkit::{GbrtRegressor, Regressor};
 use sturgeon::predictor::{make_classifier, make_regressor};
 use sturgeon::prelude::*;
 use sturgeon::profiler::ProfilerConfig;
+use sturgeon_mlkit::{GbrtRegressor, Regressor};
 
 fn bench_prediction(c: &mut Criterion) {
     let pair = ColocationPair::new(LsServiceId::Memcached, BeAppId::Raytrace);
@@ -39,20 +39,33 @@ fn bench_prediction(c: &mut Criterion) {
     });
     group.finish();
 
-    // The composed predictor operations the search actually issues.
+    // The composed predictor operations the search actually issues — with
+    // the memo cache on (steady-state repeat queries) and off (every call
+    // runs the models), quantifying what a cache hit saves.
     let predictor = setup.train_default_predictor();
     let spec = setup.spec().clone();
     let mut group = c.benchmark_group("predictor_ops");
-    group.bench_function("ls_feasible", |b| {
+    let cfg = PairConfig::new(Allocation::new(6, 5, 8), Allocation::new(14, 8, 12));
+    group.bench_function("ls_feasible_cached", |b| {
         b.iter(|| black_box(predictor.ls_feasible(8, 1.8, 10, black_box(12_000.0))))
     });
-    group.bench_function("be_throughput", |b| {
+    group.bench_function("be_throughput_cached", |b| {
         b.iter(|| black_box(predictor.be_throughput(12, 2.0, 12)))
     });
-    group.bench_function("total_power", |b| {
-        let cfg = PairConfig::new(Allocation::new(6, 5, 8), Allocation::new(14, 8, 12));
+    group.bench_function("total_power_cached", |b| {
         b.iter(|| black_box(predictor.total_power_w(&cfg, &spec, black_box(12_000.0))))
     });
+    predictor.set_caching(false);
+    group.bench_function("ls_feasible_uncached", |b| {
+        b.iter(|| black_box(predictor.ls_feasible(8, 1.8, 10, black_box(12_000.0))))
+    });
+    group.bench_function("be_throughput_uncached", |b| {
+        b.iter(|| black_box(predictor.be_throughput(12, 2.0, 12)))
+    });
+    group.bench_function("total_power_uncached", |b| {
+        b.iter(|| black_box(predictor.total_power_w(&cfg, &spec, black_box(12_000.0))))
+    });
+    predictor.set_caching(true);
     group.finish();
 }
 

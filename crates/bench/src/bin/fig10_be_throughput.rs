@@ -36,7 +36,9 @@ fn main() {
         );
     }
     let (ms, mp, mn) = (mean(&s), mean(&p), mean(&n));
-    println!("\nmean normalized throughput: Sturgeon {ms:.3}, PARTIES {mp:.3}, Sturgeon-NoB {mn:.3}");
+    println!(
+        "\nmean normalized throughput: Sturgeon {ms:.3}, PARTIES {mp:.3}, Sturgeon-NoB {mn:.3}"
+    );
     println!(
         "Sturgeon vs PARTIES: {:+.2}%  (paper: +24.96%)",
         (ms / mp - 1.0) * 100.0

@@ -8,8 +8,8 @@
 //! Sturgeon jumps straight to preference-aware configurations from the
 //! predictor, PARTIES creeps one resource unit at a time.
 
-use sturgeon_bench::{duration_from_args, parties_controller, sturgeon_controller, DEFAULT_SEED};
 use sturgeon::prelude::*;
+use sturgeon_bench::{duration_from_args, parties_controller, sturgeon_controller, DEFAULT_SEED};
 
 fn main() {
     let duration = duration_from_args();
@@ -25,7 +25,12 @@ fn main() {
 
     println!(
         "{:>5} {:>7} | {:>22} {:>7} | {:>22} {:>7}",
-        "t(s)", "qps", "Sturgeon <C1,F1,L1;C2,F2,L2>", "BE tput", "PARTIES <C1,F1,L1;C2,F2,L2>", "BE tput"
+        "t(s)",
+        "qps",
+        "Sturgeon <C1,F1,L1;C2,F2,L2>",
+        "BE tput",
+        "PARTIES <C1,F1,L1;C2,F2,L2>",
+        "BE tput"
     );
     let step = (duration as usize / 30).max(1);
     for (s_row, p_row) in sturgeon

@@ -14,6 +14,7 @@
 //! frequency" always wins: the preference depends on the application and
 //! the load (ferret prefers cores; most others flip with load).
 
+use rayon::prelude::*;
 use sturgeon_simnode::{Allocation, NodeSpec, PairConfig, PowerModel};
 use sturgeon_workloads::catalog::{be_app, ls_service, BeAppId, LsServiceId};
 use sturgeon_workloads::env::CoLocationEnv;
@@ -48,9 +49,7 @@ fn preference_at(env: &CoLocationEnv, qps: f64) -> Option<[(PairConfig, f64); 3]
         });
         let Some(f2) = f2 else { continue };
         let cfg = PairConfig::new(Allocation::new(c1, f1, l1), Allocation::new(c2, f2, l2));
-        let t = env
-            .be()
-            .normalized_throughput(c2, spec.freq_ghz(f2), l2);
+        let t = env.be().normalized_throughput(c2, spec.freq_ghz(f2), l2);
         candidates.push((cfg, t));
     }
     if candidates.is_empty() {
@@ -59,9 +58,12 @@ fn preference_at(env: &CoLocationEnv, qps: f64) -> Option<[(PairConfig, f64); 3]
     let most_cores = *candidates
         .iter()
         .max_by(|a, b| a.0.be.cores.cmp(&b.0.be.cores).then(a.1.total_cmp(&b.1)))?;
-    let max_freq = *candidates
-        .iter()
-        .max_by(|a, b| a.0.be.freq_level.cmp(&b.0.be.freq_level).then(a.1.total_cmp(&b.1)))?;
+    let max_freq = *candidates.iter().max_by(|a, b| {
+        a.0.be
+            .freq_level
+            .cmp(&b.0.be.freq_level)
+            .then(a.1.total_cmp(&b.1))
+    })?;
     let best = *candidates.iter().max_by(|a, b| a.1.total_cmp(&b.1))?;
     Some([most_cores, max_freq, best])
 }
@@ -78,16 +80,26 @@ fn main() {
     for load in [0.2, 0.35] {
         let qps = load * ls.params.peak_qps;
         println!("-- load {:.0}% of peak ({qps:.0} QPS) --", load * 100.0);
-        for be_id in BeAppId::all() {
-            let env = CoLocationEnv::new(
-                spec.clone(),
-                PowerModel::default(),
-                ls.clone(),
-                be_app(be_id),
-                InterferenceParams::none(),
-                0,
-            );
-            let Some([mc, mf, best]) = preference_at(&env, qps) else {
+        // Each BE app's feasibility sweep is independent: fan out across
+        // the rayon pool, then print in catalog order.
+        let apps = BeAppId::all().to_vec();
+        type Preference = Option<[(PairConfig, f64); 3]>;
+        let results: Vec<(BeAppId, Preference)> = apps
+            .into_par_iter()
+            .map(|be_id| {
+                let env = CoLocationEnv::new(
+                    spec.clone(),
+                    PowerModel::default(),
+                    ls.clone(),
+                    be_app(be_id),
+                    InterferenceParams::none(),
+                    0,
+                );
+                (be_id, preference_at(&env, qps))
+            })
+            .collect();
+        for (be_id, result) in results {
+            let Some([mc, mf, best]) = result else {
                 println!("{:>13}: no feasible configuration", be_id.name());
                 continue;
             };
@@ -118,5 +130,7 @@ fn main() {
     println!(
         "preference split over 12 (app, load) points: {cores_pref} cores / {freq_pref} freq / {mid_pref} intermediate"
     );
-    println!("=> both preferences occur and flip with load, reproducing the paper's Fig. 3 insight");
+    println!(
+        "=> both preferences occur and flip with load, reproducing the paper's Fig. 3 insight"
+    );
 }

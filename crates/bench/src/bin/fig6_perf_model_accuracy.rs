@@ -15,7 +15,11 @@ use sturgeon::profiler::ProfilerConfig;
 fn main() {
     let seed = 42u64;
     println!("Fig. 6 — performance-model accuracy (R² on held-out 30% splits), seed {seed}\n");
-    for ls in [LsServiceId::Memcached, LsServiceId::Xapian, LsServiceId::ImgDnn] {
+    for ls in [
+        LsServiceId::Memcached,
+        LsServiceId::Xapian,
+        LsServiceId::ImgDnn,
+    ] {
         // The BE partner only matters for the BE columns; raytrace is the
         // paper's Fig. 11 example app.
         let pair = ColocationPair::new(ls, BeAppId::Raytrace);

@@ -15,8 +15,16 @@ fn main() {
     let mut knn_best_ls = 0;
     let mut knn_best_be = 0;
     let mut panels = 0;
-    for ls in [LsServiceId::Memcached, LsServiceId::Xapian, LsServiceId::ImgDnn] {
-        for be in [BeAppId::Blackscholes, BeAppId::Ferret, BeAppId::Fluidanimate] {
+    for ls in [
+        LsServiceId::Memcached,
+        LsServiceId::Xapian,
+        LsServiceId::ImgDnn,
+    ] {
+        for be in [
+            BeAppId::Blackscholes,
+            BeAppId::Ferret,
+            BeAppId::Fluidanimate,
+        ] {
             let pair = ColocationPair::new(ls, be);
             let setup = ExperimentSetup::new(pair, seed);
             let datasets = setup

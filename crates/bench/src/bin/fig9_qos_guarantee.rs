@@ -48,8 +48,16 @@ fn main() {
             e.sturgeon.qos_rate * 100.0,
             e.parties.qos_rate * 100.0,
             e.nob.qos_rate * 100.0,
-            if e.sturgeon.suffers_overload() { "Y" } else { "-" },
-            if e.parties.suffers_overload() { "Y" } else { "-" },
+            if e.sturgeon.suffers_overload() {
+                "Y"
+            } else {
+                "-"
+            },
+            if e.parties.suffers_overload() {
+                "Y"
+            } else {
+                "-"
+            },
             if e.nob.suffers_overload() { "Y" } else { "-" },
         );
     }

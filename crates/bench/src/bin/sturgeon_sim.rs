@@ -73,14 +73,10 @@ fn parse_args() -> Result<Args, String> {
             "--controller" => args.controller = value.clone(),
             "--load" => args.load = value.clone(),
             "--fraction" => {
-                args.fraction = value
-                    .parse()
-                    .map_err(|_| format!("bad fraction {value}"))?
+                args.fraction = value.parse().map_err(|_| format!("bad fraction {value}"))?
             }
             "--duration" => {
-                args.duration = value
-                    .parse()
-                    .map_err(|_| format!("bad duration {value}"))?
+                args.duration = value.parse().map_err(|_| format!("bad duration {value}"))?
             }
             "--seed" => args.seed = value.parse().map_err(|_| format!("bad seed {value}"))?,
             "--export" => args.export = Some(PathBuf::from(value)),

@@ -7,6 +7,7 @@
 //!    target selection matters for throughput retention.
 //! 4. **Model family swap** — DT-everything vs the paper's §V-C picks.
 
+use rayon::prelude::*;
 use sturgeon::balancer::BalancerParams;
 use sturgeon::prelude::*;
 
@@ -23,30 +24,34 @@ fn run_variant(
     controller_cfg: ControllerParams,
     duration: u32,
 ) {
-    let mut qos = Vec::new();
-    let mut tput = Vec::new();
-    let mut over = Vec::new();
-    for (ls, be) in PAIR_SET {
-        let setup = ExperimentSetup::new(ColocationPair::new(ls, be), 42);
-        let predictor = setup
-            .train_predictor(Default::default(), predictor_cfg)
-            .expect("training succeeds");
-        let controller = SturgeonController::new(
-            predictor,
-            setup.spec().clone(),
-            setup.budget_w(),
-            setup.qos_target_ms(),
-            controller_cfg,
-        );
-        let r = setup.run(
-            controller,
-            LoadProfile::paper_fluctuating(duration as f64),
-            duration,
-        );
-        qos.push(r.qos_rate);
-        tput.push(r.mean_be_throughput);
-        over.push(r.overload_fraction);
-    }
+    // The four pairs are independent end-to-end experiments (own env,
+    // profiling, training, run): fan them out across the rayon pool.
+    let rows: Vec<(f64, f64, f64)> = PAIR_SET
+        .to_vec()
+        .into_par_iter()
+        .map(|(ls, be)| {
+            let setup = ExperimentSetup::new(ColocationPair::new(ls, be), 42);
+            let predictor = setup
+                .train_predictor(Default::default(), predictor_cfg)
+                .expect("training succeeds");
+            let controller = SturgeonController::new(
+                predictor,
+                setup.spec().clone(),
+                setup.budget_w(),
+                setup.qos_target_ms(),
+                controller_cfg,
+            );
+            let r = setup.run(
+                controller,
+                LoadProfile::paper_fluctuating(duration as f64),
+                duration,
+            );
+            (r.qos_rate, r.mean_be_throughput, r.overload_fraction)
+        })
+        .collect();
+    let qos: Vec<f64> = rows.iter().map(|r| r.0).collect();
+    let tput: Vec<f64> = rows.iter().map(|r| r.1).collect();
+    let over: Vec<f64> = rows.iter().map(|r| r.2).collect();
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     println!(
         "{:<34} qos {:>6.3}  tput {:>6.3}  overload {:>6.4}",
@@ -82,7 +87,11 @@ fn main() {
             ControllerParams {
                 alpha,
                 beta,
-                balancer: BalancerParams { alpha, beta },
+                balancer: BalancerParams {
+                    alpha,
+                    beta,
+                    ..BalancerParams::default()
+                },
                 ..ControllerParams::default()
             },
             duration,

@@ -21,6 +21,9 @@ pub struct BalancerParams {
     pub alpha: f64,
     /// Upper slack bound: above this resources were over-harvested.
     pub beta: f64,
+    /// Relative guard band subtracted from the budget before power
+    /// checks, mirroring [`crate::search::SearchParams::power_guard`].
+    pub power_guard: f64,
 }
 
 impl Default for BalancerParams {
@@ -28,6 +31,7 @@ impl Default for BalancerParams {
         Self {
             alpha: 0.10,
             beta: 0.20,
+            power_guard: 0.02,
         }
     }
 }
@@ -46,7 +50,11 @@ pub enum HarvestTarget {
 impl HarvestTarget {
     /// All three targets.
     pub fn all() -> [HarvestTarget; 3] {
-        [HarvestTarget::Cores, HarvestTarget::Cache, HarvestTarget::Power]
+        [
+            HarvestTarget::Cores,
+            HarvestTarget::Cache,
+            HarvestTarget::Power,
+        ]
     }
 }
 
@@ -139,8 +147,7 @@ impl ResourceBalancer {
                     return None;
                 }
                 next.be.freq_level -= amount;
-                next.ls.freq_level =
-                    (cfg.ls.freq_level + amount).min(spec.max_freq_level());
+                next.ls.freq_level = (cfg.ls.freq_level + amount).min(spec.max_freq_level());
                 if next == *cfg {
                     return None; // nothing actually moved
                 }
@@ -228,9 +235,12 @@ impl ResourceBalancer {
             let pending = self.pending.take()?;
             let back = (pending.amount / 2).max(1);
             let next = Self::reverted(spec, &current, pending.target, back)?;
-            // Power check at a drifted load, mirroring the search's
-            // headroom: the load can keep rising before the next decision.
-            if predictor.total_power_w(&next, spec, obs.qps * 1.08) > budget_w {
+            // Power check at a drifted load against the guarded budget,
+            // mirroring the search's headroom: the load can keep rising
+            // before the next decision.
+            if predictor.total_power_w(&next, spec, obs.qps * 1.08)
+                > budget_w * (1.0 - self.params.power_guard)
+            {
                 return None;
             }
             self.granularity = (self.granularity * 0.5).max(0.05);
@@ -263,7 +273,9 @@ impl ResourceBalancer {
             let Some(next) = Self::harvested(spec, &current, target, amount) else {
                 continue;
             };
-            if predictor.total_power_w(&next, spec, obs.qps * 1.08) > budget_w {
+            if predictor.total_power_w(&next, spec, obs.qps * 1.08)
+                > budget_w * (1.0 - self.params.power_guard)
+            {
                 continue;
             }
             let throughput = predictor.be_throughput(
@@ -350,7 +362,14 @@ mod tests {
         let (env, p) = setup();
         let mut b = ResourceBalancer::new(BalancerParams::default());
         // target 10ms, p95 8.7ms → slack 13%, inside [10%, 20%].
-        let out = b.adjust(&p, env.spec(), env.budget_w(), &obs_with(8.7, 12_000.0), 10.0, cfg(6, 7, 8));
+        let out = b.adjust(
+            &p,
+            env.spec(),
+            env.budget_w(),
+            &obs_with(8.7, 12_000.0),
+            10.0,
+            cfg(6, 7, 8),
+        );
         assert!(out.is_none());
     }
 
@@ -360,7 +379,14 @@ mod tests {
         let mut b = ResourceBalancer::new(BalancerParams::default());
         let before = cfg(6, 7, 8);
         let out = b
-            .adjust(&p, env.spec(), env.budget_w(), &obs_with(11.5, 12_000.0), 10.0, before)
+            .adjust(
+                &p,
+                env.spec(),
+                env.budget_w(),
+                &obs_with(11.5, 12_000.0),
+                10.0,
+                before,
+            )
             .expect("balancer must act on a violation");
         // The LS partition must have gained *something*.
         let gained_cores = out.ls.cores > before.ls.cores;
@@ -392,11 +418,24 @@ mod tests {
         let before = cfg(6, 7, 8);
         // First, a violation provokes a harvest.
         let harvested = b
-            .adjust(&p, env.spec(), env.budget_w(), &obs_with(11.5, 12_000.0), 10.0, before)
+            .adjust(
+                &p,
+                env.spec(),
+                env.budget_w(),
+                &obs_with(11.5, 12_000.0),
+                10.0,
+                before,
+            )
             .unwrap();
         // Then the latency collapses (slack ≫ β) → partial revert.
-        let reverted =
-            b.adjust(&p, env.spec(), env.budget_w(), &obs_with(2.0, 12_000.0), 10.0, harvested);
+        let reverted = b.adjust(
+            &p,
+            env.spec(),
+            env.budget_w(),
+            &obs_with(2.0, 12_000.0),
+            10.0,
+            harvested,
+        );
         if let Some(r) = reverted {
             assert!(r.validate(env.spec()).is_ok());
             // The BE partition got something back.
@@ -414,10 +453,24 @@ mod tests {
         let mut b = ResourceBalancer::new(BalancerParams::default());
         let c0 = cfg(4, 5, 6);
         let first = b
-            .adjust(&p, env.spec(), env.budget_w(), &obs_with(12.0, 12_000.0), 10.0, c0)
+            .adjust(
+                &p,
+                env.spec(),
+                env.budget_w(),
+                &obs_with(12.0, 12_000.0),
+                10.0,
+                c0,
+            )
             .unwrap();
         let second = b
-            .adjust(&p, env.spec(), env.budget_w(), &obs_with(12.0, 12_000.0), 10.0, first)
+            .adjust(
+                &p,
+                env.spec(),
+                env.budget_w(),
+                &obs_with(12.0, 12_000.0),
+                10.0,
+                first,
+            )
             .unwrap();
         // The second harvest moves at most as many units as the first
         // (halved granularity on a smaller holding).
@@ -427,14 +480,24 @@ mod tests {
         let second_moved = (second.ls.cores - first.ls.cores)
             + (second.ls.llc_ways - first.ls.llc_ways)
             + (second.ls.freq_level.saturating_sub(first.ls.freq_level)) as u32;
-        assert!(second_moved <= first_moved, "{second_moved} > {first_moved}");
+        assert!(
+            second_moved <= first_moved,
+            "{second_moved} > {first_moved}"
+        );
     }
 
     #[test]
     fn reset_restores_initial_state() {
         let (env, p) = setup();
         let mut b = ResourceBalancer::new(BalancerParams::default());
-        let _ = b.adjust(&p, env.spec(), env.budget_w(), &obs_with(12.0, 12_000.0), 10.0, cfg(4, 5, 6));
+        let _ = b.adjust(
+            &p,
+            env.spec(),
+            env.budget_w(),
+            &obs_with(12.0, 12_000.0),
+            10.0,
+            cfg(4, 5, 6),
+        );
         b.reset();
         assert!((b.granularity - 0.5).abs() < 1e-12);
         assert!(b.pending.is_none());
@@ -446,7 +509,14 @@ mod tests {
         let mut b = ResourceBalancer::new(BalancerParams::default());
         // Start with a BE partition already at the minimum.
         let tiny = PairConfig::new(Allocation::new(19, 9, 19), Allocation::new(1, 0, 1));
-        let out = b.adjust(&p, env.spec(), env.budget_w(), &obs_with(12.0, 48_000.0), 10.0, tiny);
+        let out = b.adjust(
+            &p,
+            env.spec(),
+            env.budget_w(),
+            &obs_with(12.0, 48_000.0),
+            10.0,
+            tiny,
+        );
         if let Some(o) = out {
             assert!(o.be.cores >= 1);
             assert!(o.be.llc_ways >= 1);

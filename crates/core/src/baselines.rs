@@ -86,12 +86,7 @@ pub struct PartiesController {
 
 impl PartiesController {
     /// Builds the controller.
-    pub fn new(
-        spec: NodeSpec,
-        budget_w: f64,
-        qos_target_ms: f64,
-        params: PartiesParams,
-    ) -> Self {
+    pub fn new(spec: NodeSpec, budget_w: f64, qos_target_ms: f64, params: PartiesParams) -> Self {
         Self {
             spec,
             budget_w,
@@ -494,7 +489,13 @@ mod tests {
         let mut c = controller();
         let mut current = cfg(6, 5, 8, 14, 8, 12);
         for i in 0..100 {
-            let p95 = if i % 3 == 0 { 9.5 } else if i % 3 == 1 { 2.0 } else { 8.5 };
+            let p95 = if i % 3 == 0 {
+                9.5
+            } else if i % 3 == 1 {
+                2.0
+            } else {
+                8.5
+            };
             current = c.decide(&obs(p95, 70.0), current);
             assert!(current.validate(&spec()).is_ok());
         }

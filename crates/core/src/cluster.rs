@@ -12,6 +12,7 @@
 
 use crate::controller::{ControllerParams, ResourceController, SturgeonController};
 use crate::experiment::{ColocationPair, ExperimentSetup};
+use rayon::prelude::*;
 use sturgeon_simnode::{IntervalSample, SimActuators, TelemetryLog};
 use sturgeon_workloads::env::CoLocationEnv;
 use sturgeon_workloads::loadgen::LoadProfile;
@@ -185,32 +186,44 @@ impl Cluster {
         }
     }
 
+    /// One node's monitor → decide → actuate interval.
+    fn step_node(node: &mut NodeRuntime, qps: f64) {
+        let obs = node.env.step(&node.actuators.config(), qps);
+        node.actuators.push_power(obs.power_w);
+        node.last_p95_ms = obs.p95_ms;
+        node.log.push(IntervalSample {
+            t_s: obs.t_s,
+            qps: obs.qps,
+            p95_ms: obs.p95_ms,
+            in_target_fraction: obs.in_target_fraction,
+            power_w: obs.power_w,
+            be_throughput_norm: obs.be_throughput_norm,
+            config: node.actuators.config(),
+        });
+        let next = node.controller.decide(&obs, node.config);
+        if next != node.config {
+            node.actuators.apply(next).expect("valid config");
+            node.config = next;
+        }
+    }
+
     /// Runs the cluster for `duration_s` intervals under a *cluster-wide*
     /// load profile whose fraction applies to the aggregate peak.
+    ///
+    /// Nodes step in parallel across the rayon pool: the paper's
+    /// deployment model has no cross-node coordination, so each interval
+    /// is embarrassingly parallel once the dispatch weights are fixed.
     pub fn run(&mut self, profile: LoadProfile, duration_s: u32) -> ClusterResult {
         for t in 0..duration_s {
             let total_qps = profile.qps_at(t as f64, self.peak_qps());
             let weights = self.weights();
-            for (node, w) in self.nodes.iter_mut().zip(&weights) {
-                let qps = total_qps * w;
-                let obs = node.env.step(&node.actuators.config(), qps);
-                node.actuators.push_power(obs.power_w);
-                node.last_p95_ms = obs.p95_ms;
-                node.log.push(IntervalSample {
-                    t_s: obs.t_s,
-                    qps: obs.qps,
-                    p95_ms: obs.p95_ms,
-                    in_target_fraction: obs.in_target_fraction,
-                    power_w: obs.power_w,
-                    be_throughput_norm: obs.be_throughput_norm,
-                    config: node.actuators.config(),
-                });
-                let next = node.controller.decide(&obs, node.config);
-                if next != node.config {
-                    node.actuators.apply(next).expect("valid config");
-                    node.config = next;
-                }
-            }
+            let mut work: Vec<(&mut NodeRuntime, f64)> = self
+                .nodes
+                .iter_mut()
+                .zip(weights.iter().map(|w| total_qps * w))
+                .collect();
+            work.par_iter_mut()
+                .for_each(|(node, qps)| Self::step_node(node, *qps));
         }
         self.result()
     }
@@ -229,8 +242,7 @@ impl Cluster {
             let mean_power = if node.log.is_empty() {
                 0.0
             } else {
-                node.log.samples().iter().map(|s| s.power_w).sum::<f64>()
-                    / node.log.len() as f64
+                node.log.samples().iter().map(|s| s.power_w).sum::<f64>() / node.log.len() as f64
             };
             let q: f64 = node.log.samples().iter().map(|s| s.qps).sum();
             total_q += q;
@@ -248,7 +260,11 @@ impl Cluster {
         }
         ClusterResult {
             nodes,
-            qos_rate: if total_q > 0.0 { in_target_q / total_q } else { 1.0 },
+            qos_rate: if total_q > 0.0 {
+                in_target_q / total_q
+            } else {
+                1.0
+            },
             total_be_throughput: total_tput,
             mean_cluster_power_w: total_power,
             cluster_budget_w: budget,
@@ -282,12 +298,7 @@ mod tests {
 
     #[test]
     fn weighted_dispatch_loads_nodes_unevenly() {
-        let mut cluster = Cluster::new(
-            pair(),
-            2,
-            DispatchPolicy::Weighted(vec![3.0, 1.0]),
-            7,
-        );
+        let mut cluster = Cluster::new(pair(), 2, DispatchPolicy::Weighted(vec![3.0, 1.0]), 7);
         let _ = cluster.run(LoadProfile::Constant { fraction: 0.3 }, 40);
         let q0: f64 = cluster.nodes[0].log.samples().iter().map(|s| s.qps).sum();
         let q1: f64 = cluster.nodes[1].log.samples().iter().map(|s| s.qps).sum();
@@ -312,7 +323,11 @@ mod tests {
         // policy must match even dispatch.
         let mut cluster = Cluster::new(pair(), 2, DispatchPolicy::LatencyAware, 5);
         let r = cluster.run(LoadProfile::paper_fluctuating(200.0), 200);
-        assert!(r.qos_rate > 0.93, "latency-aware cluster QoS {}", r.qos_rate);
+        assert!(
+            r.qos_rate > 0.93,
+            "latency-aware cluster QoS {}",
+            r.qos_rate
+        );
         assert!(r.mean_cluster_power_w <= r.cluster_budget_w);
     }
 

@@ -24,7 +24,11 @@ pub trait ResourceController {
     /// service, because the initial load is unknown.
     fn initial_config(&self, spec: &NodeSpec) -> PairConfig {
         PairConfig::new(
-            Allocation::new(spec.total_cores - 1, spec.max_freq_level(), spec.total_llc_ways - 1),
+            Allocation::new(
+                spec.total_cores - 1,
+                spec.max_freq_level(),
+                spec.total_llc_ways - 1,
+            ),
             Allocation::new(1, 0, 1),
         )
     }
@@ -77,6 +81,10 @@ pub struct SturgeonController {
     last_search_qps: Option<f64>,
     last_search_config: Option<PairConfig>,
     last_search_stats: Option<SearchStats>,
+    /// Seed for the warm-started search: the raw best configuration of the
+    /// last *successful* search and the load it was found at. Fallback and
+    /// adaptor-hardened configs are never used as seeds.
+    warm_hint: Option<(PairConfig, f64)>,
     /// Search results that violated QoS immediately after being applied
     /// at the current load: the model was wrong about them, so they are
     /// not trusted again until the load changes.
@@ -109,6 +117,7 @@ impl SturgeonController {
             last_search_qps: None,
             last_search_config: None,
             last_search_stats: None,
+            warm_hint: None,
             rejected: Vec::new(),
             searches: 0,
             adaptor: None,
@@ -157,7 +166,11 @@ impl SturgeonController {
                 self.spec.max_freq_level(),
                 self.spec.total_llc_ways - self.params.search.min_be_ways,
             ),
-            Allocation::new(self.params.search.min_be_cores, 0, self.params.search.min_be_ways),
+            Allocation::new(
+                self.params.search.min_be_cores,
+                0,
+                self.params.search.min_be_ways,
+            ),
         )
     }
 
@@ -168,7 +181,13 @@ impl SturgeonController {
             self.budget_w,
             self.params.search,
         );
-        let outcome = search.best_config(qps);
+        // Warm start from the previous successful search when the load
+        // drifted only a little (the common diurnal case): the C1 window
+        // re-scan costs a fraction of the full §V-B pass and falls back to
+        // it automatically when the seed no longer applies.
+        let previous = self.warm_hint.as_ref().map(|(cfg, q)| (cfg, *q));
+        let outcome = search.best_config_warm(qps, previous);
+        self.warm_hint = outcome.best.map(|cfg| (cfg, qps));
         self.last_search_stats = Some(outcome.stats);
         self.last_search_qps = Some(qps);
         self.searches += 1;

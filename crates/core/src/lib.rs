@@ -32,6 +32,7 @@
 
 pub mod balancer;
 pub mod baselines;
+pub mod cache;
 pub mod cluster;
 pub mod controller;
 pub mod experiment;
@@ -48,6 +49,7 @@ pub mod search;
 pub mod prelude {
     pub use crate::balancer::{BalancerParams, ResourceBalancer};
     pub use crate::baselines::{PartiesController, StaticReservationController};
+    pub use crate::cache::PredictionCache;
     pub use crate::cluster::{Cluster, ClusterResult, DispatchPolicy};
     pub use crate::controller::{ControllerParams, ResourceController, SturgeonController};
     pub use crate::experiment::{ColocationPair, ExperimentSetup, RunResult};

@@ -24,6 +24,7 @@ use crate::profiler::features;
 use crate::search::{greatest_satisfying, least_satisfying};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use sturgeon_mlkit::{Classifier, Dataset, MlError, Regressor};
 use sturgeon_simnode::{Allocation, NodeSpec};
 use sturgeon_workloads::multienv::{MultiColocationEnv, MultiConfig, MultiObservation};
@@ -290,8 +291,7 @@ impl<'m> MultiSearch<'m> {
         max_ways: u32,
     ) -> Option<Allocation> {
         let top = self.spec.max_freq_level();
-        let cores =
-            least_satisfying(1, max_cores, |c| self.trusted(idx, c, top, max_ways, qps))?;
+        let cores = least_satisfying(1, max_cores, |c| self.trusted(idx, c, top, max_ways, qps))?;
         let ways = least_satisfying(1, max_ways, |l| self.trusted(idx, cores, top, l, qps))?;
         let level = least_satisfying(0, top as u32, |f| {
             self.trusted(idx, cores, f as usize, ways, qps)
@@ -323,7 +323,10 @@ impl<'m> MultiSearch<'m> {
         }
 
         // Phase 2: greedy marginal split of leftover cores/ways among the
-        // BE applications (reference frequency: mid level).
+        // BE applications (reference frequency: mid level). The marginal
+        // gains of each step are independent per BE, so the candidate
+        // enumeration fans out across the rayon pool; the winner selection
+        // stays sequential and keeps the serial tie-breaking (last max).
         let mid = self.spec.max_freq_level() / 2;
         let f_mid = self.spec.freq_ghz(mid);
         let mut be_allocs: Vec<Allocation> = (0..self.be.len())
@@ -333,23 +336,21 @@ impl<'m> MultiSearch<'m> {
         let mut spare_ways = remaining_ways - n_be;
         while spare_cores > 0 {
             let best = (0..self.be.len())
-                .max_by(|&a, &b| {
-                    let ga = self.marginal_core_gain(a, &be_allocs[a], f_mid);
-                    let gb = self.marginal_core_gain(b, &be_allocs[b], f_mid);
-                    ga.total_cmp(&gb)
-                })
-                .expect("at least one BE");
+                .into_par_iter()
+                .map(|i| (i, self.marginal_core_gain(i, &be_allocs[i], f_mid)))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("at least one BE")
+                .0;
             be_allocs[best].cores += 1;
             spare_cores -= 1;
         }
         while spare_ways > 0 {
             let best = (0..self.be.len())
-                .max_by(|&a, &b| {
-                    let ga = self.marginal_way_gain(a, &be_allocs[a], f_mid);
-                    let gb = self.marginal_way_gain(b, &be_allocs[b], f_mid);
-                    ga.total_cmp(&gb)
-                })
-                .expect("at least one BE");
+                .into_par_iter()
+                .map(|i| (i, self.marginal_way_gain(i, &be_allocs[i], f_mid)))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("at least one BE")
+                .0;
             be_allocs[best].llc_ways += 1;
             spare_ways -= 1;
         }
@@ -385,21 +386,29 @@ impl<'m> MultiSearch<'m> {
             let top = self.spec.max_freq_level();
             loop {
                 // Candidate +1-level steps, scored by Δthroughput / ΔW.
+                // Each candidate costs three model evaluations, so the scan
+                // runs across the rayon pool; the in-order sequential
+                // reduction preserves the serial first-best-wins rule.
+                let steps: Vec<Option<(usize, f64, f64)>> = (0..self.be.len())
+                    .into_par_iter()
+                    .map(|i| {
+                        let a = &be_allocs[i];
+                        if a.freq_level >= top {
+                            return None;
+                        }
+                        let f_next = self.spec.freq_ghz(a.freq_level + 1);
+                        let f_cur = self.spec.freq_ghz(a.freq_level);
+                        let dp = self.be[i].power_w(a.cores, f_next, a.llc_ways) - be_power[i];
+                        if dp > headroom {
+                            return None;
+                        }
+                        let dt = self.be[i].throughput(a.cores, f_next, a.llc_ways)
+                            - self.be[i].throughput(a.cores, f_cur, a.llc_ways);
+                        Some((i, dt / dp.max(1e-6), dp))
+                    })
+                    .collect();
                 let mut best: Option<(usize, f64, f64)> = None;
-                for i in 0..self.be.len() {
-                    let a = &be_allocs[i];
-                    if a.freq_level >= top {
-                        continue;
-                    }
-                    let f_next = self.spec.freq_ghz(a.freq_level + 1);
-                    let f_cur = self.spec.freq_ghz(a.freq_level);
-                    let dp = self.be[i].power_w(a.cores, f_next, a.llc_ways) - be_power[i];
-                    if dp > headroom {
-                        continue;
-                    }
-                    let dt = self.be[i].throughput(a.cores, f_next, a.llc_ways)
-                        - self.be[i].throughput(a.cores, f_cur, a.llc_ways);
-                    let score = dt / dp.max(1e-6);
+                for (i, score, dp) in steps.into_iter().flatten() {
                     if best.is_none_or(|(_, s, _)| score > s) {
                         best = Some((i, score, dp));
                     }

@@ -19,8 +19,8 @@
 //!
 //! The `adaptation_reduces_misprediction` test quantifies the effect.
 
-use crate::profiler::features;
 use crate::predictor::{make_regressor, ModelKind};
+use crate::profiler::features;
 use sturgeon_mlkit::{Dataset, MlError, Regressor};
 
 /// One live observation the adaptor can learn from.
@@ -186,7 +186,13 @@ impl OnlineAdaptor {
 
     /// Latency prediction from the adapted model (offline-only model
     /// before the first refit).
-    pub fn predicted_p95_ms(&mut self, qps: f64, cores: u32, freq_ghz: f64, ways: u32) -> Result<f64, MlError> {
+    pub fn predicted_p95_ms(
+        &mut self,
+        qps: f64,
+        cores: u32,
+        freq_ghz: f64,
+        ways: u32,
+    ) -> Result<f64, MlError> {
         if self.model.is_none() {
             // Lazily fit on offline data alone.
             let mut model = make_regressor(self.config.model);
@@ -356,8 +362,7 @@ mod tests {
             for level in 0..10usize {
                 for ways in [4u32, 6, 8, 10] {
                     let f = 1.2 + 0.1111111111111111 * level as f64;
-                    let model_clean =
-                        adaptor.corrected_feasible(1_200.0, cores, f, ways).unwrap();
+                    let model_clean = adaptor.corrected_feasible(1_200.0, cores, f, ways).unwrap();
                     let dirty = ls
                         .latency_disturbed(cores, f, ways, 1_200.0, 1.0, additive)
                         .p95_ms;

@@ -119,7 +119,11 @@ mod tests {
     fn placer() -> BePlacer {
         BePlacer::new(
             LsServiceId::Memcached,
-            &[BeAppId::Ferret, BeAppId::Fluidanimate, BeAppId::Blackscholes],
+            &[
+                BeAppId::Ferret,
+                BeAppId::Fluidanimate,
+                BeAppId::Blackscholes,
+            ],
             42,
         )
     }

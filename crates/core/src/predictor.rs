@@ -18,7 +18,8 @@
 //! comparison (DT, KNN, SV, MLP, logistic/linear regression) and the
 //! Lasso feature-selection step of §V-A.
 
-use crate::profiler::{features, ProfileDatasets};
+use crate::cache::{Family, PredictionCache};
+use crate::profiler::{features, ProfileDatasets, FEATURE_DIM};
 use std::sync::atomic::{AtomicU64, Ordering};
 use sturgeon_mlkit::{
     Classifier, Dataset, DecisionTreeClassifier, DecisionTreeRegressor, KnnClassifier,
@@ -107,6 +108,27 @@ pub fn make_regressor(kind: ModelKind) -> Box<dyn Regressor + Send + Sync> {
     }
 }
 
+/// Per-model feature selection for the BE power model (paper §V-A): a BE
+/// app's power draw is driven by its pinned cores and frequency, not by
+/// its LLC partition, so the `ways` column is masked to a constant before
+/// fitting. Leaving the irrelevant dimension in lets it dominate the
+/// instance-based models' distance metric and inflates error at the
+/// sparsely-sampled corners of the configuration grid.
+fn mask_ways(data: &Dataset) -> Result<Dataset, MlError> {
+    let x = data
+        .x
+        .iter()
+        .map(|row| {
+            let mut r = row.clone();
+            if r.len() == FEATURE_DIM {
+                r[3] = 0.0;
+            }
+            r
+        })
+        .collect();
+    Dataset::new(x, data.y.clone())
+}
+
 /// Which family backs each of the four models, plus the safety margin.
 #[derive(Debug, Clone, Copy)]
 pub struct PredictorConfig {
@@ -164,6 +186,9 @@ pub struct PerfPowerPredictor {
     /// QoS target (ms) the latency second-opinion is compared against.
     qos_target_ms: f64,
     predictions: AtomicU64,
+    /// Memoized answers for the four hot query families. Keys are exact
+    /// by default, so the cache never changes a result, only its cost.
+    cache: PredictionCache,
 }
 
 impl std::fmt::Debug for PerfPowerPredictor {
@@ -172,6 +197,7 @@ impl std::fmt::Debug for PerfPowerPredictor {
             .field("config", &self.config)
             .field("static_power_w", &self.static_power_w)
             .field("predictions", &self.predictions.load(Ordering::Relaxed))
+            .field("cache", &self.cache)
             .finish()
     }
 }
@@ -198,14 +224,9 @@ impl PerfPowerPredictor {
         let mut be_perf = make_regressor(config.be_perf);
         be_perf.fit(&datasets.be_throughput)?;
         let mut be_power = make_regressor(config.be_power);
-        be_power.fit(&datasets.be_power)?;
+        be_power.fit(&mask_ways(&datasets.be_power)?)?;
         // Feature 0 of the LS datasets is the offered load (QPS).
-        let max_trained_qps = datasets
-            .ls_qos
-            .x
-            .iter()
-            .map(|r| r[0])
-            .fold(0.0, f64::max);
+        let max_trained_qps = datasets.ls_qos.x.iter().map(|r| r[0]).fold(0.0, f64::max);
         Ok(Self {
             config,
             ls_qos,
@@ -218,6 +239,7 @@ impl PerfPowerPredictor {
             max_trained_qps,
             qos_target_ms,
             predictions: AtomicU64::new(0),
+            cache: PredictionCache::new(),
         })
     }
 
@@ -225,14 +247,63 @@ impl PerfPowerPredictor {
         self.predictions.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Total model invocations since construction or the last reset.
+    /// Total prediction queries answered since construction or the last
+    /// reset. Counts every query whether it ran the models or was served
+    /// from the memo cache — the stable measure of search work; subtract
+    /// [`cache_hits`](Self::cache_hits) for actual model executions.
     pub fn prediction_count(&self) -> u64 {
         self.predictions.load(Ordering::Relaxed)
     }
 
-    /// Resets the invocation counter (used by the overhead benches).
+    /// Resets the query counter (used by the overhead benches).
     pub fn reset_prediction_count(&self) {
         self.predictions.store(0, Ordering::Relaxed);
+    }
+
+    /// The prediction memo cache (enable/disable, quantum, accounting).
+    pub fn cache(&self) -> &PredictionCache {
+        &self.cache
+    }
+
+    /// Queries served from the memo cache without running any model.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.hits()
+    }
+
+    /// Queries that ran the underlying models and populated the cache.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache.misses()
+    }
+
+    /// Turns prediction memoization on or off (on by default). Results
+    /// are identical either way; only the cost changes.
+    pub fn set_caching(&self, enabled: bool) {
+        self.cache.set_enabled(enabled);
+    }
+
+    /// Refits every model on fresh datasets in place and invalidates the
+    /// memo cache — stale entries would otherwise keep answering for the
+    /// old models. Query/hit counters are preserved so §VII-E accounting
+    /// can span retraining events.
+    pub fn retrain(&mut self, datasets: &ProfileDatasets) -> Result<(), MlError> {
+        let mut ls_qos = make_classifier(self.config.ls_qos);
+        ls_qos.fit(&datasets.ls_qos)?;
+        let mut ls_latency = make_regressor(self.config.ls_latency);
+        ls_latency.fit(&datasets.ls_latency)?;
+        let mut ls_power = make_regressor(self.config.ls_power);
+        ls_power.fit(&datasets.ls_power)?;
+        let mut be_perf = make_regressor(self.config.be_perf);
+        be_perf.fit(&datasets.be_throughput)?;
+        let mut be_power = make_regressor(self.config.be_power);
+        be_power.fit(&mask_ways(&datasets.be_power)?)?;
+        self.ls_qos = ls_qos;
+        self.ls_latency = ls_latency;
+        self.ls_power = ls_power;
+        self.be_perf = be_perf;
+        self.be_power = be_power;
+        self.max_trained_qps = datasets.ls_qos.x.iter().map(|r| r[0]).fold(0.0, f64::max);
+        self.cache.clear();
+        Ok(())
     }
 
     /// The configuration this predictor was built with.
@@ -245,42 +316,68 @@ impl PerfPowerPredictor {
         self.count();
         if qps > 1.1 * self.max_trained_qps {
             // Never extrapolate a QoS promise beyond the profiled domain.
+            // Cheap domain check — not worth a cache slot.
             return false;
         }
-        let guarded = (qps * (1.0 + self.config.qos_load_margin)).min(self.max_trained_qps);
-        let x = features(guarded, cores, freq_ghz, ways);
-        // Dual check: the classifier answers the paper's yes/no question,
-        // and the instance-based latency regressor vetoes feasible islands
-        // the tree may hallucinate far from any training sample.
+        // The feasibility verdict consumes two model rounds (classifier +
+        // latency veto); the counter tracks queries, so it advances by two
+        // whether the verdict is recomputed or memoized.
         self.count();
-        self.ls_qos.predict_label(&x)
-            && self.ls_latency.predict(&x) <= self.qos_target_ms
+        self.cache
+            .get_or_compute(Family::LsFeasible, cores, freq_ghz, ways, qps, || {
+                let guarded = (qps * (1.0 + self.config.qos_load_margin)).min(self.max_trained_qps);
+                let x = features(guarded, cores, freq_ghz, ways);
+                // Dual check: the classifier answers the paper's yes/no
+                // question, and the instance-based latency regressor vetoes
+                // feasible islands the tree may hallucinate far from any
+                // training sample.
+                let ok = self.ls_qos.predict_label(&x)
+                    && self.ls_latency.predict(&x) <= self.qos_target_ms;
+                f64::from(u8::from(ok))
+            })
+            != 0.0
     }
 
     /// Predicted LS partition power (W), margin included.
     pub fn ls_power_w(&self, cores: u32, freq_ghz: f64, ways: u32, qps: f64) -> f64 {
         self.count();
-        self.ls_power
-            .predict(&features(qps, cores, freq_ghz, ways))
-            .max(0.0)
-            * (1.0 + self.config.power_margin)
+        self.cache
+            .get_or_compute(Family::LsPower, cores, freq_ghz, ways, qps, || {
+                self.ls_power
+                    .predict(&features(qps, cores, freq_ghz, ways))
+                    .max(0.0)
+                    * (1.0 + self.config.power_margin)
+            })
     }
 
     /// Predicted BE throughput (normalized to the solo run).
     pub fn be_throughput(&self, cores: u32, freq_ghz: f64, ways: u32) -> f64 {
         self.count();
-        self.be_perf
-            .predict(&features(self.be_input_level, cores, freq_ghz, ways))
-            .max(0.0)
+        self.cache
+            .get_or_compute(Family::BeThroughput, cores, freq_ghz, ways, 0.0, || {
+                self.be_perf
+                    .predict(&features(self.be_input_level, cores, freq_ghz, ways))
+                    .max(0.0)
+            })
     }
 
     /// Predicted BE partition power (W), margin included.
-    pub fn be_power_w(&self, cores: u32, freq_ghz: f64, ways: u32) -> f64 {
+    ///
+    /// The `ways` argument is accepted for feature-layout symmetry but
+    /// ignored: the model is trained with the LLC column masked (see
+    /// [`mask_ways`]), mirroring the paper's §V-A per-model feature
+    /// selection — a BE app's power draw is set by its pinned cores and
+    /// frequency, not its cache partition. The cache key normalizes `ways`
+    /// to 0 for the same reason, so every way count hits one entry.
+    pub fn be_power_w(&self, cores: u32, freq_ghz: f64, _ways: u32) -> f64 {
         self.count();
-        self.be_power
-            .predict(&features(self.be_input_level, cores, freq_ghz, ways))
-            .max(0.0)
-            * (1.0 + self.config.power_margin)
+        self.cache
+            .get_or_compute(Family::BePower, cores, freq_ghz, 0, 0.0, || {
+                self.be_power
+                    .predict(&features(self.be_input_level, cores, freq_ghz, 0))
+                    .max(0.0)
+                    * (1.0 + self.config.power_margin)
+            })
     }
 
     /// Predicted total node power for a pair configuration (W).
@@ -301,13 +398,7 @@ impl PerfPowerPredictor {
 
     /// Feasibility per the paper's definition: QoS met *and* power within
     /// budget.
-    pub fn feasible(
-        &self,
-        config: &PairConfig,
-        spec: &NodeSpec,
-        qps: f64,
-        budget_w: f64,
-    ) -> bool {
+    pub fn feasible(&self, config: &PairConfig, spec: &NodeSpec, qps: f64, budget_w: f64) -> bool {
         self.ls_feasible(
             config.ls.cores,
             config.ls.freq_ghz(spec),
@@ -322,9 +413,7 @@ impl PerfPowerPredictor {
 pub mod evaluation {
     use super::*;
     use sturgeon_mlkit::metrics::classification_r2;
-use sturgeon_mlkit::{
-        accuracy, r2_score, train_test_split, Lasso,
-    };
+    use sturgeon_mlkit::{accuracy, r2_score, train_test_split, Lasso};
 
     /// Held-out scores for one model family.
     #[derive(Debug, Clone, Copy)]
@@ -582,7 +671,11 @@ mod tests {
             .iter()
             .find(|s| s.kind == ModelKind::DecisionTree)
             .unwrap();
-        assert!(dt.ls_qos_accuracy > 0.9, "DT accuracy {}", dt.ls_qos_accuracy);
+        assert!(
+            dt.ls_qos_accuracy > 0.9,
+            "DT accuracy {}",
+            dt.ls_qos_accuracy
+        );
         let knn = scores.iter().find(|s| s.kind == ModelKind::Knn).unwrap();
         assert!(knn.ls_power_r2 > 0.9, "KNN LS-power R² {}", knn.ls_power_r2);
         assert!(knn.be_power_r2 > 0.9, "KNN BE-power R² {}", knn.be_power_r2);

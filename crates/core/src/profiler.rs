@@ -10,6 +10,7 @@
 //! **input size, cores, core frequency, LLC ways**.
 
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use sturgeon_mlkit::{Dataset, MlError};
 use sturgeon_simnode::{Allocation, PairConfig};
@@ -118,9 +119,21 @@ impl<'e> Profiler<'e> {
         let mut be_ipc_y = Vec::new();
         let mut be_pow_y = Vec::new();
         let input_level = self.env.be().params.input_level as f64;
-        for _ in 0..self.config.be_samples {
-            let cores = rng.gen_range(1..spec.total_cores);
-            let level = rng.gen_range(0..=max_level);
+        // Stratified (cores, freq-level) coverage: cycle a shuffled grid
+        // of cells instead of sampling both axes uniformly at random.
+        // Uniform draws leave holes at sparsely hit cells (notably the
+        // low-cores/low-frequency corner), which the instance-based power
+        // models then interpolate across with large relative error; the
+        // strata guarantee every cell is visited ⌊n/cells⌋ or ⌈n/cells⌉
+        // times while LLC ways stay randomized within each visit.
+        let mut cells: Vec<(u32, usize)> = (1..spec.total_cores)
+            .flat_map(|c| (0..=max_level).map(move |l| (c, l)))
+            .collect();
+        for i in 0..self.config.be_samples {
+            if i % cells.len() == 0 {
+                cells.shuffle(&mut rng);
+            }
+            let (cores, level) = cells[i % cells.len()];
             let ways = rng.gen_range(1..spec.total_llc_ways);
             let f_ghz = spec.freq_ghz(level);
             be_x.push(features(input_level, cores, f_ghz, ways));

@@ -6,6 +6,7 @@
 //! no runtime dependencies beyond `serde`.
 
 use crate::experiment::RunResult;
+use crate::search::SearchStats;
 use serde::Serialize;
 use std::fmt::Write as _;
 use std::io;
@@ -53,6 +54,67 @@ impl From<&RunResult> for RunSummary {
             meets_qos_guarantee: r.meets_qos_guarantee(),
         }
     }
+}
+
+/// §VII-E overhead accounting for one search: prediction-query volume,
+/// memo-cache effectiveness and wall-clock, in export-ready form. Built
+/// from a [`SearchStats`] by `tab_overhead` and the overhead benches.
+#[derive(Debug, Clone, Serialize)]
+pub struct OverheadSummary {
+    /// What was measured (e.g. `binary@20%` or `exhaustive@20%`).
+    pub label: String,
+    /// Prediction queries issued by the search (cached or not) — the
+    /// stable measure of search work, identical with caching on or off.
+    pub prediction_count: u64,
+    /// Queries answered from the memo cache (no model executed).
+    pub cache_hits: u64,
+    /// Queries that ran the underlying models.
+    pub cache_misses: u64,
+    /// `cache_hits / (cache_hits + cache_misses)`; 0 when the cache saw
+    /// no lookups (disabled, or every query short-circuited).
+    pub cache_hit_rate: f64,
+    /// Candidate configurations fully evaluated.
+    pub candidates: usize,
+    /// Wall-clock duration in milliseconds.
+    pub duration_ms: f64,
+}
+
+impl OverheadSummary {
+    /// Builds the summary from one search's stats.
+    pub fn from_stats(label: impl Into<String>, stats: &SearchStats) -> Self {
+        let lookups = stats.cache_hits + stats.cache_misses;
+        Self {
+            label: label.into(),
+            prediction_count: stats.model_calls,
+            cache_hits: stats.cache_hits,
+            cache_misses: stats.cache_misses,
+            cache_hit_rate: if lookups > 0 {
+                stats.cache_hits as f64 / lookups as f64
+            } else {
+                0.0
+            },
+            candidates: stats.candidates,
+            duration_ms: stats.duration.as_secs_f64() * 1e3,
+        }
+    }
+
+    /// One aligned text row for the overhead tables.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<18} {:>8} queries  {:>8} hits  {:>8} misses  ({:>5.1}% hit)  {:>10.3} ms",
+            self.label,
+            self.prediction_count,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_hit_rate * 100.0,
+            self.duration_ms
+        )
+    }
+}
+
+/// Serializes a batch of overhead summaries as a JSON array.
+pub fn overhead_summary_json(summaries: &[OverheadSummary]) -> String {
+    serde_json::to_string_pretty(&summaries.to_vec()).expect("overhead summaries serialize")
 }
 
 /// Serializes one run summary as pretty JSON.
@@ -152,6 +214,34 @@ mod tests {
         assert_eq!(lines.len(), 11);
         assert!(lines[0].starts_with("t_s,qps,p95_ms"));
         assert_eq!(lines[1].split(',').count(), 12);
+    }
+
+    #[test]
+    fn overhead_summary_computes_hit_rate() {
+        let stats = SearchStats {
+            model_calls: 100,
+            candidates: 7,
+            duration: std::time::Duration::from_millis(3),
+            cache_hits: 60,
+            cache_misses: 20,
+        };
+        let s = OverheadSummary::from_stats("binary@20%", &stats);
+        assert_eq!(s.prediction_count, 100);
+        assert_eq!(s.cache_hits, 60);
+        assert_eq!(s.cache_misses, 20);
+        assert!((s.cache_hit_rate - 0.75).abs() < 1e-12);
+        assert!((s.duration_ms - 3.0).abs() < 0.5);
+        let row = s.row();
+        assert!(row.contains("binary@20%"));
+        assert!(row.contains("60"));
+        // No lookups → rate 0, not NaN.
+        let empty = OverheadSummary::from_stats("x", &SearchStats::default());
+        assert_eq!(empty.cache_hit_rate, 0.0);
+        // JSON export round-trips the fields.
+        let json = overhead_summary_json(&[s]);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v[0]["prediction_count"], 100);
+        assert_eq!(v[0]["cache_hits"], 60);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! comparison and for validating the fast path in tests.
 
 use crate::predictor::PerfPowerPredictor;
+use rayon::prelude::*;
 use std::time::{Duration, Instant};
 use sturgeon_simnode::{Allocation, NodeSpec, PairConfig};
 
@@ -34,6 +35,22 @@ pub struct SearchParams {
     /// rises with it, so budget feasibility is evaluated at
     /// `qps · (1 + power_load_headroom)`.
     pub power_load_headroom: f64,
+    /// Relative guard band subtracted from the budget before any
+    /// feasibility check: configurations are accepted against
+    /// `budget · (1 − power_guard)`. Covers residual model error on
+    /// boundary-hugging configurations (the power models interpolate from
+    /// interior samples and systematically under-predict at the
+    /// max-frequency edge of the trained domain), the same way RAPL
+    /// deployments keep a guard band under the package limit.
+    pub power_guard: f64,
+    /// Maximum relative load drift under which
+    /// [`ConfigSearch::best_config_warm`] trusts the previous interval's
+    /// configuration as a seed; beyond it the warm path falls back to the
+    /// full §V-B search.
+    pub warm_start_drift: f64,
+    /// Half-width of the C1 window scanned around the previous
+    /// configuration's LS core count on the warm path.
+    pub warm_start_window: u32,
 }
 
 impl Default for SearchParams {
@@ -42,6 +59,9 @@ impl Default for SearchParams {
             min_be_cores: 1,
             min_be_ways: 1,
             power_load_headroom: 0.08,
+            power_guard: 0.02,
+            warm_start_drift: 0.20,
+            warm_start_window: 2,
         }
     }
 }
@@ -49,12 +69,16 @@ impl Default for SearchParams {
 /// Instrumentation for the §VII-E overhead accounting.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SearchStats {
-    /// Model invocations consumed by the search.
+    /// Prediction queries consumed by the search (cached or not).
     pub model_calls: u64,
     /// Candidate configurations fully evaluated.
     pub candidates: usize,
     /// Wall-clock duration of the search.
     pub duration: Duration,
+    /// Of `model_calls`, queries answered from the prediction memo cache.
+    pub cache_hits: u64,
+    /// Of `model_calls`, queries that ran the underlying models.
+    pub cache_misses: u64,
 }
 
 /// The search result.
@@ -136,6 +160,12 @@ impl<'p> ConfigSearch<'p> {
         self.spec.total_cores - self.params.min_be_cores
     }
 
+    /// The budget after subtracting the guard band; every feasibility
+    /// check in both search paths uses this.
+    fn guarded_budget(&self) -> f64 {
+        self.budget_w * (1.0 - self.params.power_guard)
+    }
+
     fn max_l1(&self) -> u32 {
         self.spec.total_llc_ways - self.params.min_be_ways
     }
@@ -167,16 +197,14 @@ impl<'p> ConfigSearch<'p> {
         true
     }
 
-    /// Builds the candidate for a fixed LS core count: minimal L1 and F1
-    /// for QoS, complement for the BE side, maximal F2 under the budget.
-    fn candidate_for_c1(&self, c1: u32, qps: f64) -> Option<PairConfig> {
+    /// Completes a fixed `<C1, L1>` choice into a full candidate: minimal
+    /// F1 for QoS, complement for the BE side, maximal F2 under the
+    /// budget. Returns the configuration with its predicted BE throughput.
+    fn candidate_for_c1_l1(&self, c1: u32, l1: u32, qps: f64) -> Option<(PairConfig, f64)> {
         let top = self.spec.max_freq_level();
-        // Minimal LLC ways at maximum frequency.
-        let l1 = least_satisfying(1, self.max_l1(), |l| self.ls_trusted(c1, top, l, qps))?;
-        // Minimal frequency at that way count.
-        let f1 = least_satisfying(0, top as u32, |f| {
-            self.ls_trusted(c1, f as usize, l1, qps)
-        })? as usize;
+        // Minimal frequency at this way count.
+        let f1 =
+            least_satisfying(0, top as u32, |f| self.ls_trusted(c1, f as usize, l1, qps))? as usize;
         let ls = Allocation::new(c1, f1, l1);
         let c2 = self.spec.total_cores - c1;
         let l2 = self.spec.total_llc_ways - l1;
@@ -185,15 +213,83 @@ impl<'p> ConfigSearch<'p> {
         let qps_power = qps * (1.0 + self.params.power_load_headroom);
         let f2 = greatest_satisfying(0, top as u32, |f| {
             let cfg = PairConfig::new(ls, Allocation::new(c2, f as usize, l2));
-            self.predictor.total_power_w(&cfg, &self.spec, qps_power) <= self.budget_w
+            self.predictor.total_power_w(&cfg, &self.spec, qps_power) <= self.guarded_budget()
         })? as usize;
-        Some(PairConfig::new(ls, Allocation::new(c2, f2, l2)))
+        let cfg = PairConfig::new(ls, Allocation::new(c2, f2, l2));
+        let t = self.predictor.be_throughput(c2, self.spec.freq_ghz(f2), l2);
+        Some((cfg, t))
+    }
+
+    /// Builds the best candidate for a fixed LS core count.
+    ///
+    /// The minimal-L1 allocation is not always optimal: LS power falls as
+    /// the LS partition gains LLC ways (lower utilization at lower tail
+    /// latency), so under a tight budget, spare ways given to the LS side
+    /// can buy the BE partition a higher frequency. A short geometric
+    /// ladder of L1 values above the minimum covers that trade-off with
+    /// O(1) extra binary searches.
+    fn candidate_for_c1(&self, c1: u32, qps: f64) -> Option<(PairConfig, f64)> {
+        let top = self.spec.max_freq_level();
+        // Minimal LLC ways at maximum frequency.
+        let l1_min = least_satisfying(1, self.max_l1(), |l| self.ls_trusted(c1, top, l, qps))?;
+        let mut best: Option<(PairConfig, f64)> = None;
+        for step in [0u32, 2, 6, 14] {
+            let l1 = l1_min + step;
+            if l1 > self.max_l1() {
+                break;
+            }
+            let Some((cfg, t)) = self.candidate_for_c1_l1(c1, l1, qps) else {
+                continue;
+            };
+            if best.as_ref().is_none_or(|(_, bt)| t > *bt) {
+                best = Some((cfg, t));
+            }
+        }
+        best
+    }
+
+    /// Snapshot of the predictor's counters taken when a search starts;
+    /// [`finish`](Self::finish) turns it into a [`SearchStats`] delta.
+    fn meter(&self) -> (Instant, u64, u64, u64) {
+        (
+            Instant::now(),
+            self.predictor.prediction_count(),
+            self.predictor.cache_hits(),
+            self.predictor.cache_misses(),
+        )
+    }
+
+    fn finish(
+        &self,
+        meter: (Instant, u64, u64, u64),
+        best: Option<(PairConfig, f64)>,
+        candidates: usize,
+    ) -> SearchOutcome {
+        let (started, calls, hits, misses) = meter;
+        let stats = SearchStats {
+            model_calls: self.predictor.prediction_count() - calls,
+            candidates,
+            duration: started.elapsed(),
+            cache_hits: self.predictor.cache_hits() - hits,
+            cache_misses: self.predictor.cache_misses() - misses,
+        };
+        match best {
+            Some((cfg, t)) => SearchOutcome {
+                best: Some(cfg),
+                predicted_throughput: t,
+                stats,
+            },
+            None => SearchOutcome {
+                best: None,
+                predicted_throughput: 0.0,
+                stats,
+            },
+        }
     }
 
     /// The §V-B binary search: O(N log N) model calls.
     pub fn best_config(&self, qps: f64) -> SearchOutcome {
-        let started = Instant::now();
-        let calls_before = self.predictor.prediction_count();
+        let meter = self.meter();
         let top = self.spec.max_freq_level();
 
         // Step 1: minimum C1 at maximum frequency and cache.
@@ -207,15 +303,10 @@ impl<'p> ConfigSearch<'p> {
             // Steps 2–4: grow C1, rebuilding each candidate, until the BE
             // partition reaches maximum frequency.
             for c1 in c1_min..=self.max_c1() {
-                let Some(cfg) = self.candidate_for_c1(c1, qps) else {
+                let Some((cfg, t)) = self.candidate_for_c1(c1, qps) else {
                     continue;
                 };
                 candidates += 1;
-                let t = self.predictor.be_throughput(
-                    cfg.be.cores,
-                    self.spec.freq_ghz(cfg.be.freq_level),
-                    cfg.be.llc_ways,
-                );
                 if best.as_ref().is_none_or(|(_, bt)| t > *bt) {
                     best = Some((cfg, t));
                 }
@@ -225,81 +316,143 @@ impl<'p> ConfigSearch<'p> {
             }
         }
 
-        let stats = SearchStats {
-            model_calls: self.predictor.prediction_count() - calls_before,
-            candidates,
-            duration: started.elapsed(),
+        self.finish(meter, best, candidates)
+    }
+
+    /// Warm-started §V-B search: when the load has drifted less than
+    /// [`SearchParams::warm_start_drift`] since `previous` was found, the
+    /// optimal LS core count can only have moved a step or two, so only a
+    /// `± warm_start_window` C1 window around the previous choice is
+    /// rebuilt instead of re-running the full C1 scan. Any doubt — large
+    /// drift, no feasible candidate in the window — falls back to
+    /// [`best_config`](Self::best_config), so the warm path never returns
+    /// `None` where the cold path would find a configuration.
+    pub fn best_config_warm(
+        &self,
+        qps: f64,
+        previous: Option<(&PairConfig, f64)>,
+    ) -> SearchOutcome {
+        let Some((prev, prev_qps)) = previous else {
+            return self.best_config(qps);
         };
-        match best {
-            Some((cfg, t)) => SearchOutcome {
-                best: Some(cfg),
-                predicted_throughput: t,
-                stats,
-            },
-            None => SearchOutcome {
-                best: None,
-                predicted_throughput: 0.0,
-                stats,
-            },
+        let drift = (qps - prev_qps).abs() / prev_qps.max(1.0);
+        if drift > self.params.warm_start_drift {
+            return self.best_config(qps);
         }
+        let meter = self.meter();
+        let top = self.spec.max_freq_level();
+        let w = self.params.warm_start_window;
+        let lo = prev.ls.cores.saturating_sub(w).max(1);
+        let hi = (prev.ls.cores + w).min(self.max_c1());
+
+        let mut best: Option<(PairConfig, f64)> = None;
+        let mut candidates = 0usize;
+        for c1 in lo..=hi {
+            let Some((cfg, t)) = self.candidate_for_c1(c1, qps) else {
+                continue;
+            };
+            candidates += 1;
+            if best.as_ref().is_none_or(|(_, bt)| t > *bt) {
+                best = Some((cfg, t));
+            }
+            if cfg.be.freq_level == top {
+                break;
+            }
+        }
+        if best.is_none() {
+            // The previous neighbourhood no longer contains a feasible
+            // point (e.g. load rose past what ± window cores can absorb).
+            return self.best_config(qps);
+        }
+        self.finish(meter, best, candidates)
+    }
+
+    /// One C1 slice of the exhaustive sweep: every `<F1, L1, F2>` for the
+    /// fixed LS core count. Returns the slice's best candidate and how
+    /// many were fully evaluated.
+    fn exhaustive_slice(
+        &self,
+        c1: u32,
+        qps: f64,
+        qps_power: f64,
+    ) -> (Option<(PairConfig, f64)>, usize) {
+        let top = self.spec.max_freq_level();
+        let c2 = self.spec.total_cores - c1;
+        let mut best: Option<(PairConfig, f64)> = None;
+        let mut candidates = 0usize;
+        for f1 in 0..=top {
+            for l1 in 1..=self.max_l1() {
+                if !self.ls_ok(c1, f1, l1, qps) {
+                    continue;
+                }
+                let l2 = self.spec.total_llc_ways - l1;
+                for f2 in (0..=top).rev() {
+                    let cfg =
+                        PairConfig::new(Allocation::new(c1, f1, l1), Allocation::new(c2, f2, l2));
+                    if self.predictor.total_power_w(&cfg, &self.spec, qps_power)
+                        > self.guarded_budget()
+                    {
+                        continue;
+                    }
+                    candidates += 1;
+                    let t = self.predictor.be_throughput(c2, self.spec.freq_ghz(f2), l2);
+                    if best.as_ref().is_none_or(|(_, bt)| t > *bt) {
+                        best = Some((cfg, t));
+                    }
+                    break; // lower F2 is strictly worse for this (c1,f1,l1)
+                }
+            }
+        }
+        (best, candidates)
+    }
+
+    fn exhaustive_impl(&self, qps: f64, parallel: bool) -> SearchOutcome {
+        let meter = self.meter();
+        // Same drifted-load power check as the fast path, so both searches
+        // answer the same feasibility question.
+        let qps_power = qps * (1.0 + self.params.power_load_headroom);
+        let c1_values: Vec<u32> = (1..=self.max_c1()).collect();
+        // The per-slice results come back in C1 order either way, and the
+        // reduction keeps the serial path's first-best-wins tie-breaking
+        // (strict `>`), so both paths return the identical configuration.
+        let slices: Vec<(Option<(PairConfig, f64)>, usize)> = if parallel {
+            c1_values
+                .into_par_iter()
+                .map(|c1| self.exhaustive_slice(c1, qps, qps_power))
+                .collect()
+        } else {
+            c1_values
+                .into_iter()
+                .map(|c1| self.exhaustive_slice(c1, qps, qps_power))
+                .collect()
+        };
+        let mut best: Option<(PairConfig, f64)> = None;
+        let mut candidates = 0usize;
+        for (slice_best, slice_candidates) in slices {
+            candidates += slice_candidates;
+            if let Some((cfg, t)) = slice_best {
+                if best.as_ref().is_none_or(|(_, bt)| t > *bt) {
+                    best = Some((cfg, t));
+                }
+            }
+        }
+        self.finish(meter, best, candidates)
     }
 
     /// The O(N⁴) exhaustive oracle of §VII-E: sweep every
     /// `<C1, F1, L1, F2>` (C2/L2 by subtraction) and keep the feasible
-    /// configuration with the highest predicted throughput.
+    /// configuration with the highest predicted throughput. The C1 slices
+    /// are evaluated in parallel across the rayon pool; the result is
+    /// identical to [`exhaustive_serial`](Self::exhaustive_serial).
     pub fn exhaustive(&self, qps: f64) -> SearchOutcome {
-        let started = Instant::now();
-        let calls_before = self.predictor.prediction_count();
-        let top = self.spec.max_freq_level();
-        let mut best: Option<(PairConfig, f64)> = None;
-        let mut candidates = 0usize;
-        for c1 in 1..=self.max_c1() {
-            let c2 = self.spec.total_cores - c1;
-            for f1 in 0..=top {
-                for l1 in 1..=self.max_l1() {
-                    if !self.ls_ok(c1, f1, l1, qps) {
-                        continue;
-                    }
-                    let l2 = self.spec.total_llc_ways - l1;
-                    for f2 in (0..=top).rev() {
-                        let cfg = PairConfig::new(
-                            Allocation::new(c1, f1, l1),
-                            Allocation::new(c2, f2, l2),
-                        );
-                        if self.predictor.total_power_w(&cfg, &self.spec, qps) > self.budget_w {
-                            continue;
-                        }
-                        candidates += 1;
-                        let t = self.predictor.be_throughput(
-                            c2,
-                            self.spec.freq_ghz(f2),
-                            l2,
-                        );
-                        if best.as_ref().is_none_or(|(_, bt)| t > *bt) {
-                            best = Some((cfg, t));
-                        }
-                        break; // lower F2 is strictly worse for this (c1,f1,l1)
-                    }
-                }
-            }
-        }
-        let stats = SearchStats {
-            model_calls: self.predictor.prediction_count() - calls_before,
-            candidates,
-            duration: started.elapsed(),
-        };
-        match best {
-            Some((cfg, t)) => SearchOutcome {
-                best: Some(cfg),
-                predicted_throughput: t,
-                stats,
-            },
-            None => SearchOutcome {
-                best: None,
-                predicted_throughput: 0.0,
-                stats,
-            },
-        }
+        self.exhaustive_impl(qps, true)
+    }
+
+    /// Single-threaded exhaustive oracle — the baseline the
+    /// serial-vs-parallel Criterion bench compares against, and a
+    /// reference for the equivalence tests.
+    pub fn exhaustive_serial(&self, qps: f64) -> SearchOutcome {
+        self.exhaustive_impl(qps, false)
     }
 }
 
@@ -375,8 +528,12 @@ mod tests {
     #[test]
     fn search_returns_feasible_config() {
         let (env, p) = setup();
-        let search =
-            ConfigSearch::new(&p, env.spec().clone(), env.budget_w(), SearchParams::default());
+        let search = ConfigSearch::new(
+            &p,
+            env.spec().clone(),
+            env.budget_w(),
+            SearchParams::default(),
+        );
         for frac in [0.2, 0.35, 0.5, 0.7] {
             let qps = frac * env.ls().params.peak_qps;
             let out = search.best_config(qps);
@@ -391,8 +548,12 @@ mod tests {
     #[test]
     fn search_is_fast_in_model_calls() {
         let (env, p) = setup();
-        let search =
-            ConfigSearch::new(&p, env.spec().clone(), env.budget_w(), SearchParams::default());
+        let search = ConfigSearch::new(
+            &p,
+            env.spec().clone(),
+            env.budget_w(),
+            SearchParams::default(),
+        );
         let out = search.best_config(0.3 * env.ls().params.peak_qps);
         // §VII-E bounds the fast search by (16 + 11·19)·4 models per
         // prediction round ≈ 900 calls; exhaustive needs ~40 000·4.
@@ -406,8 +567,12 @@ mod tests {
     #[test]
     fn fast_search_close_to_exhaustive() {
         let (env, p) = setup();
-        let search =
-            ConfigSearch::new(&p, env.spec().clone(), env.budget_w(), SearchParams::default());
+        let search = ConfigSearch::new(
+            &p,
+            env.spec().clone(),
+            env.budget_w(),
+            SearchParams::default(),
+        );
         let qps = 0.3 * env.ls().params.peak_qps;
         let fast = search.best_config(qps);
         let full = search.exhaustive(qps);
@@ -420,10 +585,111 @@ mod tests {
     }
 
     #[test]
+    fn parallel_exhaustive_matches_serial() {
+        let (env, p) = setup();
+        let search = ConfigSearch::new(
+            &p,
+            env.spec().clone(),
+            env.budget_w(),
+            SearchParams::default(),
+        );
+        for frac in [0.25, 0.5] {
+            let qps = frac * env.ls().params.peak_qps;
+            let par = search.exhaustive(qps);
+            let ser = search.exhaustive_serial(qps);
+            assert_eq!(par.best, ser.best);
+            assert_eq!(par.stats.candidates, ser.stats.candidates);
+            assert_eq!(par.predicted_throughput, ser.predicted_throughput);
+        }
+    }
+
+    #[test]
+    fn warm_start_matches_cold_search_quality() {
+        let (env, p) = setup();
+        let search = ConfigSearch::new(
+            &p,
+            env.spec().clone(),
+            env.budget_w(),
+            SearchParams::default(),
+        );
+        let peak = env.ls().params.peak_qps;
+        let prev_qps = 0.30 * peak;
+        let prev = search.best_config(prev_qps).best.unwrap();
+        // 10% drift: well inside the warm window.
+        let qps = 0.33 * peak;
+        let warm = search.best_config_warm(qps, Some((&prev, prev_qps)));
+        let cold = search.best_config(qps);
+        let wcfg = warm.best.expect("warm search must find a config");
+        assert!(wcfg.validate(env.spec()).is_ok());
+        assert!(p.feasible(&wcfg, env.spec(), qps, env.budget_w()));
+        // The warm window contains the cold optimum's neighbourhood, so
+        // quality must match the full scan closely.
+        assert!(
+            warm.predicted_throughput >= 0.95 * cold.predicted_throughput,
+            "warm {} vs cold {}",
+            warm.predicted_throughput,
+            cold.predicted_throughput
+        );
+    }
+
+    #[test]
+    fn warm_start_falls_back_on_large_drift() {
+        let (env, p) = setup();
+        let search = ConfigSearch::new(
+            &p,
+            env.spec().clone(),
+            env.budget_w(),
+            SearchParams::default(),
+        );
+        let peak = env.ls().params.peak_qps;
+        let prev_qps = 0.2 * peak;
+        let prev = search.best_config(prev_qps).best.unwrap();
+        // 250% drift: far past warm_start_drift → must behave exactly like
+        // the cold search.
+        let qps = 0.7 * peak;
+        let warm = search.best_config_warm(qps, Some((&prev, prev_qps)));
+        let cold = search.best_config(qps);
+        assert_eq!(warm.best, cold.best);
+        // And with no previous config at all, warm == cold trivially.
+        let none = search.best_config_warm(qps, None);
+        assert_eq!(none.best, cold.best);
+    }
+
+    #[test]
+    fn stats_expose_cache_hits() {
+        let (env, p) = setup();
+        let search = ConfigSearch::new(
+            &p,
+            env.spec().clone(),
+            env.budget_w(),
+            SearchParams::default(),
+        );
+        let qps = 0.3 * env.ls().params.peak_qps;
+        let first = search.best_config(qps);
+        // ls_feasible counts two queries per memoized verdict, so lookups
+        // are bounded by (not equal to) the query count.
+        assert!(first.stats.cache_hits + first.stats.cache_misses <= first.stats.model_calls);
+        assert!(first.stats.cache_misses > 0, "fresh predictor must compute");
+        // A repeated identical search is answered almost entirely from the
+        // memo cache.
+        let second = search.best_config(qps);
+        assert!(
+            second.stats.cache_misses == 0,
+            "repeat search recomputed {} queries",
+            second.stats.cache_misses
+        );
+        assert!(second.stats.cache_hits > 0);
+    }
+
+    #[test]
     fn impossible_load_yields_none() {
         let (env, p) = setup();
-        let search =
-            ConfigSearch::new(&p, env.spec().clone(), env.budget_w(), SearchParams::default());
+        let search = ConfigSearch::new(
+            &p,
+            env.spec().clone(),
+            env.budget_w(),
+            SearchParams::default(),
+        );
         // 5× peak load cannot be served even by the whole node.
         let out = search.best_config(5.0 * env.ls().params.peak_qps);
         assert!(out.best.is_none());
@@ -434,9 +700,13 @@ mod tests {
     fn tighter_budget_never_increases_throughput() {
         let (env, p) = setup();
         let qps = 0.3 * env.ls().params.peak_qps;
-        let normal =
-            ConfigSearch::new(&p, env.spec().clone(), env.budget_w(), SearchParams::default())
-                .best_config(qps);
+        let normal = ConfigSearch::new(
+            &p,
+            env.spec().clone(),
+            env.budget_w(),
+            SearchParams::default(),
+        )
+        .best_config(qps);
         let tight = ConfigSearch::new(
             &p,
             env.spec().clone(),

@@ -148,7 +148,11 @@ mod tests {
         let mut g = GbrtRegressor::default();
         g.fit(&data).unwrap();
         let pred = g.predict_batch(&data.x);
-        assert!(r2_score(&data.y, &pred) > 0.95, "{}", r2_score(&data.y, &pred));
+        assert!(
+            r2_score(&data.y, &pred) > 0.95,
+            "{}",
+            r2_score(&data.y, &pred)
+        );
         assert_eq!(g.stage_count(), 60);
     }
 
@@ -172,7 +176,11 @@ mod tests {
         g.fit(&data).unwrap();
         let rmse = g.staged_rmse(&data);
         assert_eq!(rmse.len(), 60);
-        assert!(rmse.last().unwrap() < &rmse[0], "{:?}", (&rmse[0], rmse.last()));
+        assert!(
+            rmse.last().unwrap() < &rmse[0],
+            "{:?}",
+            (&rmse[0], rmse.last())
+        );
         // Mostly monotone: no stage should blow the error up.
         for w in rmse.windows(2) {
             assert!(w[1] <= w[0] * 1.05, "stage regressed: {} -> {}", w[0], w[1]);

@@ -97,38 +97,58 @@ impl KnnCore {
     }
 }
 
-/// Averages neighbour targets, optionally weighting by inverse distance.
-/// Inverse-distance weighting removes the smoothing bias at the edges of
-/// the training domain (critical for power models queried at the
-/// all-cores/max-frequency corner).
-fn aggregate(neighbors: &[Neighbor], weighted: bool) -> f64 {
+/// How neighbour targets are folded into one prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Aggregation {
+    /// Plain mean of the `k` targets.
+    Mean,
+    /// Inverse-distance-weighted mean. Removes the smoothing bias at the
+    /// edges of the training domain (critical for power models queried at
+    /// the all-cores/max-frequency corner).
+    Weighted,
+    /// Maximum of the `k` targets: the paper's conservative peak-power
+    /// training ("Sturgeon builds power models based on their peak powers
+    /// conservatively"). Mean-style aggregation systematically
+    /// *under*-predicts at domain boundaries because every neighbour lies
+    /// on the interior, cheaper side; taking the neighbourhood peak turns
+    /// that bias into a safety margin instead.
+    Peak,
+}
+
+/// Folds neighbour targets into one prediction per the aggregation mode.
+fn aggregate(neighbors: &[Neighbor], mode: Aggregation) -> f64 {
     if neighbors.is_empty() {
         return 0.0;
     }
-    if weighted {
-        // An exact-match neighbour short-circuits to its target.
-        if let Some(hit) = neighbors.iter().find(|n| n.dist2 < 1e-18) {
-            return hit.y;
+    match mode {
+        Aggregation::Weighted => {
+            // An exact-match neighbour short-circuits to its target.
+            if let Some(hit) = neighbors.iter().find(|n| n.dist2 < 1e-18) {
+                return hit.y;
+            }
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for n in neighbors {
+                let w = 1.0 / n.dist2.sqrt();
+                num += w * n.y;
+                den += w;
+            }
+            num / den
         }
-        let mut num = 0.0;
-        let mut den = 0.0;
-        for n in neighbors {
-            let w = 1.0 / n.dist2.sqrt();
-            num += w * n.y;
-            den += w;
-        }
-        num / den
-    } else {
-        neighbors.iter().map(|n| n.y).sum::<f64>() / neighbors.len() as f64
+        Aggregation::Mean => neighbors.iter().map(|n| n.y).sum::<f64>() / neighbors.len() as f64,
+        Aggregation::Peak => neighbors
+            .iter()
+            .map(|n| n.y)
+            .fold(f64::NEG_INFINITY, f64::max),
     }
 }
 
-/// KNN regressor: predicts the (optionally distance-weighted) mean target
-/// of the `k` nearest neighbours.
+/// KNN regressor: predicts an aggregate (mean, distance-weighted mean, or
+/// peak) of the `k` nearest neighbours' targets.
 #[derive(Debug, Clone)]
 pub struct KnnRegressor {
     core: KnnCore,
-    weighted: bool,
+    mode: Aggregation,
 }
 
 impl KnnRegressor {
@@ -136,7 +156,7 @@ impl KnnRegressor {
     pub fn new(k: usize) -> Self {
         Self {
             core: KnnCore::new(k),
-            weighted: false,
+            mode: Aggregation::Mean,
         }
     }
 
@@ -144,7 +164,16 @@ impl KnnRegressor {
     pub fn weighted(k: usize) -> Self {
         Self {
             core: KnnCore::new(k),
-            weighted: true,
+            mode: Aggregation::Weighted,
+        }
+    }
+
+    /// Creates a peak-of-neighbourhood regressor (conservative: predicts
+    /// the largest target among the `k` nearest training rows).
+    pub fn peak(k: usize) -> Self {
+        Self {
+            core: KnnCore::new(k),
+            mode: Aggregation::Peak,
         }
     }
 }
@@ -155,7 +184,7 @@ impl Regressor for KnnRegressor {
     }
 
     fn predict(&self, x: &[f64]) -> f64 {
-        aggregate(&self.core.neighbors(x), self.weighted)
+        aggregate(&self.core.neighbors(x), self.mode)
     }
 }
 
@@ -169,7 +198,9 @@ impl KnnClassifier {
     /// Creates a classifier with neighbourhood size `k` (odd values avoid
     /// ties).
     pub fn new(k: usize) -> Self {
-        Self { core: KnnCore::new(k) }
+        Self {
+            core: KnnCore::new(k),
+        }
     }
 }
 
@@ -180,7 +211,7 @@ impl Classifier for KnnClassifier {
     }
 
     fn predict_score(&self, x: &[f64]) -> f64 {
-        aggregate(&self.core.neighbors(x), false)
+        aggregate(&self.core.neighbors(x), Aggregation::Mean)
     }
 }
 
@@ -232,7 +263,10 @@ mod tests {
     fn classifier_majority_vote() {
         // Class 1 iff x0 > 5.
         let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 2.0]).collect();
-        let y: Vec<f64> = x.iter().map(|r| if r[0] > 5.0 { 1.0 } else { 0.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| if r[0] > 5.0 { 1.0 } else { 0.0 })
+            .collect();
         let data = Dataset::new(x, y).unwrap();
         let mut m = KnnClassifier::new(3);
         m.fit(&data).unwrap();

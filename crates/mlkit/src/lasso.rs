@@ -161,13 +161,7 @@ impl Regressor for Lasso {
     }
 
     fn predict(&self, x: &[f64]) -> f64 {
-        self.intercept
-            + self
-                .weights
-                .iter()
-                .zip(x)
-                .map(|(w, v)| w * v)
-                .sum::<f64>()
+        self.intercept + self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>()
     }
 }
 

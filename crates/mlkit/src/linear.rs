@@ -128,13 +128,7 @@ impl Regressor for LinearRegression {
 
     fn predict(&self, x: &[f64]) -> f64 {
         debug_assert!(self.fitted, "predict before fit");
-        self.intercept
-            + self
-                .weights
-                .iter()
-                .zip(x)
-                .map(|(w, v)| w * v)
-                .sum::<f64>()
+        self.intercept + self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>()
     }
 }
 

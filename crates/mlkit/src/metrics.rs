@@ -68,7 +68,10 @@ pub fn accuracy(y_true: &[bool], y_pred: &[bool]) -> f64 {
 /// in the Fig. 6 reproduction: computed on the 0/1 labels, as is standard
 /// when scoring a classifier with `r2_score`.
 pub fn classification_r2(y_true: &[f64], labels_pred: &[bool]) -> f64 {
-    let pred: Vec<f64> = labels_pred.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+    let pred: Vec<f64> = labels_pred
+        .iter()
+        .map(|&b| if b { 1.0 } else { 0.0 })
+        .collect();
     r2_score(y_true, &pred)
 }
 

@@ -59,9 +59,7 @@ impl Network {
                 .map(|_| (0..d).map(|_| rng.gen_range(-scale..scale)).collect())
                 .collect(),
             b1: vec![0.0; hidden],
-            w2: (0..hidden)
-                .map(|_| rng.gen_range(-scale..scale))
-                .collect(),
+            w2: (0..hidden).map(|_| rng.gen_range(-scale..scale)).collect(),
             b2: 0.0,
         }
     }
@@ -227,7 +225,9 @@ impl Default for MlpRegressor {
 impl MlpRegressor {
     /// Creates a regressor with the given hyper-parameters.
     pub fn new(params: MlpParams) -> Self {
-        Self { core: MlpCore::new(params) }
+        Self {
+            core: MlpCore::new(params),
+        }
     }
 }
 
@@ -256,7 +256,9 @@ impl Default for MlpClassifier {
 impl MlpClassifier {
     /// Creates a classifier with the given hyper-parameters.
     pub fn new(params: MlpParams) -> Self {
-        Self { core: MlpCore::new(params) }
+        Self {
+            core: MlpCore::new(params),
+        }
     }
 }
 
@@ -289,7 +291,11 @@ mod tests {
         let mut m = MlpRegressor::default();
         m.fit(&data).unwrap();
         let pred = m.predict_batch(&data.x);
-        assert!(r2_score(&data.y, &pred) > 0.9, "R² = {}", r2_score(&data.y, &pred));
+        assert!(
+            r2_score(&data.y, &pred) > 0.9,
+            "R² = {}",
+            r2_score(&data.y, &pred)
+        );
     }
 
     #[test]
@@ -350,7 +356,10 @@ mod tests {
     fn scores_bounded() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(23);
         let x: Vec<Vec<f64>> = (0..60).map(|_| vec![rng.gen_range(-5.0..5.0)]).collect();
-        let y: Vec<f64> = x.iter().map(|r| if r[0] > 0.0 { 1.0 } else { 0.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| if r[0] > 0.0 { 1.0 } else { 0.0 })
+            .collect();
         let data = Dataset::new(x, y).unwrap();
         let mut m = MlpClassifier::default();
         m.fit(&data).unwrap();

@@ -158,8 +158,7 @@ mod tests {
 
     #[test]
     fn dataset_rejects_ragged_rows() {
-        let err =
-            Dataset::new(vec![vec![1.0, 2.0], vec![3.0]], vec![0.0, 1.0]).unwrap_err();
+        let err = Dataset::new(vec![vec![1.0, 2.0], vec![3.0]], vec![0.0, 1.0]).unwrap_err();
         assert!(matches!(err, MlError::InvalidDataset(_)));
     }
 

@@ -162,7 +162,10 @@ mod tests {
 
     #[test]
     fn scores_are_probabilities_and_calibrated_at_midpoint() {
-        let data = two_blobs(2, 400, 2.0);
+        // The midpoint log-odds are very sensitive to the ratio of the two
+        // fitted variances, so a large sample keeps the estimates tight
+        // enough for the 0.1 calibration tolerance.
+        let data = two_blobs(2, 40_000, 2.0);
         let mut nb = GaussianNb::default();
         nb.fit(&data).unwrap();
         for v in [-4.0, -1.0, 0.0, 1.0, 4.0] {

@@ -95,7 +95,9 @@ impl Default for SvmClassifier {
 impl SvmClassifier {
     /// A classifier with the given hyper-parameters.
     pub fn new(params: SvmParams) -> Self {
-        Self { core: LinearSvmCore::new(params) }
+        Self {
+            core: LinearSvmCore::new(params),
+        }
     }
 
     /// Signed distance to the separating hyperplane (in scaled space).
@@ -111,7 +113,11 @@ impl Classifier for SvmClassifier {
         let p = self.core.params;
         let scaler = Standardizer::fit(data);
         let xs: Vec<Vec<f64>> = data.x.iter().map(|r| scaler.transformed(r)).collect();
-        let ys: Vec<f64> = data.y.iter().map(|&y| if y == 1.0 { 1.0 } else { -1.0 }).collect();
+        let ys: Vec<f64> = data
+            .y
+            .iter()
+            .map(|&y| if y == 1.0 { 1.0 } else { -1.0 })
+            .collect();
         let d = data.dims();
         let n = xs.len();
         let mut w = vec![0.0; d];
@@ -130,8 +136,8 @@ impl Classifier for SvmClassifier {
                 let i = rng.gen_range(0..n);
                 // Bottou schedule: bounded at t = 0, asymptotically 1/(λt).
                 let eta = 0.5 / (1.0 + 0.5 * p.lambda * t as f64);
-                let margin = ys[i]
-                    * (b + w.iter().zip(&xs[i]).map(|(wi, xi)| wi * xi).sum::<f64>());
+                let margin =
+                    ys[i] * (b + w.iter().zip(&xs[i]).map(|(wi, xi)| wi * xi).sum::<f64>());
                 for wi in w.iter_mut() {
                     *wi *= 1.0 - eta * p.lambda;
                 }
@@ -179,7 +185,9 @@ impl Default for SvmRegressor {
 impl SvmRegressor {
     /// A regressor with the given hyper-parameters.
     pub fn new(params: SvmParams) -> Self {
-        Self { core: LinearSvmCore::new(params) }
+        Self {
+            core: LinearSvmCore::new(params),
+        }
     }
 }
 
@@ -266,7 +274,13 @@ mod tests {
             .collect();
         let y: Vec<f64> = x
             .iter()
-            .map(|r| if 2.0 * r[0] - r[1] + 1.0 > 0.0 { 1.0 } else { 0.0 })
+            .map(|r| {
+                if 2.0 * r[0] - r[1] + 1.0 > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let data = Dataset::new(x, y).unwrap();
         let mut m = SvmClassifier::default();
@@ -287,13 +301,20 @@ mod tests {
         let mut m = SvmRegressor::default();
         m.fit(&data).unwrap();
         let pred = m.predict_batch(&data.x);
-        assert!(r2_score(&data.y, &pred) > 0.95, "R² = {}", r2_score(&data.y, &pred));
+        assert!(
+            r2_score(&data.y, &pred) > 0.95,
+            "R² = {}",
+            r2_score(&data.y, &pred)
+        );
     }
 
     #[test]
     fn margin_sign_matches_label() {
         let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 - 50.0]).collect();
-        let y: Vec<f64> = x.iter().map(|r| if r[0] > 0.0 { 1.0 } else { 0.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| if r[0] > 0.0 { 1.0 } else { 0.0 })
+            .collect();
         let data = Dataset::new(x, y).unwrap();
         let mut m = SvmClassifier::default();
         m.fit(&data).unwrap();

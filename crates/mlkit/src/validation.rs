@@ -233,7 +233,10 @@ mod tests {
     fn cv_classifier_scores_high_on_separable_data() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let x: Vec<Vec<f64>> = (0..200).map(|_| vec![rng.gen_range(-5.0..5.0)]).collect();
-        let y: Vec<f64> = x.iter().map(|r| if r[0] > 0.0 { 1.0 } else { 0.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| if r[0] > 0.0 { 1.0 } else { 0.0 })
+            .collect();
         let data = Dataset::new(x, y).unwrap();
         let cv = cross_validate_classifier(&data, 4, 7, LogisticRegression::new).unwrap();
         assert!(cv.mean > 0.9, "cv mean {}", cv.mean);

@@ -1,0 +1,332 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Instead of a work-stealing pool, parallelism comes from
+//! `std::thread::scope`: the input is split into one contiguous chunk per
+//! worker and each chunk is processed on its own scoped thread. The
+//! expensive stage — the closure given to `map`/`for_each` — runs in
+//! parallel; later combinators (`filter`, `min_by`, `collect`, …) operate
+//! sequentially on the already-computed results, which is where rayon
+//! itself spends negligible time for the workloads in this repository.
+//!
+//! Ordering matches rayon's indexed iterators: results come back in input
+//! order. Worker panics propagate to the caller. Thread count follows
+//! `RAYON_NUM_THREADS` when set, else available parallelism.
+
+use std::env;
+use std::thread;
+
+/// Everything callers need via `use rayon::prelude::*;`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+/// Number of worker threads to fan out across.
+pub fn current_num_threads() -> usize {
+    env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+fn chunk_len(total: usize, workers: usize) -> usize {
+    total.div_ceil(workers.max(1)).max(1)
+}
+
+/// Applies `f` to every element of an owned collection on scoped worker
+/// threads, preserving input order in the output.
+fn parallel_map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let per_chunk = chunk_len(n, workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut iter = items.into_iter();
+    loop {
+        let chunk: Vec<T> = iter.by_ref().take(per_chunk).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("rayon shim worker panicked"))
+            .collect()
+    })
+}
+
+/// Runs `f` on every element of a mutable slice across scoped workers.
+fn parallel_for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let n = items.len();
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        items.iter_mut().for_each(f);
+        return;
+    }
+    let per_chunk = chunk_len(n, workers);
+    let f = &f;
+    thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks_mut(per_chunk)
+            .map(|chunk| scope.spawn(move || chunk.iter_mut().for_each(f)))
+            .collect();
+        for h in handles {
+            h.join().expect("rayon shim worker panicked");
+        }
+    });
+}
+
+/// Converts a value into a parallel iterator over owned items.
+pub trait IntoParallelIterator {
+    /// Element type produced.
+    type Item: Send;
+
+    /// Starts the parallel pipeline.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+/// `.par_iter()` — parallel iteration over `&T`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed element type.
+    type Item: Send + 'a;
+
+    /// Starts the parallel pipeline over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+/// `.par_iter_mut()` — parallel iteration over `&mut T`.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Mutably borrowed element type.
+    type Item: Send + 'a;
+
+    /// Starts the parallel pipeline over mutable references.
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send + Sync> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+/// A parallel iterator over owned (or shared-reference) items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// The parallel stage: applies `f` across worker threads.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParResults<R> {
+        ParResults {
+            items: parallel_map_vec(self.items, f),
+        }
+    }
+
+    /// Runs `f` for every item across worker threads.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        parallel_map_vec(self.items, f);
+    }
+
+    /// Parallel map discarding `None` results.
+    pub fn filter_map<R: Send, F: Fn(T) -> Option<R> + Sync>(self, f: F) -> ParResults<R> {
+        ParResults {
+            items: parallel_map_vec(self.items, f)
+                .into_iter()
+                .flatten()
+                .collect(),
+        }
+    }
+
+    /// Parallel map flattening per-item result collections.
+    pub fn flat_map<C, F>(self, f: F) -> ParResults<C::Item>
+    where
+        C: IntoIterator,
+        C::Item: Send,
+        C: Send,
+        F: Fn(T) -> C + Sync,
+    {
+        ParResults {
+            items: parallel_map_vec(self.items, f)
+                .into_iter()
+                .flat_map(IntoIterator::into_iter)
+                .collect(),
+        }
+    }
+}
+
+/// A parallel iterator over exclusive references.
+pub struct ParIterMut<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<T: Send> ParIterMut<'_, T> {
+    /// Runs `f` on every element across worker threads.
+    pub fn for_each<F: Fn(&mut T) + Sync>(self, f: F) {
+        parallel_for_each_mut(self.items, f);
+    }
+}
+
+/// Results of a parallel stage, in input order. Combinators past this
+/// point run sequentially over the computed values.
+pub struct ParResults<T> {
+    items: Vec<T>,
+}
+
+impl<T> ParResults<T> {
+    /// Gathers results into any collection.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Keeps results matching the predicate.
+    pub fn filter<F: Fn(&T) -> bool>(self, f: F) -> ParResults<T> {
+        ParResults {
+            items: self.items.into_iter().filter(|x| f(x)).collect(),
+        }
+    }
+
+    /// Sequential post-map over computed results.
+    pub fn map<R, F: Fn(T) -> R>(self, f: F) -> ParResults<R> {
+        ParResults {
+            items: self.items.into_iter().map(f).collect(),
+        }
+    }
+
+    /// Minimum by comparator.
+    pub fn min_by<F: Fn(&T, &T) -> std::cmp::Ordering>(self, f: F) -> Option<T> {
+        self.items.into_iter().min_by(f)
+    }
+
+    /// Maximum by comparator.
+    pub fn max_by<F: Fn(&T, &T) -> std::cmp::Ordering>(self, f: F) -> Option<T> {
+        self.items.into_iter().max_by(f)
+    }
+
+    /// Pairwise reduction with an identity for the empty case.
+    pub fn reduce<Id: Fn() -> T, F: Fn(T, T) -> T>(self, identity: Id, f: F) -> T {
+        self.items.into_iter().fold(identity(), f)
+    }
+
+    /// Number of results.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+impl<T> IntoIterator for ParResults<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let out: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0u64..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows_and_reduces() {
+        let data: Vec<u32> = (1..=100).collect();
+        let max = data.par_iter().map(|&x| x * x).max_by(|a, b| a.cmp(b));
+        assert_eq!(max, Some(10_000));
+    }
+
+    #[test]
+    fn par_iter_mut_updates_in_place() {
+        let mut data: Vec<u32> = vec![1; 257];
+        data.par_iter_mut().for_each(|x| *x += 1);
+        assert!(data.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let out: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        Vec::<u32>::new().par_iter_mut().for_each(|_| {});
+    }
+
+    #[test]
+    fn filter_map_and_flat_map() {
+        let evens: Vec<u32> = (0u32..20)
+            .into_par_iter()
+            .filter_map(|x| (x % 2 == 0).then_some(x))
+            .collect();
+        assert_eq!(evens.len(), 10);
+        let doubled: Vec<u32> = (0u32..5).into_par_iter().flat_map(|x| vec![x, x]).collect();
+        assert_eq!(doubled, vec![0, 0, 1, 1, 2, 2, 3, 3, 4, 4]);
+    }
+}

@@ -1,0 +1,248 @@
+//! Derive macros for the vendored serde shim.
+//!
+//! Implemented directly on the compiler's `proc_macro` token API (no
+//! syn/quote — the build environment has no crates.io access). Supports
+//! the shapes this workspace actually derives on: structs with named
+//! fields, and enums with unit, tuple, or struct variants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the shim's tree-valued flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!("::serde::Value::Object(vec![{pushes}])")
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| variant_arm(&item.name, v))
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}",
+        item.name
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`. Nothing in this workspace deserializes
+/// into typed values (only `serde_json::Value` is parsed), so the derive
+/// emits the marker impl and nothing else.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl ::serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+fn variant_arm(enum_name: &str, v: &Variant) -> String {
+    match &v.fields {
+        VariantFields::Unit => format!(
+            "{enum_name}::{v_name} => ::serde::Value::String(\"{v_name}\".to_string()),",
+            v_name = v.name
+        ),
+        VariantFields::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let items: String = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                .collect();
+            format!(
+                "{enum_name}::{v_name}({pat}) => ::serde::Value::Object(vec![(\
+                     \"{v_name}\".to_string(), ::serde::Value::Array(vec![{items}])\
+                 )]),",
+                v_name = v.name,
+                pat = binds.join(", ")
+            )
+        }
+        VariantFields::Named(fields) => {
+            let pat = fields.join(", ");
+            let items: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f})),"))
+                .collect();
+            format!(
+                "{enum_name}::{v_name} {{ {pat} }} => ::serde::Value::Object(vec![(\
+                     \"{v_name}\".to_string(), ::serde::Value::Object(vec![{items}])\
+                 )]),",
+                v_name = v.name
+            )
+        }
+    }
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Parses `[attrs] [pub] (struct|enum) Name { ... }` from the derive input.
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected struct/enum keyword, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+    // No generic parameters appear on any derived type in this workspace;
+    // fail loudly rather than generating a wrong impl if one shows up.
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("the serde shim derive does not support generic types");
+        }
+    }
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(_) => i += 1, // e.g. `where` clauses (none expected)
+            None => panic!("no body found for {name}"),
+        }
+    };
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_named_fields(body)),
+        "enum" => Shape::Enum(parse_variants(body)),
+        other => panic!("cannot derive for item kind `{other}`"),
+    };
+    Item { name, shape }
+}
+
+/// Field names of a named-field body: `[attrs] [pub] name : Type , ...`.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            panic!("expected field name at token {i}");
+        };
+        fields.push(id.to_string());
+        // Skip past the `:` and the type, up to the next top-level comma.
+        i += 1;
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Variants of an enum body.
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            panic!("expected variant name at token {i}");
+        };
+        let name = id.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                // Count top-level commas to get the tuple arity.
+                let mut arity = 0usize;
+                let mut depth = 0i32;
+                let mut saw_any = false;
+                for t in g.stream() {
+                    saw_any = true;
+                    match t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => arity += 1,
+                        _ => {}
+                    }
+                }
+                VariantFields::Tuple(if saw_any { arity + 1 } else { 0 })
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an optional discriminant and the separating comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 2; // the `#` and the bracketed group
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            // `pub(crate)` and friends carry a parenthesized group.
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}

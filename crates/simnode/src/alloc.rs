@@ -21,15 +21,24 @@ pub enum ConfigError {
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ConfigError::CoreOversubscription { requested, available } => {
+            ConfigError::CoreOversubscription {
+                requested,
+                available,
+            } => {
                 write!(f, "requested {requested} cores but node has {available}")
             }
-            ConfigError::WayOversubscription { requested, available } => {
+            ConfigError::WayOversubscription {
+                requested,
+                available,
+            } => {
                 write!(f, "requested {requested} LLC ways but node has {available}")
             }
             ConfigError::EmptyPartition => write!(f, "partitions need ≥ 1 core and ≥ 1 way"),
             ConfigError::BadFrequencyLevel { level, levels } => {
-                write!(f, "frequency level {level} out of range (node has {levels})")
+                write!(
+                    f,
+                    "frequency level {level} out of range (node has {levels})"
+                )
             }
         }
     }
@@ -227,7 +236,10 @@ mod tests {
         let cfg = PairConfig::new(Allocation::new(4, 10, 5), Allocation::new(4, 0, 5));
         assert!(matches!(
             cfg.validate(&spec()),
-            Err(ConfigError::BadFrequencyLevel { level: 10, levels: 10 })
+            Err(ConfigError::BadFrequencyLevel {
+                level: 10,
+                levels: 10
+            })
         ));
     }
 

@@ -46,10 +46,7 @@ fn way_mask(start: u32, len: u32) -> u64 {
 /// unallocated ways left to neither (as CAT permits).
 pub fn resctrl_schemata(spec: &NodeSpec, config: &PairConfig) -> (String, String) {
     let ls_mask = way_mask(0, config.ls.llc_ways);
-    let be_mask = way_mask(
-        spec.total_llc_ways - config.be.llc_ways,
-        config.be.llc_ways,
-    );
+    let be_mask = way_mask(spec.total_llc_ways - config.be.llc_ways, config.be.llc_ways);
     (format!("L3:0={ls_mask:x}"), format!("L3:0={be_mask:x}"))
 }
 

@@ -37,9 +37,9 @@ pub mod spec;
 pub mod telemetry;
 
 pub use actuator::{CacheAllocator, CoreAllocator, FrequencyDriver, PowerMeter, SimActuators};
+pub use alloc::{Allocation, ConfigError, PairConfig};
 pub use audit::{AuditEntry, AuditLog};
 pub use energy::{EnergyMeter, PowerWindow};
-pub use alloc::{Allocation, ConfigError, PairConfig};
 pub use power::{CorePowerParams, PowerModel};
 pub use spec::NodeSpec;
 pub use telemetry::{IntervalSample, TelemetryLog};

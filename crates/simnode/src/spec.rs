@@ -26,7 +26,9 @@ impl NodeSpec {
     pub fn xeon_e5_2630_v4() -> Self {
         // 10 levels spanning 1.2–2.2 GHz inclusive (paper: "20 cores,
         // 10-level frequencies and 20 LLC ways").
-        let freq_levels_ghz: Vec<f64> = (0..10).map(|i| 1.2 + 0.1111111111111111 * i as f64).collect();
+        let freq_levels_ghz: Vec<f64> = (0..10)
+            .map(|i| 1.2 + 0.1111111111111111 * i as f64)
+            .collect();
         Self {
             total_cores: 20,
             freq_levels_ghz,
@@ -86,11 +88,7 @@ impl NodeSpec {
         if self.freq_levels_ghz.iter().any(|f| *f <= 0.0) {
             return Err("frequencies must be positive".into());
         }
-        if self
-            .freq_levels_ghz
-            .windows(2)
-            .any(|w| w[1] <= w[0])
-        {
+        if self.freq_levels_ghz.windows(2).any(|w| w[1] <= w[0]) {
             return Err("frequency levels must be strictly ascending".into());
         }
         Ok(())

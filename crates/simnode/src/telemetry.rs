@@ -81,7 +81,11 @@ impl TelemetryLog {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().map(|s| s.be_throughput_norm).sum::<f64>() / self.samples.len() as f64
+        self.samples
+            .iter()
+            .map(|s| s.be_throughput_norm)
+            .sum::<f64>()
+            / self.samples.len() as f64
     }
 
     /// Fraction of intervals whose power exceeded `budget_w`.

@@ -8,46 +8,97 @@ fn main() {
     let spec = NodeSpec::xeon_e5_2630_v4();
     println!("== Fig 2: overload % (LS at 20%, just-enough LS alloc, BE rest @max) ==");
     for (ls_id, be_id) in all_pairs() {
-        let e = CoLocationEnv::new(spec.clone(), PowerModel::default(), ls_service(ls_id), be_app(be_id), InterferenceParams::none(), 0);
+        let e = CoLocationEnv::new(
+            spec.clone(),
+            PowerModel::default(),
+            ls_service(ls_id),
+            be_app(be_id),
+            InterferenceParams::none(),
+            0,
+        );
         let ls = e.ls().clone();
         let qps = 0.2 * ls.params.peak_qps;
-        let ways = 6u32; let fl = 5usize; let f = spec.freq_ghz(fl);
+        let ways = 6u32;
+        let fl = 5usize;
+        let f = spec.freq_ghz(fl);
         let min_c = (1..=19).find(|&c| ls.meets_qos(c, f, ways, qps)).unwrap();
-        let cfg = PairConfig::new(Allocation::new(min_c, fl, ways), Allocation::new(20-min_c, 9, 20-ways));
-        let over = e.total_power(&cfg, qps)/e.budget_w() - 1.0;
-        println!("{:>10}+{:<13} minC={:2} budget={:6.1} over={:+.1}%", ls_id.name(), be_id.name(), min_c, e.budget_w(), over*100.0);
+        let cfg = PairConfig::new(
+            Allocation::new(min_c, fl, ways),
+            Allocation::new(20 - min_c, 9, 20 - ways),
+        );
+        let over = e.total_power(&cfg, qps) / e.budget_w() - 1.0;
+        println!(
+            "{:>10}+{:<13} minC={:2} budget={:6.1} over={:+.1}%",
+            ls_id.name(),
+            be_id.name(),
+            min_c,
+            e.budget_w(),
+            over * 100.0
+        );
     }
     println!("\n== Fig 3-style: BE preference at 20% and 35% memcached load ==");
     let ls = ls_service(LsServiceId::Memcached);
     for load in [0.2, 0.35] {
         let qps = load * ls.params.peak_qps;
         for be_id in BeAppId::all() {
-            let e = CoLocationEnv::new(spec.clone(), PowerModel::default(), ls.clone(), be_app(be_id), InterferenceParams::none(), 0);
+            let e = CoLocationEnv::new(
+                spec.clone(),
+                PowerModel::default(),
+                ls.clone(),
+                be_app(be_id),
+                InterferenceParams::none(),
+                0,
+            );
             let budget = e.budget_w();
             let mut cands: Vec<(PairConfig, f64)> = Vec::new();
             for c1 in 1..=19u32 {
                 let mut found = None;
                 'outer: for f1 in 0..10usize {
                     for l1 in 1..=19u32 {
-                        if ls.meets_qos(c1, spec.freq_ghz(f1), l1, qps) { found = Some((f1, l1)); break 'outer; }
+                        if ls.meets_qos(c1, spec.freq_ghz(f1), l1, qps) {
+                            found = Some((f1, l1));
+                            break 'outer;
+                        }
                     }
                 }
                 let Some((f1, l1)) = found else { continue };
-                let c2 = 20 - c1; let l2 = 20 - l1;
+                let c2 = 20 - c1;
+                let l2 = 20 - l1;
                 let mut bestf2 = None;
                 for f2 in (0..10usize).rev() {
-                    let cfg = PairConfig::new(Allocation::new(c1, f1, l1), Allocation::new(c2, f2, l2));
-                    if e.total_power(&cfg, qps) <= budget { bestf2 = Some(f2); break; }
+                    let cfg =
+                        PairConfig::new(Allocation::new(c1, f1, l1), Allocation::new(c2, f2, l2));
+                    if e.total_power(&cfg, qps) <= budget {
+                        bestf2 = Some(f2);
+                        break;
+                    }
                 }
                 let Some(f2) = bestf2 else { continue };
                 let cfg = PairConfig::new(Allocation::new(c1, f1, l1), Allocation::new(c2, f2, l2));
                 let t = e.be().normalized_throughput(c2, spec.freq_ghz(f2), l2);
                 cands.push((cfg, t));
             }
-            let most_cores = cands.iter().max_by(|a,b| a.0.be.cores.cmp(&b.0.be.cores).then(a.1.total_cmp(&b.1))).unwrap();
-            let max_freq = cands.iter().max_by(|a,b| a.0.be.freq_level.cmp(&b.0.be.freq_level).then(a.1.total_cmp(&b.1))).unwrap();
-            let best = cands.iter().max_by(|a,b| a.1.total_cmp(&b.1)).unwrap();
-            let pref = if best.0.be.cores == most_cores.0.be.cores { "CORES" } else if best.0.be.freq_level == max_freq.0.be.freq_level { "FREQ" } else { "MID" };
+            let most_cores = cands
+                .iter()
+                .max_by(|a, b| a.0.be.cores.cmp(&b.0.be.cores).then(a.1.total_cmp(&b.1)))
+                .unwrap();
+            let max_freq = cands
+                .iter()
+                .max_by(|a, b| {
+                    a.0.be
+                        .freq_level
+                        .cmp(&b.0.be.freq_level)
+                        .then(a.1.total_cmp(&b.1))
+                })
+                .unwrap();
+            let best = cands.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
+            let pref = if best.0.be.cores == most_cores.0.be.cores {
+                "CORES"
+            } else if best.0.be.freq_level == max_freq.0.be.freq_level {
+                "FREQ"
+            } else {
+                "MID"
+            };
             println!("load {:.0}% {:13} mostCores {} t={:.3} | maxFreq {} t={:.3} | best {} t={:.3} -> {}",
                 load*100.0, be_id.name(), most_cores.0, most_cores.1, max_freq.0, max_freq.1, best.0, best.1, pref);
         }

@@ -117,8 +117,7 @@ impl BeAppModel {
         if cores == 0 {
             return 0.0;
         }
-        let drive = (cores as f64 / self.total_cores as f64)
-            * (freq_ghz / self.max_freq_ghz);
+        let drive = (cores as f64 / self.total_cores as f64) * (freq_ghz / self.max_freq_ghz);
         // Lost cache hits turn into memory traffic: 1 at full cache,
         // up to 2 when squeezed.
         let miss_amp = 2.0 - self.cache_factor(ways);

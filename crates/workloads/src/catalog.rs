@@ -38,7 +38,11 @@ pub enum LsServiceId {
 impl LsServiceId {
     /// All three services in paper order.
     pub fn all() -> [LsServiceId; 3] {
-        [LsServiceId::Memcached, LsServiceId::Xapian, LsServiceId::ImgDnn]
+        [
+            LsServiceId::Memcached,
+            LsServiceId::Xapian,
+            LsServiceId::ImgDnn,
+        ]
     }
 
     /// Canonical lowercase name.

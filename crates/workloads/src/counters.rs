@@ -59,11 +59,7 @@ const LINE_BYTES: u64 = 64;
 const LLC_REFS_PER_KILO_INSTR: f64 = 30.0;
 
 /// Derives BE-partition counters from the application model.
-pub fn be_counters(
-    spec: &NodeSpec,
-    model: &BeAppModel,
-    alloc: &Allocation,
-) -> CounterSample {
+pub fn be_counters(spec: &NodeSpec, model: &BeAppModel, alloc: &Allocation) -> CounterSample {
     let f_hz = alloc.freq_ghz(spec) * 1e9;
     // BE partitions pin their cores: cycles = cores × f × 1 s.
     let cycles = (alloc.cores as f64 * f_hz) as u64;
@@ -139,7 +135,11 @@ mod tests {
         let alloc = Allocation::new(8, 5, 10);
         let c = be_counters(&s, &m, &alloc);
         let expected = m.ipc(8, alloc.freq_ghz(&s), 10);
-        assert!((c.ipc() - expected).abs() < 0.01, "{} vs {expected}", c.ipc());
+        assert!(
+            (c.ipc() - expected).abs() < 0.01,
+            "{} vs {expected}",
+            c.ipc()
+        );
     }
 
     #[test]

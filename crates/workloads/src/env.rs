@@ -175,9 +175,9 @@ impl CoLocationEnv {
             .be
             .memory_traffic(config.be.cores, be_f, config.be.llc_ways);
         let ls_ways_fraction = config.ls.llc_ways as f64 / self.spec.total_llc_ways as f64;
-        let disturbance = self
-            .interference
-            .step(be_traffic, ls_ways_fraction, self.ls.params.bw_sensitivity);
+        let disturbance =
+            self.interference
+                .step(be_traffic, ls_ways_fraction, self.ls.params.bw_sensitivity);
 
         let lat = self.ls.latency_disturbed(
             config.ls.cores,
@@ -291,14 +291,7 @@ mod tests {
             let min_cores = (1..=19)
                 .find(|&c| ls.meets_qos(c, f_ghz, ways, qps))
                 .expect("feasible core count");
-            let config = cfg(
-                min_cores,
-                freq_level,
-                ways,
-                20 - min_cores,
-                9,
-                20 - ways,
-            );
+            let config = cfg(min_cores, freq_level, ways, 20 - min_cores, 9, 20 - ways);
             let power = e.total_power(&config, qps);
             let over = power / e.budget_w() - 1.0;
             assert!(

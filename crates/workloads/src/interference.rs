@@ -129,17 +129,26 @@ impl InterferenceModel {
     pub fn step_jitter(&mut self) -> f64 {
         match self.active_spike {
             Some(mag) => {
-                if self.rng.gen_bool(self.params.spike_end_probability.clamp(0.0, 1.0)) {
+                if self
+                    .rng
+                    .gen_bool(self.params.spike_end_probability.clamp(0.0, 1.0))
+                {
                     self.active_spike = None;
                 }
                 mag
             }
             None => {
                 if self.params.spike_probability > 0.0
-                    && self.rng.gen_bool(self.params.spike_probability.clamp(0.0, 1.0))
+                    && self
+                        .rng
+                        .gen_bool(self.params.spike_probability.clamp(0.0, 1.0))
                 {
                     let (lo, hi) = self.params.spike_magnitude;
-                    let mag = if hi > lo { self.rng.gen_range(lo..hi) } else { lo };
+                    let mag = if hi > lo {
+                        self.rng.gen_range(lo..hi)
+                    } else {
+                        lo
+                    };
                     self.active_spike = Some(mag);
                     mag
                 } else {
@@ -170,8 +179,7 @@ impl InterferenceModel {
         ls_bw_sensitivity: f64,
     ) -> Disturbance {
         Disturbance {
-            multiplier: self
-                .bandwidth_multiplier(be_traffic, ls_ways_fraction, ls_bw_sensitivity)
+            multiplier: self.bandwidth_multiplier(be_traffic, ls_ways_fraction, ls_bw_sensitivity)
                 * self.step_jitter(),
             additive_ms: self.additive_ms(be_traffic, ls_ways_fraction, ls_bw_sensitivity),
         }

@@ -36,8 +36,8 @@ pub mod interference;
 pub mod loadgen;
 pub mod ls;
 pub mod multienv;
-pub mod queueing;
 pub mod querysim;
+pub mod queueing;
 
 pub use be::{BeAppModel, BeAppParams};
 pub use catalog::{be_apps, ls_services, BeAppId, LsServiceId};
@@ -47,5 +47,5 @@ pub use interference::{InterferenceModel, InterferenceParams};
 pub use loadgen::LoadProfile;
 pub use ls::{LsServiceModel, LsServiceParams};
 pub use multienv::{LsObservation, MultiColocationEnv, MultiConfig, MultiObservation};
-pub use queueing::{erlang_c, MmcQueue};
 pub use querysim::{MeasuredColocation, MeasuredLatency, QueryLevelSim};
+pub use queueing::{erlang_c, MmcQueue};

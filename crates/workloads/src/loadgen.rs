@@ -113,14 +113,22 @@ impl LoadProfile {
         let t = t_s.max(0.0);
         let f = match self {
             &LoadProfile::Constant { fraction } => fraction,
-            &LoadProfile::Ramp { from, to, duration_s } => {
+            &LoadProfile::Ramp {
+                from,
+                to,
+                duration_s,
+            } => {
                 if duration_s <= 0.0 || t >= duration_s {
                     to
                 } else {
                     from + (to - from) * (t / duration_s)
                 }
             }
-            &LoadProfile::Triangle { low, high, period_s } => {
+            &LoadProfile::Triangle {
+                low,
+                high,
+                period_s,
+            } => {
                 if period_s <= 0.0 {
                     low
                 } else {
@@ -142,7 +150,11 @@ impl LoadProfile {
                     low + (high - low) * s
                 }
             }
-            &LoadProfile::Step { before, after, at_s } => {
+            &LoadProfile::Step {
+                before,
+                after,
+                at_s,
+            } => {
                 if t < at_s {
                     before
                 } else {

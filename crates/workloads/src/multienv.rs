@@ -138,7 +138,13 @@ impl MultiColocationEnv {
         let f = spec.max_freq_ghz();
         let mut loads = Vec::with_capacity(ls.len());
         for m in ls {
-            let lat = m.latency(share_cores.max(1), f, share_ways.max(1), m.params.peak_qps, 1.0);
+            let lat = m.latency(
+                share_cores.max(1),
+                f,
+                share_ways.max(1),
+                m.params.peak_qps,
+                1.0,
+            );
             loads.push(PartitionLoad {
                 cores: share_cores.max(1),
                 freq_ghz: f,
@@ -220,10 +226,7 @@ impl MultiColocationEnv {
             .be
             .iter()
             .enumerate()
-            .map(|(i, a)| {
-                self.be[i]
-                    .memory_traffic(a.cores, a.freq_ghz(&self.spec), a.llc_ways)
-            })
+            .map(|(i, a)| self.be[i].memory_traffic(a.cores, a.freq_ghz(&self.spec), a.llc_ways))
             .sum()
     }
 
@@ -268,8 +271,7 @@ impl MultiColocationEnv {
             .iter()
             .enumerate()
             .map(|(i, a)| {
-                self.be[i]
-                    .normalized_throughput(a.cores, a.freq_ghz(&self.spec), a.llc_ways)
+                self.be[i].normalized_throughput(a.cores, a.freq_ghz(&self.spec), a.llc_ways)
             })
             .collect();
 
@@ -284,7 +286,13 @@ impl MultiColocationEnv {
     /// Interference-free probe (profiling mode).
     pub fn profile_ls(&self, idx: usize, alloc: &Allocation, qps: f64) -> LsObservation {
         let m = &self.ls[idx];
-        let lat = m.latency(alloc.cores, alloc.freq_ghz(&self.spec), alloc.llc_ways, qps, 1.0);
+        let lat = m.latency(
+            alloc.cores,
+            alloc.freq_ghz(&self.spec),
+            alloc.llc_ways,
+            qps,
+            1.0,
+        );
         LsObservation {
             qps,
             p95_ms: lat.p95_ms,

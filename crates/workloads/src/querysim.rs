@@ -25,9 +25,9 @@ use crate::env::{CoLocationEnv, Observation};
 use crate::ls::LsServiceModel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sturgeon_simnode::PairConfig;
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use sturgeon_simnode::PairConfig;
 
 /// Latency statistics measured from the queries of one interval.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -273,13 +273,13 @@ impl MeasuredColocation {
         // Reconstruct the disturbed service time the analytic path used
         // and feed it to the event simulator; the additive term shifts
         // measured responses uniformly.
-        let service_ms = self
-            .env
-            .ls()
-            .service_time_ms(ls_f, config.ls.llc_ways, analytic.interference);
-        let measured =
-            self.sim
-                .simulate_interval(config.ls.cores, service_ms, qps, 1.0);
+        let service_ms =
+            self.env
+                .ls()
+                .service_time_ms(ls_f, config.ls.llc_ways, analytic.interference);
+        let measured = self
+            .sim
+            .simulate_interval(config.ls.cores, service_ms, qps, 1.0);
         // Additive disturbance (memory-controller queueing) applies to
         // every query; recompute the in-target fraction against the
         // shifted distribution.
@@ -287,7 +287,13 @@ impl MeasuredColocation {
             - self
                 .env
                 .ls()
-                .latency(config.ls.cores, ls_f, config.ls.llc_ways, qps, analytic.interference)
+                .latency(
+                    config.ls.cores,
+                    ls_f,
+                    config.ls.llc_ways,
+                    qps,
+                    analytic.interference,
+                )
                 .p95_ms)
             .max(0.0);
         let target = self.env.ls().params.qos_target_ms;

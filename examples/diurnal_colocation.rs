@@ -23,8 +23,15 @@ fn main() {
         day_s: 1200.0,
     };
 
-    println!("diurnal co-location: {} under a compressed 24h load curve", pair.label());
-    println!("budget {:.1} W, QoS target {} ms\n", setup.budget_w(), setup.qos_target_ms());
+    println!(
+        "diurnal co-location: {} under a compressed 24h load curve",
+        pair.label()
+    );
+    println!(
+        "budget {:.1} W, QoS target {} ms\n",
+        setup.budget_w(),
+        setup.qos_target_ms()
+    );
 
     let predictor = setup.train_default_predictor();
     let controller = SturgeonController::new(
@@ -38,7 +45,10 @@ fn main() {
     let reserved = setup.run(StaticReservationController, day, 1200);
 
     // Hourly digest of the Sturgeon run.
-    println!("{:>5} {:>7} {:>8} {:>9} {:>22}", "hour", "load%", "p95 ms", "BE tput", "config");
+    println!(
+        "{:>5} {:>7} {:>8} {:>9} {:>22}",
+        "hour", "load%", "p95 ms", "BE tput", "config"
+    );
     for (hour, chunk) in sturgeon.log.samples().chunks(50).enumerate() {
         let mid = &chunk[chunk.len() / 2];
         println!(
@@ -53,9 +63,8 @@ fn main() {
 
     // The business case: identical QoS, plus a day of BE work for a few
     // extra joules.
-    let mean_power = |r: &RunResult| {
-        r.log.samples().iter().map(|s| s.power_w).sum::<f64>() / r.log.len() as f64
-    };
+    let mean_power =
+        |r: &RunResult| r.log.samples().iter().map(|s| s.power_w).sum::<f64>() / r.log.len() as f64;
     let sp = mean_power(&sturgeon);
     let rp = mean_power(&reserved);
     println!("\n== day summary ==");

@@ -19,7 +19,10 @@ fn main() {
     let mut env = MultiColocationEnv::new(
         spec.clone(),
         PowerModel::default(),
-        vec![ls_service(LsServiceId::Xapian), ls_service(LsServiceId::ImgDnn)],
+        vec![
+            ls_service(LsServiceId::Xapian),
+            ls_service(LsServiceId::ImgDnn),
+        ],
         vec![be_app(BeAppId::Raytrace), be_app(BeAppId::Swaptions)],
         InterferenceParams::default(),
         42,
@@ -43,15 +46,26 @@ fn main() {
 
     // The two services follow different, phase-shifted load curves —
     // xapian peaks while img-dnn is quiet and vice versa.
-    let xapian_load = LoadProfile::Triangle { low: 0.2, high: 0.7, period_s: 400.0 };
-    let imgdnn_load = LoadProfile::Triangle { low: 0.15, high: 0.6, period_s: 400.0 };
+    let xapian_load = LoadProfile::Triangle {
+        low: 0.2,
+        high: 0.7,
+        period_s: 400.0,
+    };
+    let imgdnn_load = LoadProfile::Triangle {
+        low: 0.15,
+        high: 0.6,
+        period_s: 400.0,
+    };
     let duration = 400u32;
 
     let mut qos_ok = [0usize; 2];
     let mut intervals = 0usize;
     let mut be_work = [0.0f64; 2];
     let mut peak_power: f64 = 0.0;
-    println!("\n{:>5} {:>7} {:>7} {:>8} {:>8} {:>7} {:>22}", "t", "xap qps", "img qps", "xap p95", "img p95", "power", "BE cores/levels");
+    println!(
+        "\n{:>5} {:>7} {:>7} {:>8} {:>8} {:>7} {:>22}",
+        "t", "xap qps", "img qps", "xap p95", "img p95", "power", "BE cores/levels"
+    );
     for t in 0..duration {
         let qps = [
             xapian_load.qps_at(t as f64, 3_500.0),
@@ -70,9 +84,16 @@ fn main() {
         if t % 40 == 0 {
             println!(
                 "{:>5} {:>7.0} {:>7.0} {:>7.2}ms {:>7.2}ms {:>6.1}W  rt:{}c@F{} sp:{}c@F{}",
-                t, qps[0], qps[1], obs.ls[0].p95_ms, obs.ls[1].p95_ms, obs.power_w,
-                config.be[0].cores, config.be[0].freq_level,
-                config.be[1].cores, config.be[1].freq_level,
+                t,
+                qps[0],
+                qps[1],
+                obs.ls[0].p95_ms,
+                obs.ls[1].p95_ms,
+                obs.power_w,
+                config.be[0].cores,
+                config.be[0].freq_level,
+                config.be[1].cores,
+                config.be[1].freq_level,
             );
         }
         config = controller.decide(&obs, &config);

@@ -49,7 +49,9 @@ fn main() {
         );
     }
 
-    println!("\nboth backends show the same hockey stick: flat tail until ρ ≈ 0.9, then a cliff.\n");
+    println!(
+        "\nboth backends show the same hockey stick: flat tail until ρ ≈ 0.9, then a cliff.\n"
+    );
 
     // Saturation episode: overload for 5 s, then recover and watch the
     // backlog drain — the inter-interval dynamics the analytic model
@@ -58,9 +60,16 @@ fn main() {
     let cores = 4u32;
     let capacity = cores as f64 * 1000.0 / service_ms;
     let mut sim = QueryLevelSim::new(ls.clone(), 7);
-    println!("{:>5} {:>8} {:>12} {:>10} {:>9}", "t", "QPS", "p95 (ms)", "in-target", "backlog");
+    println!(
+        "{:>5} {:>8} {:>12} {:>10} {:>9}",
+        "t", "QPS", "p95 (ms)", "in-target", "backlog"
+    );
     for t in 0..12 {
-        let qps = if t < 5 { 1.2 * capacity } else { 0.5 * capacity };
+        let qps = if t < 5 {
+            1.2 * capacity
+        } else {
+            0.5 * capacity
+        };
         let m = sim.simulate_interval(cores, service_ms, qps, 1.0);
         println!(
             "{:>5} {:>8.0} {:>12.2} {:>9.1}% {:>8.2}s",

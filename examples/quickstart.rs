@@ -63,6 +63,8 @@ fn main() {
     assert!(result.qos_rate >= 0.95, "QoS guarantee violated");
     assert!(!result.suffers_overload(), "power budget violated");
     println!("\nSturgeon kept the tail latency under target, never overloaded the budget,");
-    println!("and still extracted {:.0}% of raytrace's solo throughput from the leftovers.",
-        result.mean_be_throughput * 100.0);
+    println!(
+        "and still extracted {:.0}% of raytrace's solo throughput from the leftovers.",
+        result.mean_be_throughput * 100.0
+    );
 }

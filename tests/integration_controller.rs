@@ -10,9 +10,9 @@ use sturgeon::profiler::ProfilerConfig;
 /// the full load range.
 fn fast_profiler() -> ProfilerConfig {
     ProfilerConfig {
-        ls_samples_per_load: 110,
+        ls_samples_per_load: 160,
         ls_load_fractions: (1..=16).map(|i| i as f64 / 20.0).collect(),
-        be_samples: 700,
+        be_samples: 1000,
         seed: 77,
     }
 }
@@ -48,8 +48,16 @@ fn sturgeon_guarantees_qos_on_fluctuating_load() {
     );
     let r = setup.run(controller, LoadProfile::paper_fluctuating(240.0), 240);
     assert!(r.qos_rate >= 0.95, "QoS rate {}", r.qos_rate);
-    assert!(!r.suffers_overload(), "overload fraction {}", r.overload_fraction);
-    assert!(r.mean_be_throughput > 0.3, "throughput {}", r.mean_be_throughput);
+    assert!(
+        !r.suffers_overload(),
+        "overload fraction {}",
+        r.overload_fraction
+    );
+    assert!(
+        r.mean_be_throughput > 0.3,
+        "throughput {}",
+        r.mean_be_throughput
+    );
 }
 
 #[test]

@@ -2,8 +2,8 @@
 //! the figure binaries print. These are the guardrails that keep the
 //! reproduction honest — if a refactor breaks a paper shape, these fail.
 
-use sturgeon_bench::{evaluate_pair, mean};
 use sturgeon::prelude::*;
+use sturgeon_bench::{evaluate_pair, mean};
 use sturgeon_simnode::{Allocation, NodeSpec, PairConfig, PowerModel};
 use sturgeon_workloads::catalog::{all_pairs, be_app, ls_service};
 use sturgeon_workloads::env::CoLocationEnv;
@@ -78,8 +78,7 @@ fn fig3_shape_preferences_are_heterogeneous() {
             let Some((f1, l1)) = found else { continue };
             let (c2, l2) = (20 - c1, 20 - l1);
             let Some(f2) = (0..10usize).rev().find(|&f2| {
-                let cfg =
-                    PairConfig::new(Allocation::new(c1, f1, l1), Allocation::new(c2, f2, l2));
+                let cfg = PairConfig::new(Allocation::new(c1, f1, l1), Allocation::new(c2, f2, l2));
                 env.total_power(&cfg, qps) <= env.budget_w()
             }) else {
                 continue;

@@ -42,8 +42,16 @@ fn family_ranking_matches_paper_picks() {
             .iter()
             .find(|s| s.kind == ModelKind::Knn)
             .expect("KNN present");
-        assert!(knn.ls_power_r2 > 0.95, "KNN LS power R² {}", knn.ls_power_r2);
-        assert!(knn.be_power_r2 > 0.95, "KNN BE power R² {}", knn.be_power_r2);
+        assert!(
+            knn.ls_power_r2 > 0.95,
+            "KNN LS power R² {}",
+            knn.ls_power_r2
+        );
+        assert!(
+            knn.be_power_r2 > 0.95,
+            "KNN BE power R² {}",
+            knn.be_power_r2
+        );
         assert!(knn.be_perf_r2 > 0.9, "KNN BE perf R² {}", knn.be_perf_r2);
 
         // Linear regression cannot capture the f³ power law or Amdahl
@@ -93,9 +101,9 @@ fn search_results_feasible_across_pairs_and_loads() {
         for frac in [0.2, 0.4, 0.6] {
             let qps = frac * setup.peak_qps();
             let out = search.best_config(qps);
-            let cfg = out.best.unwrap_or_else(|| {
-                panic!("{}: no config at {:.0}% load", ls.name(), frac * 100.0)
-            });
+            let cfg = out
+                .best
+                .unwrap_or_else(|| panic!("{}: no config at {:.0}% load", ls.name(), frac * 100.0));
             assert!(cfg.validate(setup.spec()).is_ok());
             // The ground truth must agree the predicted config is safe on
             // power (the QoS side is allowed small model error; the
@@ -142,6 +150,68 @@ fn search_quality_close_to_exhaustive_oracle() {
         oracle.stats.model_calls,
         fast.stats.model_calls
     );
+}
+
+#[test]
+fn cache_preserves_search_results_exactly() {
+    // The memo cache must be a pure performance optimization: with the
+    // default bit-exact keys, both the fast path and the exhaustive
+    // oracle return identical configurations whether the cache is on
+    // or off, and the query accounting (model_calls) is unchanged.
+    let setup = ExperimentSetup::new(
+        ColocationPair::new(LsServiceId::Memcached, BeAppId::Blackscholes),
+        17,
+    );
+    let predictor = setup
+        .train_predictor(profiler(), PredictorConfig::default())
+        .expect("training succeeds");
+    let search = ConfigSearch::new(
+        &predictor,
+        setup.spec().clone(),
+        setup.budget_w(),
+        SearchParams::default(),
+    );
+    for frac in [0.2, 0.45, 0.7] {
+        let qps = frac * setup.peak_qps();
+
+        predictor.set_caching(true);
+        let fast_cached = search.best_config(qps);
+        let full_cached = search.exhaustive(qps);
+        assert!(
+            fast_cached.stats.cache_hits + fast_cached.stats.cache_misses > 0,
+            "cache enabled but never consulted at {:.0}% load",
+            frac * 100.0
+        );
+
+        predictor.set_caching(false);
+        let fast_raw = search.best_config(qps);
+        let full_raw = search.exhaustive(qps);
+        assert_eq!(
+            fast_raw.stats.cache_hits + fast_raw.stats.cache_misses,
+            0,
+            "cache disabled but still consulted"
+        );
+
+        assert_eq!(
+            fast_cached.best,
+            fast_raw.best,
+            "fast path diverged with cache at {:.0}% load",
+            frac * 100.0
+        );
+        assert_eq!(
+            full_cached.best,
+            full_raw.best,
+            "exhaustive oracle diverged with cache at {:.0}% load",
+            frac * 100.0
+        );
+        assert!((fast_cached.predicted_throughput - fast_raw.predicted_throughput).abs() < 1e-12);
+        assert!((full_cached.predicted_throughput - full_raw.predicted_throughput).abs() < 1e-12);
+        // `model_calls` counts queries, not executions: identical either way.
+        assert_eq!(fast_cached.stats.model_calls, fast_raw.stats.model_calls);
+        assert_eq!(full_cached.stats.model_calls, full_raw.stats.model_calls);
+        assert_eq!(full_cached.stats.candidates, full_raw.stats.candidates);
+    }
+    predictor.set_caching(true);
 }
 
 #[test]

@@ -14,7 +14,12 @@ use sturgeon_workloads::querysim::{MeasuredColocation, QueryLevelSim};
 #[test]
 fn measured_latency_tracks_analytic_surface() {
     let ls = ls_service(WLsId::Memcached);
-    for (cores, qps) in [(8u32, 8_000.0), (8, 16_000.0), (12, 30_000.0), (16, 45_000.0)] {
+    for (cores, qps) in [
+        (8u32, 8_000.0),
+        (8, 16_000.0),
+        (12, 30_000.0),
+        (16, 45_000.0),
+    ] {
         let analytic = ls.latency(cores, 2.2, 10, qps, 1.0);
         let service_ms = ls.service_time_ms(2.2, 10, 1.0);
         let mut sim = QueryLevelSim::new(ls.clone(), 101);
@@ -120,10 +125,8 @@ fn sturgeon_holds_up_under_measured_telemetry() {
 fn measured_env_deterministic() {
     let pair = ColocationPair::new(LsServiceId::Xapian, BeAppId::Ferret);
     let setup = ExperimentSetup::new(pair, 3);
-    let cfg = sturgeon_simnode::PairConfig::new(
-        Allocation::new(6, 7, 8),
-        Allocation::new(14, 5, 12),
-    );
+    let cfg =
+        sturgeon_simnode::PairConfig::new(Allocation::new(6, 7, 8), Allocation::new(14, 5, 12));
     let run = |seed| {
         let mut env = MeasuredColocation::new(setup.env().clone(), seed);
         (0..20)

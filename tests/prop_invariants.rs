@@ -4,13 +4,13 @@
 //! (valid) inputs.
 
 use proptest::prelude::*;
+use std::sync::OnceLock;
 use sturgeon::balancer::{BalancerParams, ResourceBalancer};
 use sturgeon::prelude::*;
 use sturgeon_simnode::power::PartitionLoad;
 use sturgeon_workloads::catalog::{be_app, ls_service};
 use sturgeon_workloads::env::Observation;
 use sturgeon_workloads::queueing::MmcQueue;
-use std::sync::OnceLock;
 
 fn spec() -> NodeSpec {
     NodeSpec::xeon_e5_2630_v4()
@@ -118,6 +118,45 @@ proptest! {
         prop_assert!(more_freq >= base);
         prop_assert!(more_util >= base - 1e-12);
         prop_assert!(base >= 0.0);
+    }
+
+    #[test]
+    fn least_satisfying_matches_linear_scan(
+        lo in 0u32..60,
+        span in 0u32..40,
+        threshold in 0u32..110,
+    ) {
+        // span == 0 covers lo == hi; thresholds beyond hi cover the
+        // all-false predicate, threshold <= lo the all-true one.
+        let hi = lo + span;
+        let pred = |x: u32| x >= threshold;
+        let expect = (lo..=hi).find(|&x| pred(x));
+        prop_assert_eq!(sturgeon::search::least_satisfying(lo, hi, pred), expect);
+    }
+
+    #[test]
+    fn greatest_satisfying_matches_linear_scan(
+        lo in 0u32..60,
+        span in 0u32..40,
+        threshold in 0u32..110,
+    ) {
+        let hi = lo + span;
+        let pred = |x: u32| x <= threshold;
+        let expect = (lo..=hi).rev().find(|&x| pred(x));
+        prop_assert_eq!(sturgeon::search::greatest_satisfying(lo, hi, pred), expect);
+    }
+
+    #[test]
+    fn inverted_search_bounds_always_yield_none(
+        lo in 1u32..100,
+        drop in 1u32..50,
+        threshold in 0u32..100,
+    ) {
+        // lo > hi is an empty range (lo ≥ 1 and drop ≥ 1 guarantee
+        // hi < lo): both searches must return None without panicking.
+        let hi = lo.saturating_sub(drop);
+        prop_assert_eq!(sturgeon::search::least_satisfying(lo, hi, |x| x >= threshold), None);
+        prop_assert_eq!(sturgeon::search::greatest_satisfying(lo, hi, |x| x <= threshold), None);
     }
 
     #[test]
