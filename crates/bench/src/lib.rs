@@ -17,6 +17,7 @@
 //! | `fig11_trace`          | Fig. 11 — memcached+raytrace time series |
 //! | `tab_overhead`         | §VII-E — search/balancer overhead accounting |
 //! | `tab_ablation`         | DESIGN.md ablations (quality-level) |
+//! | `tab_robustness`       | DESIGN.md fault model — QoS/overload per fault class |
 //!
 //! Every binary accepts an optional first argument overriding the run
 //! duration in seconds (default 600) and prints the seed it used, so all
@@ -36,6 +37,14 @@ pub fn duration_from_args() -> u32 {
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(DEFAULT_DURATION_S)
+}
+
+/// Reads the RNG seed from the second CLI argument.
+pub fn seed_from_args() -> u64 {
+    std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
 }
 
 /// Results of one pair under the three evaluated systems.
@@ -62,6 +71,24 @@ pub fn sturgeon_controller(setup: &ExperimentSetup, balancer: bool) -> SturgeonC
         ControllerParams {
             balancer_enabled: balancer,
             ..ControllerParams::default()
+        },
+    )
+}
+
+/// Builds a Sturgeon controller with the robustness layer (stale-telemetry
+/// detection + safe-mode fallback) enabled or disabled — the two arms of
+/// the `tab_robustness` comparison.
+pub fn robust_sturgeon_controller(setup: &ExperimentSetup, hardened: bool) -> SturgeonController {
+    let predictor = setup.train_default_predictor();
+    SturgeonController::new(
+        predictor,
+        setup.spec().clone(),
+        setup.budget_w(),
+        setup.qos_target_ms(),
+        if hardened {
+            ControllerParams::hardened()
+        } else {
+            ControllerParams::default()
         },
     )
 }

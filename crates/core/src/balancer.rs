@@ -81,7 +81,18 @@ pub struct ResourceBalancer {
     unhelpful: Vec<HarvestTarget>,
     harvests: u64,
     reverts: u64,
+    /// Full feedback rounds burned without settling: incremented each time
+    /// every harvest target has been tried once and found unhelpful.
+    retry_rounds: u64,
+    /// Consecutive violating intervals in which no harvest was possible
+    /// (every candidate move was illegal or over budget). Cleared by any
+    /// successful action or by [`ResourceBalancer::reset`].
+    failed_adjusts: u32,
 }
+
+/// Consecutive no-move violations after which the balancer declares
+/// itself out of options (see [`ResourceBalancer::is_exhausted`]).
+const EXHAUSTION_THRESHOLD: u32 = 3;
 
 impl ResourceBalancer {
     /// A balancer with the given slack band.
@@ -93,16 +104,24 @@ impl ResourceBalancer {
             unhelpful: Vec::new(),
             harvests: 0,
             reverts: 0,
+            retry_rounds: 0,
+            failed_adjusts: 0,
         }
     }
 
     /// Forgets history and restores the initial granularity; called by
     /// the controller whenever the predictor installs a fresh
-    /// configuration.
+    /// configuration. The lifetime effectiveness counters
+    /// ([`harvest_count`](Self::harvest_count),
+    /// [`revert_count`](Self::revert_count),
+    /// [`retry_rounds`](Self::retry_rounds)) survive resets — they
+    /// account for the whole run, not one configuration epoch — while the
+    /// per-epoch exhaustion state clears with the rest of the history.
     pub fn reset(&mut self) {
         self.granularity = 0.5;
         self.pending = None;
         self.unhelpful.clear();
+        self.failed_adjusts = 0;
     }
 
     /// Total harvest actions taken (for the effectiveness analysis).
@@ -113,6 +132,19 @@ impl ResourceBalancer {
     /// Total (partial) reverts taken.
     pub fn revert_count(&self) -> u64 {
         self.reverts
+    }
+
+    /// Full retry rounds in which every harvest target was tried and
+    /// found unhelpful before starting over.
+    pub fn retry_rounds(&self) -> u64 {
+        self.retry_rounds
+    }
+
+    /// True when the balancer has faced several consecutive violating
+    /// intervals without a single legal, budget-respecting move to make —
+    /// the controller's cue to stop fine-tuning and fall back.
+    pub fn is_exhausted(&self) -> bool {
+        self.failed_adjusts >= EXHAUSTION_THRESHOLD
     }
 
     /// Applies one harvest of `amount` units of `target`, if legal.
@@ -226,6 +258,7 @@ impl ResourceBalancer {
             // disturbance within this configuration epoch.
             self.pending = None;
             self.unhelpful.clear();
+            self.failed_adjusts = 0;
             return None;
         }
 
@@ -245,6 +278,7 @@ impl ResourceBalancer {
             }
             self.granularity = (self.granularity * 0.5).max(0.05);
             self.reverts += 1;
+            self.failed_adjusts = 0;
             return Some(next);
         }
 
@@ -258,6 +292,7 @@ impl ResourceBalancer {
             if self.unhelpful.len() >= HarvestTarget::all().len() {
                 // Everything tried once: start a fresh round.
                 self.unhelpful.clear();
+                self.retry_rounds += 1;
             }
         }
 
@@ -287,10 +322,16 @@ impl ResourceBalancer {
                 best = Some((next, throughput, target, amount));
             }
         }
-        let (next, _, target, amount) = best?;
+        let Some((next, _, target, amount)) = best else {
+            // Violation with no legal move: remember the dead end so the
+            // controller can tell a momentary corner from true exhaustion.
+            self.failed_adjusts = self.failed_adjusts.saturating_add(1);
+            return None;
+        };
         self.pending = Some(PendingHarvest { target, amount });
         self.granularity = (self.granularity * 0.5).max(0.05);
         self.harvests += 1;
+        self.failed_adjusts = 0;
         Some(next)
     }
 }
@@ -501,6 +542,92 @@ mod tests {
         b.reset();
         assert!((b.granularity - 0.5).abs() < 1e-12);
         assert!(b.pending.is_none());
+    }
+
+    #[test]
+    fn reset_preserves_lifetime_counters_and_clears_epoch_state() {
+        let (env, p) = setup();
+        let mut b = ResourceBalancer::new(BalancerParams::default());
+        // A harvest then a revert, so both lifetime counters are nonzero.
+        let harvested = b
+            .adjust(
+                &p,
+                env.spec(),
+                env.budget_w(),
+                &obs_with(12.0, 12_000.0),
+                10.0,
+                cfg(6, 7, 8),
+            )
+            .unwrap();
+        let _ = b.adjust(
+            &p,
+            env.spec(),
+            env.budget_w(),
+            &obs_with(2.0, 12_000.0),
+            10.0,
+            harvested,
+        );
+        // Manufacture an exhausted epoch: a starved BE partition leaves no
+        // legal harvest, so violating intervals pile up failed adjusts.
+        let tiny = PairConfig::new(Allocation::new(19, 9, 19), Allocation::new(1, 0, 1));
+        for _ in 0..3 {
+            let out = b.adjust(
+                &p,
+                env.spec(),
+                env.budget_w(),
+                &obs_with(12.0, 48_000.0),
+                10.0,
+                tiny,
+            );
+            assert!(out.is_none());
+        }
+        assert!(b.is_exhausted());
+        let harvests = b.harvest_count();
+        let reverts = b.revert_count();
+        let rounds = b.retry_rounds();
+        assert!(harvests >= 1);
+
+        b.reset();
+        // Lifetime effectiveness counters survive the reset…
+        assert_eq!(b.harvest_count(), harvests);
+        assert_eq!(b.revert_count(), reverts);
+        assert_eq!(b.retry_rounds(), rounds);
+        // …while the per-epoch state (incl. exhaustion) clears.
+        assert!(!b.is_exhausted());
+        assert!((b.granularity - 0.5).abs() < 1e-12);
+        assert!(b.pending.is_none());
+        assert!(b.unhelpful.is_empty());
+    }
+
+    #[test]
+    fn exhaustion_requires_consecutive_failures() {
+        let (env, p) = setup();
+        let mut b = ResourceBalancer::new(BalancerParams::default());
+        let tiny = PairConfig::new(Allocation::new(19, 9, 19), Allocation::new(1, 0, 1));
+        for _ in 0..2 {
+            let _ = b.adjust(
+                &p,
+                env.spec(),
+                env.budget_w(),
+                &obs_with(12.0, 48_000.0),
+                10.0,
+                tiny,
+            );
+        }
+        assert!(!b.is_exhausted());
+        // A successful harvest from a roomier config breaks the streak.
+        let _ = b
+            .adjust(
+                &p,
+                env.spec(),
+                env.budget_w(),
+                &obs_with(12.0, 12_000.0),
+                10.0,
+                cfg(6, 7, 8),
+            )
+            .unwrap();
+        assert!(!b.is_exhausted());
+        assert_eq!(b.failed_adjusts, 0);
     }
 
     #[test]

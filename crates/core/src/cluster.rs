@@ -10,7 +10,9 @@
 //! and to measure fleet-level effects (aggregate BE throughput, stranded
 //! power) that single-node runs cannot show.
 
-use crate::controller::{ControllerParams, ResourceController, SturgeonController};
+use crate::controller::{
+    ControllerFaultCounters, ControllerParams, ResourceController, SturgeonController,
+};
 use crate::experiment::{ColocationPair, ExperimentSetup};
 use rayon::prelude::*;
 use sturgeon_simnode::{IntervalSample, SimActuators, TelemetryLog};
@@ -74,6 +76,9 @@ pub struct ClusterResult {
     pub mean_cluster_power_w: f64,
     /// Sum of per-node budgets (W) — the cluster's provisioned power.
     pub cluster_budget_w: f64,
+    /// Robustness counters summed across every node's controller (all
+    /// zeros when nothing degraded fleet-wide).
+    pub fault_counters: ControllerFaultCounters,
 }
 
 /// A homogeneous cluster of Sturgeon nodes serving one LS service.
@@ -235,7 +240,12 @@ impl Cluster {
         let mut total_tput = 0.0;
         let mut total_power = 0.0;
         let mut budget = 0.0;
+        let mut fault_counters = ControllerFaultCounters::default();
         for (i, node) in self.nodes.iter().enumerate() {
+            let c = node.controller.fault_counters();
+            fault_counters.stale_intervals += c.stale_intervals;
+            fault_counters.safe_mode_entries += c.safe_mode_entries;
+            fault_counters.balancer_retry_rounds += c.balancer_retry_rounds;
             let qos = node.log.qos_guarantee_rate();
             let tput = node.log.mean_be_throughput();
             let node_budget = node.env.budget_w();
@@ -268,6 +278,7 @@ impl Cluster {
             total_be_throughput: total_tput,
             mean_cluster_power_w: total_power,
             cluster_budget_w: budget,
+            fault_counters,
         }
     }
 }
@@ -294,6 +305,10 @@ mod tests {
         );
         assert!(r.mean_cluster_power_w <= r.cluster_budget_w * 1.02);
         assert_eq!(r.nodes.len(), 3);
+        // Default (non-hardened) controllers never enter the degradation
+        // machinery, so the aggregated counters stay zero.
+        assert_eq!(r.fault_counters.stale_intervals, 0);
+        assert_eq!(r.fault_counters.safe_mode_entries, 0);
     }
 
     #[test]

@@ -13,11 +13,28 @@ use crate::search::{ConfigSearch, SearchParams, SearchStats};
 use sturgeon_simnode::{Allocation, NodeSpec, PairConfig};
 use sturgeon_workloads::env::Observation;
 
+/// Robustness counters a controller can expose to the run harness
+/// (zeros for controllers without a degradation path).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct ControllerFaultCounters {
+    /// Intervals whose telemetry the controller judged stale.
+    pub stale_intervals: u64,
+    /// Times the controller dropped into the safe-mode configuration.
+    pub safe_mode_entries: u64,
+    /// Balancer rounds that re-tried already-unhelpful harvest targets.
+    pub balancer_retry_rounds: u64,
+}
+
 /// A per-interval resource-management policy. All evaluated systems
 /// (Sturgeon, Sturgeon-NoB, PARTIES, static baselines) implement this.
 pub trait ResourceController {
     /// Display name used in reports.
     fn name(&self) -> &'static str;
+
+    /// Robustness counters accumulated so far (default: none).
+    fn fault_counters(&self) -> ControllerFaultCounters {
+        ControllerFaultCounters::default()
+    }
 
     /// Configuration applied before the first observation. Algorithm 1
     /// line 1: "initialize resource allocation" — everything to the LS
@@ -38,6 +55,39 @@ pub trait ResourceController {
     fn decide(&mut self, obs: &Observation, current: PairConfig) -> PairConfig;
 }
 
+/// Graceful-degradation tunables (extension; DESIGN.md "Fault model and
+/// degradation policy"). Disabled by default because a noiseless
+/// simulation legitimately repeats observations bit-for-bit, which the
+/// staleness detector would misread as a frozen sensor; the robustness
+/// harness and `tab_robustness` enable it explicitly.
+#[derive(Debug, Clone, Copy)]
+pub struct RobustnessParams {
+    /// Detect stale telemetry and fall back to safe mode.
+    pub enabled: bool,
+    /// Consecutive stale (bit-identical) observations tolerated before
+    /// the controller stops trusting the feed and enters safe mode.
+    pub staleness_window: u32,
+}
+
+impl Default for RobustnessParams {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            staleness_window: 3,
+        }
+    }
+}
+
+impl RobustnessParams {
+    /// The hardened profile used by the robustness experiments.
+    pub fn hardened() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+}
+
 /// Algorithm 1 tunables.
 #[derive(Debug, Clone, Copy)]
 pub struct ControllerParams {
@@ -54,6 +104,8 @@ pub struct ControllerParams {
     pub balancer: BalancerParams,
     /// Disable to obtain the paper's *Sturgeon-NoB* ablation (§VII-C).
     pub balancer_enabled: bool,
+    /// Stale-telemetry detection and safe-mode fallback.
+    pub robust: RobustnessParams,
 }
 
 impl Default for ControllerParams {
@@ -65,6 +117,17 @@ impl Default for ControllerParams {
             search: SearchParams::default(),
             balancer: BalancerParams::default(),
             balancer_enabled: true,
+            robust: RobustnessParams::default(),
+        }
+    }
+}
+
+impl ControllerParams {
+    /// Paper defaults plus the hardened degradation path.
+    pub fn hardened() -> Self {
+        Self {
+            robust: RobustnessParams::hardened(),
+            ..Self::default()
         }
     }
 }
@@ -95,6 +158,13 @@ pub struct SturgeonController {
     /// the offline models mispredict under this node's real interference.
     adaptor: Option<OnlineAdaptor>,
     adaptor_vetoes: u64,
+    /// Bit-pattern signature of the previous observation's measured
+    /// channels, used to detect frozen telemetry.
+    last_obs_sig: Option<(u64, u64, u64)>,
+    stale_streak: u32,
+    stale_intervals: u64,
+    safe_mode: bool,
+    safe_mode_entries: u64,
 }
 
 impl SturgeonController {
@@ -122,6 +192,11 @@ impl SturgeonController {
             searches: 0,
             adaptor: None,
             adaptor_vetoes: 0,
+            last_obs_sig: None,
+            stale_streak: 0,
+            stale_intervals: 0,
+            safe_mode: false,
+            safe_mode_entries: 0,
         }
     }
 
@@ -158,6 +233,26 @@ impl SturgeonController {
         &self.balancer
     }
 
+    /// The parameters the controller was built with.
+    pub fn params(&self) -> &ControllerParams {
+        &self.params
+    }
+
+    /// Intervals whose telemetry was judged stale so far.
+    pub fn stale_intervals(&self) -> u64 {
+        self.stale_intervals
+    }
+
+    /// Times the controller entered safe mode.
+    pub fn safe_mode_entries(&self) -> u64 {
+        self.safe_mode_entries
+    }
+
+    /// True while the controller is holding the safe-mode configuration.
+    pub fn in_safe_mode(&self) -> bool {
+        self.safe_mode
+    }
+
     /// When QoS cannot be met at all, fall back to everything-to-LS.
     fn fallback(&self) -> PairConfig {
         PairConfig::new(
@@ -172,6 +267,23 @@ impl SturgeonController {
                 self.params.search.min_be_ways,
             ),
         )
+    }
+
+    /// The safe-mode configuration: everything-to-LS (the one allocation
+    /// that needs no model to justify — it is Algorithm 1's own
+    /// initialization), with the LS frequency lowered until the predictor
+    /// deems the power draw feasible at the last known load. Entered when
+    /// telemetry goes blind or actuation keeps failing; the controller
+    /// cannot optimize what it cannot observe, so it protects the LS
+    /// service and the power budget instead.
+    pub fn safe_config(&self, qps: f64) -> PairConfig {
+        let mut cfg = self.fallback();
+        let guarded = self.budget_w * (1.0 - self.params.search.power_guard);
+        while cfg.ls.freq_level > 0 && self.predictor.total_power_w(&cfg, &self.spec, qps) > guarded
+        {
+            cfg.ls.freq_level -= 1;
+        }
+        cfg
     }
 
     fn run_search(&mut self, qps: f64) -> PairConfig {
@@ -245,7 +357,55 @@ impl ResourceController for SturgeonController {
         }
     }
 
+    fn fault_counters(&self) -> ControllerFaultCounters {
+        ControllerFaultCounters {
+            stale_intervals: self.stale_intervals,
+            safe_mode_entries: self.safe_mode_entries,
+            balancer_retry_rounds: self.balancer.retry_rounds(),
+        }
+    }
+
     fn decide(&mut self, obs: &Observation, current: PairConfig) -> PairConfig {
+        // Stale-telemetry detection: a frozen collector replays the
+        // previous sample verbatim, so the measured channels repeat
+        // bit-for-bit. Decisions made on frozen data are decisions made
+        // blind — hold position inside the staleness window, and beyond
+        // it stop trusting every model-derived configuration and drop to
+        // the safe-mode allocation.
+        if self.params.robust.enabled {
+            let sig = (
+                obs.qps.to_bits(),
+                obs.p95_ms.to_bits(),
+                obs.power_w.to_bits(),
+            );
+            let stale = self.last_obs_sig == Some(sig);
+            self.last_obs_sig = Some(sig);
+            if stale {
+                self.stale_streak += 1;
+                self.stale_intervals += 1;
+                if self.stale_streak >= self.params.robust.staleness_window {
+                    if !self.safe_mode {
+                        self.safe_mode = true;
+                        self.safe_mode_entries += 1;
+                        // The configs computed before the blackout are no
+                        // longer anchored to reality.
+                        self.warm_hint = None;
+                        self.last_search_config = None;
+                    }
+                    return self.safe_config(obs.qps);
+                }
+                return current;
+            }
+            self.stale_streak = 0;
+            if self.safe_mode {
+                // Fresh telemetry again: leave safe mode and force a full
+                // re-search at the now-observable load.
+                self.safe_mode = false;
+                self.last_search_qps = None;
+                self.rejected.clear();
+            }
+        }
+
         let slack = (self.qos_target_ms - obs.p95_ms) / self.qos_target_ms;
 
         // Feed the online adaptor every measured interval.
@@ -291,6 +451,17 @@ impl ResourceController for SturgeonController {
                     current,
                 ) {
                     return next;
+                }
+                // The balancer has run out of moves while QoS keeps
+                // violating. Under the hardened policy that is the second
+                // safe-mode trigger: give up on fine-tuning and fall back
+                // to the known-feasible allocation.
+                if self.params.robust.enabled && self.balancer.is_exhausted() {
+                    if !self.safe_mode {
+                        self.safe_mode = true;
+                        self.safe_mode_entries += 1;
+                    }
+                    return self.safe_config(obs.qps);
                 }
             }
             return current;
@@ -499,5 +670,111 @@ mod tests {
         let cfg = c.decide(&obs, c.initial_config(env.spec()));
         assert_eq!(cfg.ls.cores, 19);
         assert_eq!(cfg.ls.freq_level, env.spec().max_freq_level());
+    }
+
+    /// A hand-built observation for stale-telemetry tests (bit-identical
+    /// replays stand in for a frozen collector).
+    fn obs_at(t_s: f64, qps: f64, p95_ms: f64, power_w: f64) -> Observation {
+        Observation {
+            t_s,
+            qps,
+            p95_ms,
+            in_target_fraction: 1.0,
+            ls_utilization: 0.5,
+            power_w,
+            be_throughput_norm: 0.5,
+            be_ipc: 1.0,
+            interference: 0.1,
+        }
+    }
+
+    #[test]
+    fn stale_telemetry_holds_config_within_window() {
+        let env = make_env(8);
+        let mut c = make_controller(&env, ControllerParams::hardened());
+        let mut cfg = c.initial_config(env.spec());
+        // Fresh observation first (triggers the initial search).
+        cfg = c.decide(&obs_at(1.0, 12_000.0, 4.0, 80.0), cfg);
+        // Two bit-identical replays: inside the window (3), config held.
+        for t in 2..4 {
+            let next = c.decide(&obs_at(t as f64, 12_000.0, 4.0, 80.0), cfg);
+            assert_eq!(next, cfg, "config must hold inside staleness window");
+        }
+        assert_eq!(c.stale_intervals(), 2);
+        assert!(!c.in_safe_mode());
+        assert_eq!(c.safe_mode_entries(), 0);
+    }
+
+    #[test]
+    fn prolonged_staleness_enters_safe_mode_then_recovers() {
+        let env = make_env(9);
+        let mut c = make_controller(&env, ControllerParams::hardened());
+        let mut cfg = c.initial_config(env.spec());
+        cfg = c.decide(&obs_at(1.0, 12_000.0, 4.0, 80.0), cfg);
+        // Replay the same observation past the staleness window.
+        for t in 2..8 {
+            cfg = c.decide(&obs_at(t as f64, 12_000.0, 4.0, 80.0), cfg);
+        }
+        assert!(c.in_safe_mode());
+        assert_eq!(c.safe_mode_entries(), 1);
+        // Safe mode keeps every resource with the LS service.
+        assert_eq!(cfg.ls.cores, env.spec().total_cores - 1);
+        // Fresh telemetry exits safe mode and forces a re-search.
+        let searches = c.search_count();
+        let _ = c.decide(&obs_at(8.0, 12_100.0, 4.1, 81.0), cfg);
+        assert!(!c.in_safe_mode());
+        assert_eq!(c.search_count(), searches + 1);
+        // Re-entry later counts as a second entry.
+        for t in 9..14 {
+            cfg = c.decide(&obs_at(t as f64, 12_100.0, 4.1, 81.0), cfg);
+        }
+        assert!(c.in_safe_mode());
+        assert_eq!(c.safe_mode_entries(), 2);
+    }
+
+    #[test]
+    fn safe_config_is_power_feasible() {
+        let env = make_env(10);
+        let c = make_controller(&env, ControllerParams::hardened());
+        let guarded = env.budget_w() * (1.0 - c.params().search.power_guard);
+        for qps in [1_000.0, 12_000.0, 30_000.0, 55_000.0] {
+            let cfg = c.safe_config(qps);
+            assert!(cfg.validate(env.spec()).is_ok());
+            let p = c.predictor().total_power_w(&cfg, env.spec(), qps);
+            assert!(
+                p <= guarded + 1e-9 || cfg.ls.freq_level == 0,
+                "qps {qps}: predicted {p:.1} W exceeds guarded budget {guarded:.1} W"
+            );
+        }
+    }
+
+    #[test]
+    fn default_params_ignore_repeated_observations() {
+        // Quiet environments legitimately produce bit-identical samples;
+        // the robustness layer must stay out of the way unless enabled.
+        let mut env = make_quiet_env();
+        let mut c = make_controller(&env, ControllerParams::default());
+        let mut cfg = c.initial_config(env.spec());
+        for t in 0..10 {
+            let mut obs = env.step(&cfg, 12_000.0);
+            obs.t_s = t as f64;
+            cfg = c.decide(&obs, cfg);
+        }
+        assert_eq!(c.stale_intervals(), 0);
+        assert_eq!(c.safe_mode_entries(), 0);
+        assert!(!c.in_safe_mode());
+    }
+
+    #[test]
+    fn fault_counters_surface_through_trait() {
+        let env = make_env(11);
+        let mut c = make_controller(&env, ControllerParams::hardened());
+        let mut cfg = c.initial_config(env.spec());
+        for t in 0..8 {
+            cfg = c.decide(&obs_at(t as f64, 12_000.0, 4.0, 80.0), cfg);
+        }
+        let counters = c.fault_counters();
+        assert!(counters.stale_intervals >= 3);
+        assert_eq!(counters.safe_mode_entries, 1);
     }
 }

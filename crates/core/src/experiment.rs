@@ -11,12 +11,14 @@
 use crate::controller::ResourceController;
 use crate::predictor::{PerfPowerPredictor, PredictorConfig};
 use crate::profiler::{ProfileDatasets, Profiler, ProfilerConfig};
+use serde::Serialize;
 use sturgeon_mlkit::MlError;
 use sturgeon_simnode::{
-    AuditLog, IntervalSample, NodeSpec, PowerModel, SimActuators, TelemetryLog,
+    ActuationOutcome, AuditLog, FaultPlan, FaultyActuators, IntervalSample, NodeSpec, PowerModel,
+    SimActuators, TelemetryFault, TelemetryLog,
 };
 use sturgeon_workloads::catalog::{be_app, ls_service, BeAppId, LsServiceId};
-use sturgeon_workloads::env::CoLocationEnv;
+use sturgeon_workloads::env::{CoLocationEnv, Observation};
 use sturgeon_workloads::interference::InterferenceParams;
 use sturgeon_workloads::loadgen::LoadProfile;
 
@@ -49,6 +51,84 @@ impl ColocationPair {
     }
 }
 
+/// How the harness reacts to actuation failures. The hardened policy is
+/// what a production deployment would run; the unhardened one is the
+/// ablation that shows what silent actuation failures cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ActuationPolicy {
+    /// Re-apply attempts after a failed actuation within the same
+    /// interval (bounded: the loop must finish before the next sample).
+    pub max_retries: u32,
+    /// Verify actuations by reading the installed configuration back and
+    /// adopting it as the believed state. Without this, a failed or
+    /// partial apply silently desynchronizes the controller's belief from
+    /// the node.
+    pub verify: bool,
+}
+
+impl ActuationPolicy {
+    /// Production policy: bounded retry plus read-back verification.
+    pub fn hardened() -> Self {
+        Self {
+            max_retries: 3,
+            verify: true,
+        }
+    }
+
+    /// Fire-and-forget ablation: no retries, no read-back.
+    pub fn unhardened() -> Self {
+        Self {
+            max_retries: 0,
+            verify: false,
+        }
+    }
+}
+
+impl Default for ActuationPolicy {
+    fn default() -> Self {
+        Self::hardened()
+    }
+}
+
+/// Everything fault-related that happened during one run: what the
+/// injector threw at the system, how the harness's actuation policy
+/// responded, and what the controller's own degradation machinery saw.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct FaultReport {
+    /// Total injected faults of any class.
+    pub faults_seen: u64,
+    /// Intervals with noisy telemetry.
+    pub telemetry_noise: u64,
+    /// Intervals whose sample was a stale repeat.
+    pub telemetry_dropouts: u64,
+    /// Intervals whose actuations all failed.
+    pub actuation_stuck: u64,
+    /// Intervals whose first actuation attempt failed.
+    pub actuation_transient: u64,
+    /// Intervals whose actuations applied partially.
+    pub actuation_partial: u64,
+    /// Intervals with a QPS spike.
+    pub qps_spikes: u64,
+    /// Intervals with a power-budget cut.
+    pub budget_cuts: u64,
+    /// Re-apply attempts made by the actuation policy.
+    pub retries: u64,
+    /// Retries that got the configuration installed.
+    pub retry_successes: u64,
+    /// Intervals whose configuration change ultimately failed.
+    pub failed_actuations: u64,
+    /// Intervals the controller's believed configuration differed from
+    /// the one actually installed (only the unhardened policy lets this
+    /// stay nonzero).
+    pub divergence_intervals: u64,
+    /// Intervals the controller judged its telemetry stale.
+    pub stale_intervals: u64,
+    /// Times the controller dropped to its safe-mode configuration.
+    pub safe_mode_entries: u64,
+    /// Balancer feedback rounds that exhausted every harvest target.
+    pub balancer_retry_rounds: u64,
+}
+
 /// Summary of one controller's run (one bar of Figs. 9/10).
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -70,6 +150,8 @@ pub struct RunResult {
     pub budget_w: f64,
     /// Audit trail of every configuration change the controller applied.
     pub audit: AuditLog,
+    /// Fault accounting (all zeros for a fault-free [`ExperimentSetup::run`]).
+    pub faults: FaultReport,
 }
 
 impl RunResult {
@@ -235,6 +317,158 @@ impl ExperimentSetup {
             budget_w: budget,
             log,
             audit,
+            faults: FaultReport::default(),
+        }
+    }
+
+    /// Like [`ExperimentSetup::run`], but with deterministic fault
+    /// injection and an explicit actuation policy. With a zero
+    /// [`FaultPlan`] and any policy the trajectory is bit-identical to
+    /// [`ExperimentSetup::run`]'s — the injected faults, not the harness,
+    /// are the only source of divergence.
+    ///
+    /// Telemetry is logged from ground truth (the metrics judge what the
+    /// node really did) while the controller sees the faulted stream; the
+    /// environment always steps on the configuration *actually installed*,
+    /// which under partial/failed actuations can differ from what the
+    /// controller believes it requested.
+    pub fn run_with_faults(
+        &self,
+        mut controller: impl ResourceController,
+        profile: LoadProfile,
+        duration_s: u32,
+        plan: &FaultPlan,
+        policy: ActuationPolicy,
+    ) -> RunResult {
+        let mut env = self.env.clone();
+        let mut actuators = FaultyActuators::new(SimActuators::new(env.spec().clone()));
+        let mut injector = plan.injector();
+        let mut log = TelemetryLog::new();
+        let mut audit = AuditLog::new();
+        let qos_target = self.qos_target_ms();
+        let peak = self.peak_qps();
+        let budget = self.budget_w();
+        let mut report = FaultReport::default();
+        let mut overloads: u64 = 0;
+
+        // What the controller believes is installed. Under the hardened
+        // policy this is re-synced from a read-back every interval; under
+        // the unhardened one it is whatever the controller last requested.
+        let mut believed = controller.initial_config(env.spec());
+        actuators
+            .apply(believed)
+            .expect("initial configuration must be valid");
+        // The last sample actually handed to the controller; a dropout
+        // replays it verbatim (frozen collector).
+        let mut last_delivered: Option<Observation> = None;
+
+        for t in 0..duration_s {
+            let fault = injector.next_interval();
+            actuators.begin_interval(fault.actuation);
+
+            let qps = profile.qps_at(t as f64, peak) * fault.qps_mult;
+            let truth = env.step(&actuators.config(), qps);
+            actuators.push_power(truth.power_w);
+            if truth.power_w > budget * fault.budget_mult {
+                overloads += 1;
+            }
+            log.push(IntervalSample {
+                t_s: truth.t_s,
+                qps: truth.qps,
+                p95_ms: truth.p95_ms,
+                in_target_fraction: truth.in_target_fraction.min(if truth.p95_ms <= qos_target {
+                    1.0
+                } else {
+                    0.95
+                }),
+                power_w: truth.power_w,
+                be_throughput_norm: truth.be_throughput_norm,
+                config: actuators.config(),
+            });
+
+            let delivered = match fault.telemetry {
+                TelemetryFault::None => truth,
+                TelemetryFault::Noise {
+                    p95_mult,
+                    power_mult,
+                } => {
+                    let mut o = truth;
+                    o.p95_ms *= p95_mult;
+                    o.power_w *= power_mult;
+                    o
+                }
+                TelemetryFault::Dropout => match last_delivered {
+                    // The measured channels repeat bit-for-bit; only the
+                    // timestamp advances (the collector's clock still runs).
+                    Some(prev) => Observation {
+                        t_s: truth.t_s,
+                        ..prev
+                    },
+                    None => truth,
+                },
+            };
+            last_delivered = Some(delivered);
+
+            let next = controller.decide(&delivered, believed);
+            if next != believed {
+                let mut result = actuators.apply(next);
+                let mut attempts = 0;
+                while result.is_err() && attempts < policy.max_retries {
+                    attempts += 1;
+                    report.retries += 1;
+                    result = actuators.apply(next);
+                    if result.is_ok() {
+                        report.retry_successes += 1;
+                    }
+                }
+                let installed = actuators.config();
+                let outcome = match result {
+                    Ok(()) if installed == next => ActuationOutcome::Applied,
+                    Ok(()) => ActuationOutcome::Partial,
+                    Err(_) => {
+                        report.failed_actuations += 1;
+                        ActuationOutcome::Failed
+                    }
+                };
+                // `installed == next` for a clean apply, so the audit's
+                // `to` field always records what actually landed.
+                audit.record_outcome(truth.t_s, controller.name(), believed, installed, outcome);
+                believed = if policy.verify { installed } else { next };
+            }
+            if believed != actuators.config() {
+                report.divergence_intervals += 1;
+            }
+        }
+
+        let stats = injector.stats();
+        report.faults_seen = stats.total();
+        report.telemetry_noise = stats.telemetry_noise;
+        report.telemetry_dropouts = stats.telemetry_dropouts;
+        report.actuation_stuck = stats.actuation_stuck;
+        report.actuation_transient = stats.actuation_transient;
+        report.actuation_partial = stats.actuation_partial;
+        report.qps_spikes = stats.qps_spikes;
+        report.budget_cuts = stats.budget_cuts;
+        let counters = controller.fault_counters();
+        report.stale_intervals = counters.stale_intervals;
+        report.safe_mode_entries = counters.safe_mode_entries;
+        report.balancer_retry_rounds = counters.balancer_retry_rounds;
+
+        RunResult {
+            controller: controller.name(),
+            pair: self.pair.label(),
+            qos_rate: log.qos_guarantee_rate(),
+            mean_be_throughput: log.mean_be_throughput(),
+            overload_fraction: if duration_s == 0 {
+                0.0
+            } else {
+                overloads as f64 / duration_s as f64
+            },
+            peak_power_w: log.peak_power_w(),
+            budget_w: budget,
+            log,
+            audit,
+            faults: report,
         }
     }
 
@@ -328,6 +562,65 @@ mod tests {
             42,
         );
         assert_eq!(r.log.len(), 42);
+    }
+
+    #[test]
+    fn zero_fault_plan_reproduces_fault_free_run() {
+        let pair = ColocationPair::new(LsServiceId::Xapian, BeAppId::Ferret);
+        let setup = ExperimentSetup::new(pair, 7);
+        let clean = setup.run(
+            StaticReservationController,
+            LoadProfile::paper_fluctuating(60.0),
+            60,
+        );
+        let faulted = setup.run_with_faults(
+            StaticReservationController,
+            LoadProfile::paper_fluctuating(60.0),
+            60,
+            &FaultPlan::none(123),
+            ActuationPolicy::hardened(),
+        );
+        assert_eq!(clean.log.samples(), faulted.log.samples());
+        assert_eq!(clean.qos_rate, faulted.qos_rate);
+        assert_eq!(clean.overload_fraction, faulted.overload_fraction);
+        assert_eq!(clean.audit.entries(), faulted.audit.entries());
+        assert_eq!(faulted.faults, FaultReport::default());
+    }
+
+    #[test]
+    fn actuation_faults_are_counted_and_retried() {
+        let pair = ColocationPair::new(LsServiceId::Memcached, BeAppId::Raytrace);
+        let setup = ExperimentSetup::new(pair, 2);
+        let predictor = setup
+            .train_predictor(fast_profiler(), PredictorConfig::default())
+            .unwrap();
+        let controller = SturgeonController::new(
+            predictor,
+            setup.spec().clone(),
+            setup.budget_w(),
+            setup.qos_target_ms(),
+            ControllerParams::hardened(),
+        );
+        let r = setup.run_with_faults(
+            controller,
+            LoadProfile::paper_fluctuating(120.0),
+            120,
+            &FaultPlan::actuation_faults(5, 0.3),
+            ActuationPolicy::hardened(),
+        );
+        let f = &r.faults;
+        assert!(f.faults_seen > 0, "30% fault rate must fire in 120 s");
+        assert_eq!(
+            f.faults_seen,
+            f.actuation_stuck + f.actuation_transient + f.actuation_partial
+        );
+        // The hardened policy re-syncs belief every interval, so the
+        // controller never stays desynchronized from the node.
+        assert_eq!(f.divergence_intervals, 0);
+        // Every interval's installed config is valid.
+        for s in r.log.samples() {
+            assert!(s.config.validate(setup.spec()).is_ok());
+        }
     }
 
     #[test]

@@ -51,8 +51,13 @@ pub mod prelude {
     pub use crate::baselines::{PartiesController, StaticReservationController};
     pub use crate::cache::PredictionCache;
     pub use crate::cluster::{Cluster, ClusterResult, DispatchPolicy};
-    pub use crate::controller::{ControllerParams, ResourceController, SturgeonController};
-    pub use crate::experiment::{ColocationPair, ExperimentSetup, RunResult};
+    pub use crate::controller::{
+        ControllerFaultCounters, ControllerParams, ResourceController, RobustnessParams,
+        SturgeonController,
+    };
+    pub use crate::experiment::{
+        ActuationPolicy, ColocationPair, ExperimentSetup, FaultReport, RunResult,
+    };
     pub use crate::heracles::{HeraclesController, HeraclesParams};
     pub use crate::multi::{
         MultiProfiler, MultiProfilerConfig, MultiSearch, MultiSturgeonController,
@@ -62,7 +67,10 @@ pub mod prelude {
     pub use crate::predictor::{ModelKind, PerfPowerPredictor, PredictorConfig};
     pub use crate::profiler::{ProfileDatasets, Profiler, ProfilerConfig};
     pub use crate::search::{ConfigSearch, SearchOutcome, SearchParams};
-    pub use sturgeon_simnode::{Allocation, NodeSpec, PairConfig, PowerModel};
+    pub use sturgeon_simnode::{
+        ActuationFault, Allocation, FaultInjector, FaultPlan, FaultStats, FaultyActuators,
+        IntervalFault, NodeSpec, PairConfig, PowerModel, TelemetryFault,
+    };
     pub use sturgeon_workloads::catalog::{BeAppId, LsServiceId};
     pub use sturgeon_workloads::loadgen::LoadProfile;
 }

@@ -79,6 +79,11 @@ pub struct OnlineAdaptor {
     since_fit: usize,
     model: Option<Box<dyn Regressor + Send + Sync>>,
     refits: u64,
+    /// The last sample accepted into the ring, kept to drop verbatim
+    /// repeats (a frozen telemetry collector replays the previous
+    /// interval, which would otherwise overweight one operating point).
+    last_accepted: Option<OnlineSample>,
+    rejected: u64,
 }
 
 impl std::fmt::Debug for OnlineAdaptor {
@@ -114,6 +119,8 @@ impl OnlineAdaptor {
             since_fit: 0,
             model: None,
             refits: 0,
+            last_accepted: None,
+            rejected: 0,
         })
     }
 
@@ -141,9 +148,24 @@ impl OnlineAdaptor {
         self.model.is_some()
     }
 
+    /// Samples rejected as unusable (non-finite fields or verbatim
+    /// repeats of the previous accepted sample).
+    pub fn rejected_count(&self) -> u64 {
+        self.rejected
+    }
+
     /// Records one live observation; refits when due. Returns `true` when
-    /// a refit happened.
+    /// a refit happened. Samples with non-finite measurements, and exact
+    /// repeats of the previous sample (stale-telemetry replays), are
+    /// dropped rather than learned from.
     pub fn observe(&mut self, sample: OnlineSample) -> Result<bool, MlError> {
+        if !(sample.qps.is_finite() && sample.freq_ghz.is_finite() && sample.p95_ms.is_finite())
+            || self.last_accepted == Some(sample)
+        {
+            self.rejected += 1;
+            return Ok(false);
+        }
+        self.last_accepted = Some(sample);
         if self.ring.len() < self.config.capacity {
             self.ring.push(sample);
         } else {
@@ -287,6 +309,53 @@ mod tests {
         assert_eq!(a.len(), 30, "ring must cap at capacity");
         assert!(a.is_adapted());
         assert_eq!(a.refit_count(), 4);
+    }
+
+    #[test]
+    fn unusable_samples_are_rejected_not_learned() {
+        let (_, data, target) = setup();
+        let mut a = OnlineAdaptor::new(
+            data,
+            target,
+            OnlineAdaptorConfig {
+                capacity: 30,
+                refit_every: 10,
+                ..OnlineAdaptorConfig::default()
+            },
+        )
+        .unwrap();
+        let good = OnlineSample {
+            qps: 1_000.0,
+            cores: 6,
+            freq_ghz: 1.8,
+            ways: 8,
+            p95_ms: 9.0,
+        };
+        assert!(!a.observe(good).unwrap());
+        // A verbatim replay (frozen telemetry) is dropped.
+        assert!(!a.observe(good).unwrap());
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.rejected_count(), 1);
+        // Non-finite measurements are dropped too.
+        let bad = OnlineSample {
+            p95_ms: f64::NAN,
+            ..good
+        };
+        assert!(!a.observe(bad).unwrap());
+        let bad = OnlineSample {
+            qps: f64::INFINITY,
+            ..good
+        };
+        assert!(!a.observe(bad).unwrap());
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.rejected_count(), 3);
+        // A changed sample is accepted again.
+        let next = OnlineSample {
+            qps: 1_001.0,
+            ..good
+        };
+        assert!(!a.observe(next).unwrap());
+        assert_eq!(a.len(), 2);
     }
 
     #[test]

@@ -37,6 +37,12 @@ pub struct RunSummary {
     pub suffers_overload: bool,
     /// Fig. 9 verdict.
     pub meets_qos_guarantee: bool,
+    /// Total injected faults (0 for a fault-free run).
+    pub faults_seen: u64,
+    /// Actuation retries spent by the hardened policy.
+    pub retries: u64,
+    /// Times the controller dropped to its safe-mode configuration.
+    pub safe_mode_entries: u64,
 }
 
 impl From<&RunResult> for RunSummary {
@@ -52,6 +58,9 @@ impl From<&RunResult> for RunSummary {
             budget_w: r.budget_w,
             suffers_overload: r.suffers_overload(),
             meets_qos_guarantee: r.meets_qos_guarantee(),
+            faults_seen: r.faults.faults_seen,
+            retries: r.faults.retries,
+            safe_mode_entries: r.faults.safe_mode_entries,
         }
     }
 }
@@ -195,6 +204,11 @@ mod tests {
         assert_eq!(v["controller"], "LS-reserved");
         assert_eq!(v["intervals"], 10);
         assert!(v["qos_rate"].as_f64().unwrap() > 0.9);
+        // Fault counters surface in the summary and are zero for a
+        // fault-free run.
+        assert_eq!(v["faults_seen"], 0);
+        assert_eq!(v["retries"], 0);
+        assert_eq!(v["safe_mode_entries"], 0);
     }
 
     #[test]

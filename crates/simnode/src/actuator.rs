@@ -52,6 +52,7 @@ struct SimState {
     config: PairConfig,
     power_w: f64,
     actuations: u64,
+    rejected: u64,
 }
 
 /// Simulated backend for all four Table III interfaces.
@@ -84,6 +85,7 @@ impl SimActuators {
                 config,
                 power_w: 0.0,
                 actuations: 0,
+                rejected: 0,
             })),
         }
     }
@@ -95,7 +97,10 @@ impl SimActuators {
 
     /// Atomically applies a full configuration (validated against the spec).
     pub fn apply(&self, config: PairConfig) -> Result<(), ConfigError> {
-        config.validate(&self.spec)?;
+        if let Err(e) = config.validate(&self.spec) {
+            self.state.lock().rejected += 1;
+            return Err(e);
+        }
         let mut st = self.state.lock();
         if st.config != config {
             st.config = config;
@@ -119,6 +124,12 @@ impl SimActuators {
     /// used by the overhead accounting of §VII-E.
     pub fn actuation_count(&self) -> u64 {
         self.state.lock().actuations
+    }
+
+    /// Number of applies rejected by spec validation — a nonzero count in
+    /// production telemetry means some layer is emitting invalid configs.
+    pub fn rejected_count(&self) -> u64 {
+        self.state.lock().rejected
     }
 }
 
@@ -193,8 +204,10 @@ mod tests {
         let a = acts();
         let bad = PairConfig::new(Allocation::new(15, 0, 10), Allocation::new(15, 0, 10));
         assert!(a.apply(bad).is_err());
-        // State unchanged after a rejected apply.
+        // State unchanged after a rejected apply, and the rejection counted.
         assert_eq!(a.config().ls.cores, 19);
+        assert_eq!(a.rejected_count(), 1);
+        assert_eq!(a.actuation_count(), 0);
     }
 
     #[test]

@@ -16,6 +16,9 @@ pub enum ConfigError {
     EmptyPartition,
     /// A frequency level index beyond the spec's DVFS table.
     BadFrequencyLevel { level: usize, levels: usize },
+    /// The configuration is valid but the actuator failed to install it
+    /// (injected fault or backend write error).
+    ActuationFailed,
 }
 
 impl fmt::Display for ConfigError {
@@ -40,6 +43,7 @@ impl fmt::Display for ConfigError {
                     "frequency level {level} out of range (node has {levels})"
                 )
             }
+            ConfigError::ActuationFailed => write!(f, "actuator failed to install configuration"),
         }
     }
 }

@@ -50,6 +50,20 @@ pub fn resctrl_schemata(spec: &NodeSpec, config: &PairConfig) -> (String, String
     (format!("L3:0={ls_mask:x}"), format!("L3:0={be_mask:x}"))
 }
 
+/// What happened to a requested configuration change. Production
+/// actuators fail: a cpuset/resctrl write can error out or land only
+/// partially, and postmortems need the attempt on record either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ActuationOutcome {
+    /// The full configuration was installed.
+    Applied,
+    /// Only part of the configuration landed (`to` records what was
+    /// actually installed, not what was requested).
+    Partial,
+    /// The write failed and the previous configuration stayed in force.
+    Failed,
+}
+
 /// One recorded configuration change.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct AuditEntry {
@@ -61,6 +75,8 @@ pub struct AuditEntry {
     pub to: PairConfig,
     /// Who asked (controller name or subsystem).
     pub actor: String,
+    /// Whether the change actually landed.
+    pub outcome: ActuationOutcome,
 }
 
 impl AuditEntry {
@@ -85,6 +101,11 @@ impl AuditEntry {
         }
         let mut out = format!("[{:>8.1}s] {}: ", self.t_s, self.actor);
         out.push_str(&parts.join(", "));
+        match self.outcome {
+            ActuationOutcome::Applied => {}
+            ActuationOutcome::Partial => out.push_str(" [partial]"),
+            ActuationOutcome::Failed => out.push_str(" [FAILED]"),
+        }
         out
     }
 }
@@ -101,9 +122,23 @@ impl AuditLog {
         Self::default()
     }
 
-    /// Records a transition (no-ops are skipped).
+    /// Records a successful transition (no-ops are skipped).
     pub fn record(&mut self, t_s: f64, actor: &str, from: PairConfig, to: PairConfig) {
-        if from == to {
+        self.record_outcome(t_s, actor, from, to, ActuationOutcome::Applied);
+    }
+
+    /// Records a transition attempt with its outcome. Failed and partial
+    /// actuations are recorded even when `from == to` (the attempt itself
+    /// is the postmortem evidence); clean no-ops are skipped.
+    pub fn record_outcome(
+        &mut self,
+        t_s: f64,
+        actor: &str,
+        from: PairConfig,
+        to: PairConfig,
+        outcome: ActuationOutcome,
+    ) {
+        if from == to && outcome == ActuationOutcome::Applied {
             return;
         }
         self.entries.push(AuditEntry {
@@ -111,7 +146,16 @@ impl AuditLog {
             from,
             to,
             actor: actor.to_string(),
+            outcome,
         });
+    }
+
+    /// Number of recorded attempts that did not fully land.
+    pub fn degraded_count(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.outcome != ActuationOutcome::Applied)
+            .count()
     }
 
     /// All entries in order.
@@ -205,6 +249,23 @@ mod tests {
         assert!(line.contains("LS cores 8→9"), "{line}");
         assert!(line.contains("BE freq F9→F7"), "{line}");
         assert!(line.contains("balancer"), "{line}");
+        assert_eq!(log.degraded_count(), 0);
+    }
+
+    #[test]
+    fn failed_and_partial_attempts_are_recorded() {
+        let mut log = AuditLog::new();
+        let a = cfg(8, 5, 10, 12, 9, 10);
+        let mut b = a;
+        b.ls.cores += 2;
+        b.be.cores -= 2;
+        // A failed attempt keeps from == to (nothing landed) but is kept.
+        log.record_outcome(1.0, "controller", a, a, ActuationOutcome::Failed);
+        log.record_outcome(2.0, "controller", a, b, ActuationOutcome::Partial);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.degraded_count(), 2);
+        assert!(log.entries()[0].describe().contains("[FAILED]"));
+        assert!(log.entries()[1].describe().contains("[partial]"));
     }
 
     #[test]

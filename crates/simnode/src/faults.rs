@@ -1,0 +1,630 @@
+//! Deterministic fault injection for the simulated node.
+//!
+//! The control loop's offline models already mispredict under
+//! "unpredictable interference" (paper §V-C); a production deployment
+//! additionally faces *infrastructure* faults the paper's testbed never
+//! shows: RAPL readings that glitch or freeze, cpuset/resctrl writes that
+//! fail or apply partially, load spikes and power-budget cuts arriving
+//! mid-interval. This module injects exactly those fault classes into a
+//! run, reproducibly: a [`FaultPlan`] is a pure function of its `u64`
+//! seed, so the same plan always yields the bit-identical fault sequence
+//! and therefore the bit-identical experiment report.
+//!
+//! Fault classes (one [`IntervalFault`] drawn per monitoring interval):
+//!
+//! * **Telemetry noise** — multiplicative perturbation of the measured
+//!   p95 latency and package power (sensor glitch).
+//! * **Telemetry dropout** — the sample stream freezes and the previous
+//!   interval's values are repeated verbatim (collector died, RAPL MSR
+//!   stuck).
+//! * **Actuation faults** — a configuration write fails for the whole
+//!   interval and *latches* the interface wedged
+//!   ([`ActuationFault::Stuck`]), fails transiently so a retry succeeds
+//!   ([`ActuationFault::Transient`]), or applies only the core split
+//!   while ways/frequency silently keep their old values
+//!   ([`ActuationFault::Partial`]). A wedged interface keeps failing in
+//!   later intervals until a caller that checks errors issues an explicit
+//!   retry — fire-and-forget controllers never recover it, which is the
+//!   cost the robustness experiments measure.
+//! * **Load/power shocks** — the offered QPS is multiplied by a spike
+//!   factor, or the node's effective power budget is cut for the
+//!   interval (cluster-level power capping).
+
+use crate::actuator::SimActuators;
+use crate::alloc::{ConfigError, PairConfig};
+use crate::spec::NodeSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// Per-interval fault probabilities and magnitudes, plus the seed that
+/// makes the drawn sequence reproducible. All rates are per-interval
+/// probabilities in `[0, 1]`; a plan with every rate zero injects nothing
+/// and leaves a run bit-identical to a fault-free one.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FaultPlan {
+    /// Seed of the fault stream (independent of the environment's seed).
+    pub seed: u64,
+    /// Probability of multiplicative telemetry noise in an interval.
+    pub telemetry_noise_rate: f64,
+    /// Maximum relative perturbation of p95/power when noise fires
+    /// (`0.3` means each reading is scaled by a factor in `[0.7, 1.3]`).
+    pub telemetry_noise_frac: f64,
+    /// Probability that the interval's sample is a stale repeat.
+    pub telemetry_dropout_rate: f64,
+    /// Probability that every actuation in the interval fails.
+    pub actuation_stuck_rate: f64,
+    /// Probability that the first actuation attempt fails but a retry
+    /// within the same interval succeeds.
+    pub actuation_transient_rate: f64,
+    /// Probability that an actuation applies only the core split.
+    pub actuation_partial_rate: f64,
+    /// Probability of a QPS spike in an interval.
+    pub qps_spike_rate: f64,
+    /// Load multiplier applied when a spike fires.
+    pub qps_spike_mult: f64,
+    /// Probability the power budget is cut for an interval.
+    pub budget_cut_rate: f64,
+    /// Relative cut depth (`0.1` → the effective budget is 90%).
+    pub budget_cut_frac: f64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the fault-free control).
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            telemetry_noise_rate: 0.0,
+            telemetry_noise_frac: 0.0,
+            telemetry_dropout_rate: 0.0,
+            actuation_stuck_rate: 0.0,
+            actuation_transient_rate: 0.0,
+            actuation_partial_rate: 0.0,
+            qps_spike_rate: 0.0,
+            qps_spike_mult: 1.0,
+            budget_cut_rate: 0.0,
+            budget_cut_frac: 0.0,
+        }
+    }
+
+    /// Sensor-glitch preset: noisy p95/power readings.
+    pub fn telemetry_noise(seed: u64, rate: f64, frac: f64) -> Self {
+        Self {
+            telemetry_noise_rate: rate,
+            telemetry_noise_frac: frac,
+            ..Self::none(seed)
+        }
+    }
+
+    /// Frozen-collector preset: stale-repeat samples.
+    pub fn telemetry_dropout(seed: u64, rate: f64) -> Self {
+        Self {
+            telemetry_dropout_rate: rate,
+            ..Self::none(seed)
+        }
+    }
+
+    /// Failing-actuator preset: `rate` is the total per-interval fault
+    /// probability, split across stuck / transient / partial failures.
+    pub fn actuation_faults(seed: u64, rate: f64) -> Self {
+        Self {
+            actuation_stuck_rate: 0.4 * rate,
+            actuation_transient_rate: 0.4 * rate,
+            actuation_partial_rate: 0.2 * rate,
+            ..Self::none(seed)
+        }
+    }
+
+    /// Load/power-shock preset: QPS spikes plus budget cuts.
+    pub fn shocks(seed: u64, rate: f64) -> Self {
+        Self {
+            qps_spike_rate: rate,
+            qps_spike_mult: 1.3,
+            budget_cut_rate: rate,
+            budget_cut_frac: 0.1,
+            ..Self::none(seed)
+        }
+    }
+
+    /// Everything at once (the stress preset).
+    pub fn everything(seed: u64) -> Self {
+        Self {
+            telemetry_noise_rate: 0.10,
+            telemetry_noise_frac: 0.25,
+            telemetry_dropout_rate: 0.05,
+            actuation_stuck_rate: 0.04,
+            actuation_transient_rate: 0.04,
+            actuation_partial_rate: 0.02,
+            qps_spike_rate: 0.03,
+            qps_spike_mult: 1.25,
+            budget_cut_rate: 0.03,
+            budget_cut_frac: 0.08,
+            ..Self::none(seed)
+        }
+    }
+
+    /// True when no fault class can ever fire.
+    pub fn is_zero(&self) -> bool {
+        self.telemetry_noise_rate == 0.0
+            && self.telemetry_dropout_rate == 0.0
+            && self.actuation_stuck_rate == 0.0
+            && self.actuation_transient_rate == 0.0
+            && self.actuation_partial_rate == 0.0
+            && self.qps_spike_rate == 0.0
+            && self.budget_cut_rate == 0.0
+    }
+
+    /// Builds the injector that realizes this plan.
+    pub fn injector(&self) -> FaultInjector {
+        FaultInjector::new(*self)
+    }
+}
+
+/// Telemetry perturbation drawn for one interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TelemetryFault {
+    /// Clean sample.
+    None,
+    /// Multiplicative sensor noise on the two measured channels.
+    Noise {
+        /// Factor applied to the measured p95 latency.
+        p95_mult: f64,
+        /// Factor applied to the measured package power.
+        power_mult: f64,
+    },
+    /// Stale repeat: the previous delivered sample is replayed.
+    Dropout,
+}
+
+/// Actuator behaviour drawn for one interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActuationFault {
+    /// Actuations succeed normally.
+    None,
+    /// Every apply in the interval fails, and the interface stays wedged
+    /// into later intervals until an explicit retry clears it.
+    Stuck,
+    /// The first apply attempt fails; retries succeed.
+    Transient,
+    /// Applies install only the core split (ways/frequency keep their
+    /// previous values) while still reporting success.
+    Partial,
+}
+
+/// The complete fault draw for one monitoring interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalFault {
+    /// Telemetry perturbation.
+    pub telemetry: TelemetryFault,
+    /// Actuator behaviour.
+    pub actuation: ActuationFault,
+    /// Load multiplier (1.0 = no spike).
+    pub qps_mult: f64,
+    /// Effective-budget multiplier (1.0 = no cut).
+    pub budget_mult: f64,
+}
+
+impl IntervalFault {
+    /// The fault-free draw.
+    pub fn none() -> Self {
+        Self {
+            telemetry: TelemetryFault::None,
+            actuation: ActuationFault::None,
+            qps_mult: 1.0,
+            budget_mult: 1.0,
+        }
+    }
+
+    /// True when nothing is perturbed this interval.
+    pub fn is_none(&self) -> bool {
+        *self == Self::none()
+    }
+}
+
+/// Counts of every fault the injector has drawn so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct FaultStats {
+    /// Intervals with noisy telemetry.
+    pub telemetry_noise: u64,
+    /// Intervals with stale-repeat telemetry.
+    pub telemetry_dropouts: u64,
+    /// Intervals whose actuations all failed.
+    pub actuation_stuck: u64,
+    /// Intervals whose first actuation attempt failed.
+    pub actuation_transient: u64,
+    /// Intervals whose actuations applied partially.
+    pub actuation_partial: u64,
+    /// Intervals with a QPS spike.
+    pub qps_spikes: u64,
+    /// Intervals with a budget cut.
+    pub budget_cuts: u64,
+}
+
+impl FaultStats {
+    /// Total faults of any class.
+    pub fn total(&self) -> u64 {
+        self.telemetry_noise
+            + self.telemetry_dropouts
+            + self.actuation_stuck
+            + self.actuation_transient
+            + self.actuation_partial
+            + self.qps_spikes
+            + self.budget_cuts
+    }
+}
+
+/// Draws one [`IntervalFault`] per interval, deterministically from the
+/// plan's seed.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: StdRng,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Builds the injector for a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            rng: StdRng::seed_from_u64(plan.seed),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Counters of everything drawn so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    fn noise_mult(&mut self) -> f64 {
+        1.0 + self.plan.telemetry_noise_frac * (2.0 * self.rng.gen::<f64>() - 1.0)
+    }
+
+    /// Draws the next interval's faults. Classes are drawn in a fixed
+    /// order so a given seed always yields the same sequence.
+    pub fn next_interval(&mut self) -> IntervalFault {
+        let telemetry = if self.rng.gen_bool(self.plan.telemetry_dropout_rate) {
+            self.stats.telemetry_dropouts += 1;
+            TelemetryFault::Dropout
+        } else if self.rng.gen_bool(self.plan.telemetry_noise_rate) {
+            self.stats.telemetry_noise += 1;
+            TelemetryFault::Noise {
+                p95_mult: self.noise_mult(),
+                power_mult: self.noise_mult(),
+            }
+        } else {
+            TelemetryFault::None
+        };
+
+        let actuation = if self.rng.gen_bool(self.plan.actuation_stuck_rate) {
+            self.stats.actuation_stuck += 1;
+            ActuationFault::Stuck
+        } else if self.rng.gen_bool(self.plan.actuation_transient_rate) {
+            self.stats.actuation_transient += 1;
+            ActuationFault::Transient
+        } else if self.rng.gen_bool(self.plan.actuation_partial_rate) {
+            self.stats.actuation_partial += 1;
+            ActuationFault::Partial
+        } else {
+            ActuationFault::None
+        };
+
+        let qps_mult = if self.rng.gen_bool(self.plan.qps_spike_rate) {
+            self.stats.qps_spikes += 1;
+            self.plan.qps_spike_mult
+        } else {
+            1.0
+        };
+
+        let budget_mult = if self.rng.gen_bool(self.plan.budget_cut_rate) {
+            self.stats.budget_cuts += 1;
+            1.0 - self.plan.budget_cut_frac
+        } else {
+            1.0
+        };
+
+        IntervalFault {
+            telemetry,
+            actuation,
+            qps_mult,
+            budget_mult,
+        }
+    }
+}
+
+/// [`SimActuators`] wrapped with the interval's actuation fault: applies
+/// can fail outright, fail transiently (a retry succeeds), or install
+/// only part of the requested configuration while reporting success —
+/// which is exactly why a hardened controller must *verify* actuations by
+/// reading the installed configuration back.
+#[derive(Debug, Clone)]
+pub struct FaultyActuators {
+    inner: SimActuators,
+    fault: ActuationFault,
+    attempts_this_interval: u32,
+    /// A [`ActuationFault::Stuck`] interval wedges the interface: applies
+    /// keep failing in later intervals until an explicit retry (second or
+    /// later attempt within one interval) clears the latch. Callers that
+    /// never check errors never issue that retry.
+    latched: bool,
+    failed_applies: u64,
+    partial_applies: u64,
+}
+
+impl FaultyActuators {
+    /// Wraps a simulated backend.
+    pub fn new(inner: SimActuators) -> Self {
+        Self {
+            inner,
+            fault: ActuationFault::None,
+            attempts_this_interval: 0,
+            latched: false,
+            failed_applies: 0,
+            partial_applies: 0,
+        }
+    }
+
+    /// The node spec the backend enforces.
+    pub fn spec(&self) -> &NodeSpec {
+        self.inner.spec()
+    }
+
+    /// Arms the interval's actuation fault and resets the attempt count.
+    pub fn begin_interval(&mut self, fault: ActuationFault) {
+        self.fault = fault;
+        self.attempts_this_interval = 0;
+    }
+
+    /// Attempts to apply a configuration under the armed fault. Partial
+    /// applies return `Ok` — only a read-back of [`Self::config`] reveals
+    /// the mismatch.
+    pub fn apply(&mut self, config: PairConfig) -> Result<(), ConfigError> {
+        config.validate(self.inner.spec())?;
+        let attempt = self.attempts_this_interval;
+        self.attempts_this_interval += 1;
+        if self.latched && self.fault != ActuationFault::Stuck {
+            // Wedged from an earlier Stuck interval. Only a deliberate
+            // retry — a second attempt after seeing the first one error —
+            // resets the interface; a caller that ignores errors keeps
+            // writing into the void.
+            if attempt == 0 {
+                self.failed_applies += 1;
+                return Err(ConfigError::ActuationFailed);
+            }
+            self.latched = false;
+        }
+        match self.fault {
+            ActuationFault::None => self.inner.apply(config),
+            ActuationFault::Stuck => {
+                self.latched = true;
+                self.failed_applies += 1;
+                Err(ConfigError::ActuationFailed)
+            }
+            ActuationFault::Transient => {
+                if attempt == 0 {
+                    self.failed_applies += 1;
+                    Err(ConfigError::ActuationFailed)
+                } else {
+                    self.inner.apply(config)
+                }
+            }
+            ActuationFault::Partial => {
+                // Only the cpuset write lands; CAT and DVFS keep their
+                // previous values. The core split alone is always valid
+                // because the partition totals are unchanged.
+                let mut partial = self.inner.config();
+                partial.ls.cores = config.ls.cores;
+                partial.be.cores = config.be.cores;
+                if partial != self.inner.config() {
+                    self.partial_applies += 1;
+                }
+                self.inner.apply(partial)
+            }
+        }
+    }
+
+    /// The configuration actually installed (the read-back a hardened
+    /// controller verifies against).
+    pub fn config(&self) -> PairConfig {
+        self.inner.config()
+    }
+
+    /// True while the interface is wedged from an unrecovered Stuck fault.
+    pub fn is_latched(&self) -> bool {
+        self.latched
+    }
+
+    /// Publishes measured package power (delegates).
+    pub fn push_power(&self, watts: f64) {
+        self.inner.push_power(watts);
+    }
+
+    /// Configuration changes actually installed (delegates).
+    pub fn actuation_count(&self) -> u64 {
+        self.inner.actuation_count()
+    }
+
+    /// Apply calls that returned an error.
+    pub fn failed_applies(&self) -> u64 {
+        self.failed_applies
+    }
+
+    /// Apply calls that silently installed only the core split.
+    pub fn partial_applies(&self) -> u64 {
+        self.partial_applies
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::Allocation;
+
+    fn actuators() -> FaultyActuators {
+        FaultyActuators::new(SimActuators::new(NodeSpec::xeon_e5_2630_v4()))
+    }
+
+    fn cfg(c1: u32, f1: usize, l1: u32) -> PairConfig {
+        PairConfig::new(
+            Allocation::new(c1, f1, l1),
+            Allocation::new(20 - c1, 9, 20 - l1),
+        )
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let plan = FaultPlan::everything(99);
+        let mut a = plan.injector();
+        let mut b = plan.injector();
+        for _ in 0..500 {
+            assert_eq!(a.next_interval(), b.next_interval());
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert!(a.stats().total() > 0, "stress plan must inject something");
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = FaultPlan::everything(1).injector();
+        let mut b = FaultPlan::everything(2).injector();
+        let same = (0..200).all(|_| a.next_interval() == b.next_interval());
+        assert!(!same, "different seeds should yield different sequences");
+    }
+
+    #[test]
+    fn zero_plan_never_fires() {
+        let mut inj = FaultPlan::none(7).injector();
+        for _ in 0..1_000 {
+            assert!(inj.next_interval().is_none());
+        }
+        assert_eq!(inj.stats().total(), 0);
+        assert!(FaultPlan::none(7).is_zero());
+        assert!(!FaultPlan::everything(7).is_zero());
+    }
+
+    #[test]
+    fn rates_are_respected_approximately() {
+        let mut inj = FaultPlan::telemetry_dropout(3, 0.25).injector();
+        let n = 4_000;
+        for _ in 0..n {
+            inj.next_interval();
+        }
+        let rate = inj.stats().telemetry_dropouts as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.03, "dropout rate {rate}");
+    }
+
+    #[test]
+    fn noise_multipliers_stay_in_band() {
+        let mut inj = FaultPlan::telemetry_noise(5, 1.0, 0.3).injector();
+        for _ in 0..500 {
+            if let TelemetryFault::Noise {
+                p95_mult,
+                power_mult,
+            } = inj.next_interval().telemetry
+            {
+                assert!((0.7..=1.3).contains(&p95_mult));
+                assert!((0.7..=1.3).contains(&power_mult));
+            }
+        }
+        assert!(inj.stats().telemetry_noise > 400);
+    }
+
+    #[test]
+    fn stuck_fault_fails_every_attempt() {
+        let mut a = actuators();
+        let before = a.config();
+        a.begin_interval(ActuationFault::Stuck);
+        for _ in 0..4 {
+            assert_eq!(a.apply(cfg(8, 5, 9)), Err(ConfigError::ActuationFailed));
+        }
+        assert_eq!(a.config(), before, "config must be untouched");
+        assert_eq!(a.failed_applies(), 4);
+    }
+
+    #[test]
+    fn transient_fault_succeeds_on_retry() {
+        let mut a = actuators();
+        a.begin_interval(ActuationFault::Transient);
+        assert!(a.apply(cfg(8, 5, 9)).is_err());
+        assert!(a.apply(cfg(8, 5, 9)).is_ok());
+        assert_eq!(a.config(), cfg(8, 5, 9));
+        assert_eq!(a.failed_applies(), 1);
+    }
+
+    #[test]
+    fn partial_fault_installs_only_cores() {
+        let mut a = actuators();
+        a.begin_interval(ActuationFault::None);
+        a.apply(cfg(10, 4, 10)).unwrap();
+        a.begin_interval(ActuationFault::Partial);
+        assert!(a.apply(cfg(6, 9, 15)).is_ok(), "partial applies report Ok");
+        let installed = a.config();
+        assert_eq!(installed.ls.cores, 6, "core split must land");
+        assert_eq!(installed.ls.llc_ways, 10, "ways must keep old value");
+        assert_eq!(installed.ls.freq_level, 4, "freq must keep old value");
+        assert!(installed.validate(a.spec()).is_ok());
+        assert_eq!(a.partial_applies(), 1);
+    }
+
+    #[test]
+    fn transient_faults_clear_at_interval_boundaries() {
+        let mut a = actuators();
+        a.begin_interval(ActuationFault::Transient);
+        assert!(a.apply(cfg(8, 5, 9)).is_err());
+        a.begin_interval(ActuationFault::None);
+        assert!(a.apply(cfg(8, 5, 9)).is_ok());
+    }
+
+    #[test]
+    fn stuck_fault_latches_until_an_explicit_retry() {
+        let mut a = actuators();
+        let before = a.config();
+        a.begin_interval(ActuationFault::Stuck);
+        assert!(a.apply(cfg(8, 5, 9)).is_err());
+        assert!(a.is_latched());
+        // Next interval is fault-free, but the interface is still wedged:
+        // a lone (fire-and-forget) attempt keeps failing.
+        a.begin_interval(ActuationFault::None);
+        assert!(a.apply(cfg(8, 5, 9)).is_err());
+        assert_eq!(a.config(), before);
+        // A second attempt in the same interval — an error-checking
+        // caller's retry — resets the interface and lands the write.
+        assert!(a.apply(cfg(8, 5, 9)).is_ok());
+        assert!(!a.is_latched());
+        assert_eq!(a.config(), cfg(8, 5, 9));
+    }
+
+    #[test]
+    fn fire_and_forget_never_recovers_a_latched_interface() {
+        let mut a = actuators();
+        let before = a.config();
+        a.begin_interval(ActuationFault::Stuck);
+        let _ = a.apply(cfg(8, 5, 9));
+        for _ in 0..10 {
+            a.begin_interval(ActuationFault::None);
+            assert!(
+                a.apply(cfg(6, 4, 7)).is_err(),
+                "single attempts stay wedged"
+            );
+        }
+        assert!(a.is_latched());
+        assert_eq!(a.config(), before);
+    }
+
+    #[test]
+    fn invalid_configs_still_rejected_under_faults() {
+        let mut a = actuators();
+        a.begin_interval(ActuationFault::Partial);
+        let bad = PairConfig::new(Allocation::new(15, 0, 10), Allocation::new(15, 0, 10));
+        assert!(matches!(
+            a.apply(bad),
+            Err(ConfigError::CoreOversubscription { .. })
+        ));
+    }
+}

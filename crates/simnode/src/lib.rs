@@ -32,14 +32,19 @@ pub mod actuator;
 pub mod alloc;
 pub mod audit;
 pub mod energy;
+pub mod faults;
 pub mod power;
 pub mod spec;
 pub mod telemetry;
 
 pub use actuator::{CacheAllocator, CoreAllocator, FrequencyDriver, PowerMeter, SimActuators};
 pub use alloc::{Allocation, ConfigError, PairConfig};
-pub use audit::{AuditEntry, AuditLog};
+pub use audit::{ActuationOutcome, AuditEntry, AuditLog};
 pub use energy::{EnergyMeter, PowerWindow};
+pub use faults::{
+    ActuationFault, FaultInjector, FaultPlan, FaultStats, FaultyActuators, IntervalFault,
+    TelemetryFault,
+};
 pub use power::{CorePowerParams, PowerModel};
 pub use spec::NodeSpec;
 pub use telemetry::{IntervalSample, TelemetryLog};

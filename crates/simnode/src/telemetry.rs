@@ -97,6 +97,15 @@ impl TelemetryLog {
         over as f64 / self.samples.len() as f64
     }
 
+    /// Mean package power across intervals (the golden-trace regression
+    /// aggregate; 0 for an empty log).
+    pub fn mean_power_w(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.power_w).sum::<f64>() / self.samples.len() as f64
+    }
+
     /// Highest power observed in any interval.
     pub fn peak_power_w(&self) -> f64 {
         self.samples.iter().map(|s| s.power_w).fold(0.0, f64::max)
@@ -168,5 +177,14 @@ mod tests {
         log.push(sample(2.0, 10.0, 1.0, 95.0, 0.5));
         assert_eq!(log.peak_power_w(), 120.0);
         assert_eq!(log.worst_p95_ms(), 5.0);
+    }
+
+    #[test]
+    fn mean_power_averages_intervals() {
+        let mut log = TelemetryLog::new();
+        assert_eq!(log.mean_power_w(), 0.0);
+        log.push(sample(1.0, 10.0, 1.0, 120.0, 0.5));
+        log.push(sample(2.0, 10.0, 1.0, 100.0, 0.5));
+        assert!((log.mean_power_w() - 110.0).abs() < 1e-12);
     }
 }

@@ -261,4 +261,120 @@ proptest! {
             prop_assert_eq!(next.ls.llc_ways + next.be.llc_ways, 20);
         }
     }
+
+    #[test]
+    fn balancer_invariants_hold_under_actuation_failures(
+        cfg in valid_config(),
+        p95s in prop::collection::vec(0.5f64..40.0, 4..16),
+        installed_ok in prop::collection::vec(any::<bool>(), 4..16),
+        reset_at in 0usize..16,
+    ) {
+        // An actuation failure means the balancer's proposal never lands:
+        // the next round replays the *old* configuration. Conservation,
+        // topology bounds and counter monotonicity must survive that.
+        let (predictor, setup) = shared_predictor();
+        let mut balancer = ResourceBalancer::new(BalancerParams::default());
+        let mut current = cfg;
+        let mut last_harvests = 0;
+        let mut last_reverts = 0;
+        for (i, p95) in p95s.iter().enumerate() {
+            if i == reset_at {
+                balancer.reset();
+                // reset() clears epoch state, never the lifetime counters.
+                prop_assert_eq!(balancer.harvest_count(), last_harvests);
+                prop_assert_eq!(balancer.revert_count(), last_reverts);
+            }
+            let obs = Observation {
+                t_s: i as f64 + 1.0,
+                qps: 0.4 * setup.peak_qps(),
+                p95_ms: *p95,
+                in_target_fraction: 0.9,
+                ls_utilization: 0.8,
+                power_w: setup.budget_w() - 10.0,
+                be_throughput_norm: 0.5,
+                be_ipc: 0.5,
+                interference: 1.0,
+            };
+            if let Some(next) = balancer.adjust(
+                predictor,
+                setup.spec(),
+                setup.budget_w(),
+                &obs,
+                setup.qos_target_ms(),
+                current,
+            ) {
+                prop_assert!(next.validate(setup.spec()).is_ok(), "invalid {next}");
+                prop_assert_eq!(next.ls.cores + next.be.cores, 20);
+                prop_assert_eq!(next.ls.llc_ways + next.be.llc_ways, 20);
+                // Install only when the (injected) actuator cooperates.
+                if installed_ok.get(i).copied().unwrap_or(true) {
+                    current = next;
+                }
+            }
+            // Lifetime counters are monotone regardless of install success.
+            prop_assert!(balancer.harvest_count() >= last_harvests);
+            prop_assert!(balancer.revert_count() >= last_reverts);
+            last_harvests = balancer.harvest_count();
+            last_reverts = balancer.revert_count();
+        }
+    }
+}
+
+/// Strategy for one interval's actuation fault.
+fn actuation_fault() -> impl Strategy<Value = ActuationFault> {
+    prop_oneof![
+        Just(ActuationFault::None),
+        Just(ActuationFault::Stuck),
+        Just(ActuationFault::Transient),
+        Just(ActuationFault::Partial),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn faulty_actuators_never_install_invalid_configs(
+        steps in prop::collection::vec((actuation_fault(), valid_config(), any::<bool>()), 1..24),
+    ) {
+        // Whatever the fault sequence does — wedge, drop, or tear applies
+        // in half — the *installed* configuration must stay a valid whole
+        // partition of the node at every step.
+        let s = spec();
+        let mut a = FaultyActuators::new(sturgeon_simnode::SimActuators::new(s.clone()));
+        for (fault, cfg, retry) in steps {
+            a.begin_interval(fault);
+            let first = a.apply(cfg);
+            if first.is_err() && retry {
+                let _ = a.apply(cfg);
+            }
+            let installed = a.config();
+            prop_assert!(installed.validate(&s).is_ok(), "invalid install {installed}");
+            prop_assert_eq!(installed.ls.cores + installed.be.cores, s.total_cores);
+            prop_assert_eq!(installed.ls.llc_ways + installed.be.llc_ways, s.total_llc_ways);
+        }
+    }
+
+    #[test]
+    fn fault_injector_is_deterministic_per_seed(seed in any::<u64>(), n in 1usize..200) {
+        let plan = FaultPlan::everything(seed);
+        let mut a = plan.injector();
+        let mut b = plan.injector();
+        for i in 0..n {
+            prop_assert_eq!(a.next_interval(), b.next_interval(), "interval {}", i);
+        }
+        prop_assert_eq!(a.stats(), b.stats());
+        prop_assert_eq!(a.stats().total(), b.stats().total());
+    }
+
+    #[test]
+    fn zero_rate_plans_never_fire(seed in any::<u64>(), n in 1usize..200) {
+        let plan = FaultPlan::none(seed);
+        prop_assert!(plan.is_zero());
+        let mut inj = plan.injector();
+        for _ in 0..n {
+            prop_assert!(inj.next_interval().is_none());
+        }
+        prop_assert_eq!(inj.stats().total(), 0);
+    }
 }
