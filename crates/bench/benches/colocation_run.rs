@@ -19,13 +19,47 @@ fn bench_runs(c: &mut Criterion) {
     group.bench_function("sturgeon_120s", |b| {
         b.iter(|| {
             let controller = sturgeon_controller(&setup, true);
-            black_box(setup.run(controller, load.clone(), 120))
+            black_box(
+                setup
+                    .runner()
+                    .controller(controller)
+                    .load(load.clone())
+                    .intervals(120)
+                    .go()
+                    .unwrap(),
+            )
         })
     });
     group.bench_function("parties_120s", |b| {
         b.iter(|| {
             let controller = parties_controller(&setup);
-            black_box(setup.run(controller, load.clone(), 120))
+            black_box(
+                setup
+                    .runner()
+                    .controller(controller)
+                    .load(load.clone())
+                    .intervals(120)
+                    .go()
+                    .unwrap(),
+            )
+        })
+    });
+    // Tracing overhead: the same Sturgeon run with every decision-trace
+    // event recorded into an in-memory ring (DESIGN.md's overhead number).
+    group.bench_function("sturgeon_120s_traced", |b| {
+        b.iter(|| {
+            let controller = sturgeon_controller(&setup, true);
+            let mut sink = RingSink::new(4096);
+            black_box(
+                setup
+                    .runner()
+                    .controller(controller)
+                    .load(load.clone())
+                    .intervals(120)
+                    .trace(&mut sink)
+                    .go()
+                    .unwrap(),
+            )
         })
     });
     group.finish();

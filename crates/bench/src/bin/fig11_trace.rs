@@ -20,8 +20,20 @@ fn main() {
         "Fig. 11 — memcached + raytrace, load 20% → 50% of peak over {duration}s (seed {DEFAULT_SEED})\n"
     );
 
-    let sturgeon = setup.run(sturgeon_controller(&setup, true), load.clone(), duration);
-    let parties = setup.run(parties_controller(&setup), load, duration);
+    let sturgeon = setup
+        .runner()
+        .controller(sturgeon_controller(&setup, true))
+        .load(load.clone())
+        .intervals(duration)
+        .go()
+        .expect("sturgeon run");
+    let parties = setup
+        .runner()
+        .controller(parties_controller(&setup))
+        .load(load)
+        .intervals(duration)
+        .go()
+        .expect("parties run");
 
     println!(
         "{:>5} {:>7} | {:>22} {:>7} | {:>22} {:>7}",

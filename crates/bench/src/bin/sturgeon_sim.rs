@@ -5,11 +5,16 @@
 //! sturgeon_sim [--ls memcached] [--be raytrace] [--controller sturgeon]
 //!              [--load triangle|constant|ramp|diurnal] [--fraction 0.3]
 //!              [--duration 600] [--seed 42] [--export PATH_STEM]
+//!              [--trace PATH.jsonl] [--metrics PATH.json]
+//!              [--faults none|telemetry|actuation|shocks|everything]
 //! ```
 //!
 //! Runs one experiment and prints the paper's three metrics; `--export`
 //! additionally writes `<stem>.json` (summary) and `<stem>.csv`
-//! (per-interval telemetry) via `sturgeon::report`.
+//! (per-interval telemetry) via `sturgeon::report`. `--trace` streams
+//! every decision-trace event of the run as JSON Lines, and `--metrics`
+//! dumps the aggregated metrics registry as JSON (with a one-page text
+//! summary on stderr).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -28,6 +33,9 @@ struct Args {
     duration: u32,
     seed: u64,
     export: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    metrics: Option<PathBuf>,
+    faults: String,
 }
 
 impl Default for Args {
@@ -41,6 +49,9 @@ impl Default for Args {
             duration: 600,
             seed: 42,
             export: None,
+            trace: None,
+            metrics: None,
+            faults: "none".into(),
         }
     }
 }
@@ -80,6 +91,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--seed" => args.seed = value.parse().map_err(|_| format!("bad seed {value}"))?,
             "--export" => args.export = Some(PathBuf::from(value)),
+            "--trace" => args.trace = Some(PathBuf::from(value)),
+            "--metrics" => args.metrics = Some(PathBuf::from(value)),
+            "--faults" => args.faults = value.clone(),
             other => return Err(format!("unknown flag {other}")),
         }
         i += 2;
@@ -93,8 +107,36 @@ fn usage() {
                     [--be blackscholes|facesim|ferret|raytrace|swaptions|fluidanimate] \\
                     [--controller sturgeon|sturgeon-nob|parties|parties-orig|heracles|reserved] \\
                     [--load triangle|constant|ramp|diurnal] [--fraction F] \\
-                    [--duration SECONDS] [--seed N] [--export PATH_STEM]"
+                    [--duration SECONDS] [--seed N] [--export PATH_STEM] \\
+                    [--trace PATH.jsonl] [--metrics PATH.json] \\
+                    [--faults none|telemetry|actuation|shocks|everything]"
     );
+}
+
+/// Builds and executes one run through the builder, attaching whatever
+/// observability the CLI asked for.
+fn run_one(
+    setup: &ExperimentSetup,
+    controller: impl ResourceController,
+    load: LoadProfile,
+    duration: u32,
+    plan: FaultPlan,
+    sink: Option<&mut dyn TraceSink>,
+    metrics: Option<&MetricsRegistry>,
+) -> Result<RunResult, SturgeonError> {
+    let mut run = setup
+        .runner()
+        .controller(controller)
+        .load(load)
+        .intervals(duration)
+        .faults(plan);
+    if let Some(sink) = sink {
+        run = run.trace(sink);
+    }
+    if let Some(registry) = metrics {
+        run = run.metrics(registry);
+    }
+    run.go()
 }
 
 fn main() -> ExitCode {
@@ -142,7 +184,34 @@ fn main() -> ExitCode {
         args.seed
     );
 
-    let result = match args.controller.as_str() {
+    let plan = match args.faults.as_str() {
+        "none" => FaultPlan::none(args.seed),
+        "telemetry" => FaultPlan::telemetry_dropout(args.seed, 0.1),
+        "actuation" => FaultPlan::actuation_faults(args.seed, 0.2),
+        "shocks" => FaultPlan::shocks(args.seed, 0.1),
+        "everything" => FaultPlan::everything(args.seed),
+        other => {
+            eprintln!("error: unknown fault plan {other}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let registry = MetricsRegistry::new();
+    let metrics_ref = args.metrics.as_ref().map(|_| &registry);
+    let mut trace_sink = match &args.trace {
+        Some(path) => match JsonlSink::create(path) {
+            Ok(sink) => Some(sink),
+            Err(e) => {
+                eprintln!("error: cannot open trace file {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let sink_ref = trace_sink.as_mut().map(|sink| sink as &mut dyn TraceSink);
+
+    let run = match args.controller.as_str() {
         "sturgeon" | "sturgeon-nob" => {
             eprintln!("offline phase: profiling + training the predictor...");
             let predictor = setup.train_default_predictor();
@@ -156,7 +225,15 @@ fn main() -> ExitCode {
                     ..ControllerParams::default()
                 },
             );
-            setup.run(controller, load, args.duration)
+            run_one(
+                &setup,
+                controller,
+                load,
+                args.duration,
+                plan,
+                sink_ref,
+                metrics_ref,
+            )
         }
         "parties" | "parties-orig" => {
             let controller = PartiesController::new(
@@ -168,7 +245,15 @@ fn main() -> ExitCode {
                     ..PartiesParams::default()
                 },
             );
-            setup.run(controller, load, args.duration)
+            run_one(
+                &setup,
+                controller,
+                load,
+                args.duration,
+                plan,
+                sink_ref,
+                metrics_ref,
+            )
         }
         "heracles" => {
             let controller = HeraclesController::new(
@@ -177,12 +262,35 @@ fn main() -> ExitCode {
                 setup.qos_target_ms(),
                 HeraclesParams::default(),
             );
-            setup.run(controller, load, args.duration)
+            run_one(
+                &setup,
+                controller,
+                load,
+                args.duration,
+                plan,
+                sink_ref,
+                metrics_ref,
+            )
         }
-        "reserved" => setup.run(StaticReservationController, load, args.duration),
+        "reserved" => run_one(
+            &setup,
+            StaticReservationController,
+            load,
+            args.duration,
+            plan,
+            sink_ref,
+            metrics_ref,
+        ),
         other => {
             eprintln!("error: unknown controller {other}");
             usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match run {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("error: run failed: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -206,6 +314,17 @@ fn main() -> ExitCode {
             stem.with_extension("json").display(),
             stem.with_extension("csv").display()
         );
+    }
+    if let Some(path) = &args.trace {
+        eprintln!("wrote decision trace to {}", path.display());
+    }
+    if let Some(path) = &args.metrics {
+        if let Err(e) = std::fs::write(path, registry.to_json().to_string()) {
+            eprintln!("error: cannot write metrics file {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprint!("{}", registry.text_summary());
+        eprintln!("wrote metrics to {}", path.display());
     }
     ExitCode::SUCCESS
 }

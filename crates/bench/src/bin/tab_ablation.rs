@@ -41,11 +41,13 @@ fn run_variant(
                 setup.qos_target_ms(),
                 controller_cfg,
             );
-            let r = setup.run(
-                controller,
-                LoadProfile::paper_fluctuating(duration as f64),
-                duration,
-            );
+            let r = setup
+                .runner()
+                .controller(controller)
+                .load(LoadProfile::paper_fluctuating(duration as f64))
+                .intervals(duration)
+                .go()
+                .expect("ablation run");
             (r.qos_rate, r.mean_be_throughput, r.overload_fraction)
         })
         .collect();

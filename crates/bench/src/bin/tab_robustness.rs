@@ -89,7 +89,15 @@ fn main() {
         } else {
             ActuationPolicy::unhardened()
         };
-        let r = setup.run_with_faults(controller, load.clone(), duration, &s.plan, policy);
+        let r = setup
+            .runner()
+            .controller(controller)
+            .load(load.clone())
+            .intervals(duration)
+            .faults(s.plan)
+            .policy(policy)
+            .go()
+            .expect("robustness run");
         println!(
             "{:<34} {:>7.2} {:>9.2} {:>8.3} {:>7} {:>8} {:>10}",
             s.label,

@@ -108,9 +108,27 @@ pub fn parties_controller(setup: &ExperimentSetup) -> PartiesController {
 pub fn evaluate_pair(pair: ColocationPair, seed: u64, duration_s: u32) -> PairEval {
     let setup = ExperimentSetup::new(pair, seed);
     let load = LoadProfile::paper_fluctuating(duration_s as f64);
-    let sturgeon = setup.run(sturgeon_controller(&setup, true), load.clone(), duration_s);
-    let nob = setup.run(sturgeon_controller(&setup, false), load.clone(), duration_s);
-    let parties = setup.run(parties_controller(&setup), load, duration_s);
+    let sturgeon = setup
+        .runner()
+        .controller(sturgeon_controller(&setup, true))
+        .load(load.clone())
+        .intervals(duration_s)
+        .go()
+        .expect("sturgeon run");
+    let nob = setup
+        .runner()
+        .controller(sturgeon_controller(&setup, false))
+        .load(load.clone())
+        .intervals(duration_s)
+        .go()
+        .expect("sturgeon-nob run");
+    let parties = setup
+        .runner()
+        .controller(parties_controller(&setup))
+        .load(load)
+        .intervals(duration_s)
+        .go()
+        .expect("parties run");
     PairEval {
         pair,
         sturgeon,
@@ -122,7 +140,6 @@ pub fn evaluate_pair(pair: ColocationPair, seed: u64, duration_s: u32) -> PairEv
 /// Runs the full 18-pair evaluation (the Figs. 9/10 sweep).
 pub fn evaluate_all(seed: u64, duration_s: u32) -> Vec<PairEval> {
     ColocationPair::all()
-        .into_iter()
         .map(|pair| evaluate_pair(pair, seed, duration_s))
         .collect()
 }

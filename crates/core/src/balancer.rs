@@ -37,7 +37,7 @@ impl Default for BalancerParams {
 }
 
 /// The three harvest targets of Fig. 8.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
 pub enum HarvestTarget {
     /// Move cores from the BE partition to the LS partition.
     Cores,
@@ -66,6 +66,28 @@ struct PendingHarvest {
     amount: u32,
 }
 
+/// The externally visible record of one balancer action, consumed by the
+/// decision trace (`TraceEvent::BalancerStep`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum BalancerAction {
+    /// Moved `amount` units of `target` from the BE partition to the LS
+    /// partition (Algorithm 2's binary harvest).
+    Harvest {
+        /// The resource type that moved.
+        target: HarvestTarget,
+        /// Units (cores / ways / frequency levels) moved.
+        amount: u32,
+    },
+    /// Returned `amount` units of `target` to the BE partition after an
+    /// overshoot (Algorithm 2 lines 11–14).
+    Revert {
+        /// The resource type that moved back.
+        target: HarvestTarget,
+        /// Units moved back.
+        amount: u32,
+    },
+}
+
 /// Algorithm 2 as a per-interval state machine. The controller calls
 /// [`ResourceBalancer::adjust`] once per monitoring interval; the balancer
 /// returns a new configuration when it decides to act.
@@ -88,6 +110,9 @@ pub struct ResourceBalancer {
     /// (every candidate move was illegal or over budget). Cleared by any
     /// successful action or by [`ResourceBalancer::reset`].
     failed_adjusts: u32,
+    /// What the most recent [`ResourceBalancer::adjust`] call did, for
+    /// the decision trace. `None` when it held position.
+    last_action: Option<BalancerAction>,
 }
 
 /// Consecutive no-move violations after which the balancer declares
@@ -106,6 +131,7 @@ impl ResourceBalancer {
             reverts: 0,
             retry_rounds: 0,
             failed_adjusts: 0,
+            last_action: None,
         }
     }
 
@@ -122,6 +148,13 @@ impl ResourceBalancer {
         self.pending = None;
         self.unhelpful.clear();
         self.failed_adjusts = 0;
+        self.last_action = None;
+    }
+
+    /// What the most recent [`ResourceBalancer::adjust`] call did;
+    /// `None` when it held position (or never ran).
+    pub fn last_action(&self) -> Option<BalancerAction> {
+        self.last_action
     }
 
     /// Total harvest actions taken (for the effectiveness analysis).
@@ -252,6 +285,7 @@ impl ResourceBalancer {
         current: PairConfig,
     ) -> Option<PairConfig> {
         let slack = (qos_target_ms - obs.p95_ms) / qos_target_ms;
+        self.last_action = None;
 
         if slack >= self.params.alpha && slack <= self.params.beta {
             // Settled: forget pending state, keep granularity for the next
@@ -279,6 +313,10 @@ impl ResourceBalancer {
             self.granularity = (self.granularity * 0.5).max(0.05);
             self.reverts += 1;
             self.failed_adjusts = 0;
+            self.last_action = Some(BalancerAction::Revert {
+                target: pending.target,
+                amount: back,
+            });
             return Some(next);
         }
 
@@ -332,6 +370,7 @@ impl ResourceBalancer {
         self.granularity = (self.granularity * 0.5).max(0.05);
         self.harvests += 1;
         self.failed_adjusts = 0;
+        self.last_action = Some(BalancerAction::Harvest { target, amount });
         Some(next)
     }
 }

@@ -13,7 +13,9 @@
 use crate::controller::{
     ControllerFaultCounters, ControllerParams, ResourceController, SturgeonController,
 };
+use crate::error::SturgeonError;
 use crate::experiment::{ColocationPair, ExperimentSetup};
+use crate::obs::MetricsRegistry;
 use rayon::prelude::*;
 use sturgeon_simnode::{IntervalSample, SimActuators, TelemetryLog};
 use sturgeon_workloads::env::CoLocationEnv;
@@ -93,12 +95,34 @@ impl Cluster {
     /// Builds a cluster of `n` nodes for one co-location pair. Each node
     /// trains its own predictor (offline phase) and gets an independent
     /// interference seed.
+    ///
+    /// Panics on an invalid policy; use [`Cluster::try_new`] where the
+    /// policy comes from user input.
     pub fn new(pair: ColocationPair, n: usize, policy: DispatchPolicy, seed: u64) -> Self {
-        assert!(n > 0, "cluster needs at least one node");
+        Self::try_new(pair, n, policy, seed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Cluster::new`]: reports an invalid node count or
+    /// dispatch policy as [`SturgeonError::Setup`] instead of panicking.
+    pub fn try_new(
+        pair: ColocationPair,
+        n: usize,
+        policy: DispatchPolicy,
+        seed: u64,
+    ) -> Result<Self, SturgeonError> {
+        if n == 0 {
+            return Err(SturgeonError::setup("cluster needs at least one node"));
+        }
         if let DispatchPolicy::Weighted(w) = &policy {
-            assert_eq!(w.len(), n, "one weight per node");
-            assert!(w.iter().all(|&x| x >= 0.0), "weights must be non-negative");
-            assert!(w.iter().sum::<f64>() > 0.0, "weights must not all be zero");
+            if w.len() != n {
+                return Err(SturgeonError::setup("one weight per node"));
+            }
+            if !w.iter().all(|&x| x >= 0.0) {
+                return Err(SturgeonError::setup("weights must be non-negative"));
+            }
+            if w.iter().sum::<f64>() <= 0.0 {
+                return Err(SturgeonError::setup("weights must not all be zero"));
+            }
         }
         let mut nodes = Vec::with_capacity(n);
         let mut peak = 0.0;
@@ -129,12 +153,12 @@ impl Cluster {
                 smoothed_weight: 1.0 / n as f64,
             });
         }
-        Self {
+        Ok(Self {
             nodes,
             policy,
             peak_qps_per_node: peak,
             qos_target_ms: target,
-        }
+        })
     }
 
     /// Number of nodes.
@@ -231,6 +255,43 @@ impl Cluster {
                 .for_each(|(node, qps)| Self::step_node(node, *qps));
         }
         self.result()
+    }
+
+    /// Like [`Cluster::run`], but aggregates the fleet's telemetry into
+    /// `registry` after the run: per-interval p95/power/BE-throughput
+    /// histograms across every node, summed robustness counters, and
+    /// cluster-level gauges. Aggregation happens post-run in node order,
+    /// so the registry contents are deterministic even though nodes step
+    /// in parallel.
+    pub fn run_with_metrics(
+        &mut self,
+        profile: LoadProfile,
+        duration_s: u32,
+        registry: &MetricsRegistry,
+    ) -> ClusterResult {
+        let result = self.run(profile, duration_s);
+        registry.set_gauge("cluster.nodes", self.nodes.len() as f64);
+        for node in &self.nodes {
+            for s in node.log.samples() {
+                registry.inc("run.intervals");
+                registry.observe("interval.p95_ms", s.p95_ms);
+                registry.observe("interval.power_w", s.power_w);
+                registry.observe_with(
+                    "interval.be_throughput",
+                    &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0],
+                    s.be_throughput_norm,
+                );
+            }
+        }
+        let c = &result.fault_counters;
+        registry.add("controller.stale_intervals", c.stale_intervals);
+        registry.add("controller.safe_mode_entries", c.safe_mode_entries);
+        registry.add("balancer.retry_rounds", c.balancer_retry_rounds);
+        registry.set_gauge("cluster.qos_rate", result.qos_rate);
+        registry.set_gauge("cluster.total_be_throughput", result.total_be_throughput);
+        registry.set_gauge("cluster.mean_power_w", result.mean_cluster_power_w);
+        registry.set_gauge("cluster.budget_w", result.cluster_budget_w);
+        result
     }
 
     fn result(&self) -> ClusterResult {
@@ -350,6 +411,31 @@ mod tests {
     #[should_panic(expected = "one weight per node")]
     fn weighted_policy_validates_length() {
         let _ = Cluster::new(pair(), 2, DispatchPolicy::Weighted(vec![1.0]), 1);
+    }
+
+    #[test]
+    fn try_new_reports_setup_errors() {
+        let err = Cluster::try_new(pair(), 0, DispatchPolicy::Even, 1)
+            .err()
+            .unwrap();
+        assert!(matches!(err, SturgeonError::Setup(_)), "got {err}");
+        let err = Cluster::try_new(pair(), 2, DispatchPolicy::Weighted(vec![-1.0, 2.0]), 1)
+            .err()
+            .unwrap();
+        assert!(err.to_string().contains("non-negative"), "got {err}");
+    }
+
+    #[test]
+    fn run_with_metrics_fills_registry() {
+        let mut cluster = Cluster::new(pair(), 2, DispatchPolicy::Even, 42);
+        let registry = MetricsRegistry::new();
+        let r = cluster.run_with_metrics(LoadProfile::Constant { fraction: 0.3 }, 30, &registry);
+        // Two nodes × 30 intervals, all aggregated post-run.
+        assert_eq!(registry.counter("run.intervals"), 60);
+        assert_eq!(registry.gauge("cluster.nodes"), Some(2.0));
+        assert_eq!(registry.gauge("cluster.qos_rate"), Some(r.qos_rate));
+        let p95 = registry.histogram("interval.p95_ms").unwrap();
+        assert_eq!(p95.count, 60);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! against the interference the predictor cannot see.
 
 use crate::balancer::{BalancerParams, ResourceBalancer};
+use crate::obs::{SearchReason, TraceEvent};
 use crate::online::{OnlineAdaptor, OnlineSample};
 use crate::predictor::PerfPowerPredictor;
 use crate::search::{ConfigSearch, SearchParams, SearchStats};
@@ -53,6 +54,18 @@ pub trait ResourceController {
     /// Consumes the interval's observation and returns the configuration
     /// to apply for the next interval.
     fn decide(&mut self, obs: &Observation, current: PairConfig) -> PairConfig;
+
+    /// Enables or disables decision-trace buffering. Controllers without
+    /// instrumentation ignore this and simply emit no events.
+    fn set_tracing(&mut self, _enabled: bool) {}
+
+    /// Drains the [`TraceEvent`]s buffered since the last call. The run
+    /// harness calls this once per interval when a sink or metrics
+    /// registry is attached; the default is empty (and allocation-free —
+    /// an empty `Vec` does not allocate).
+    fn take_trace(&mut self) -> Vec<TraceEvent> {
+        Vec::new()
+    }
 }
 
 /// Graceful-degradation tunables (extension; DESIGN.md "Fault model and
@@ -165,6 +178,10 @@ pub struct SturgeonController {
     stale_intervals: u64,
     safe_mode: bool,
     safe_mode_entries: u64,
+    /// Decision-trace buffering: events accumulate in `trace` only while
+    /// `tracing` is on, so an untraced run never allocates here.
+    tracing: bool,
+    trace: Vec<TraceEvent>,
 }
 
 impl SturgeonController {
@@ -197,6 +214,8 @@ impl SturgeonController {
             stale_intervals: 0,
             safe_mode: false,
             safe_mode_entries: 0,
+            tracing: false,
+            trace: Vec::new(),
         }
     }
 
@@ -286,7 +305,7 @@ impl SturgeonController {
         cfg
     }
 
-    fn run_search(&mut self, qps: f64) -> PairConfig {
+    fn run_search(&mut self, qps: f64, t_s: f64, reason: SearchReason) -> PairConfig {
         let search = ConfigSearch::new(
             &self.predictor,
             self.spec.clone(),
@@ -334,7 +353,42 @@ impl SturgeonController {
             }
         }
         self.last_search_config = Some(config);
+        if self.tracing {
+            self.trace.push(TraceEvent::SearchRan {
+                t_s,
+                qps,
+                reason,
+                model_calls: outcome.stats.model_calls,
+                cache_hits: outcome.stats.cache_hits,
+                cache_misses: outcome.stats.cache_misses,
+                candidates: outcome.stats.candidates,
+                chosen: outcome.best,
+                predicted_throughput: outcome.predicted_throughput,
+                predicted_power_w: self.predictor.total_power_w(&config, &self.spec, qps),
+                fallback: outcome.best.is_none(),
+            });
+            self.trace.push(TraceEvent::CacheSnapshot {
+                t_s,
+                entries: self.predictor.cache().len(),
+                hits: self.predictor.cache_hits(),
+                misses: self.predictor.cache_misses(),
+            });
+        }
         config
+    }
+
+    /// Buffers a `BalancerStep` event for the action the balancer just
+    /// took (no-op when tracing is off or the balancer held position).
+    fn trace_balancer_step(&mut self, t_s: f64, next: PairConfig) {
+        if self.tracing {
+            if let Some(action) = self.balancer.last_action() {
+                self.trace.push(TraceEvent::BalancerStep {
+                    t_s,
+                    action,
+                    config: next,
+                });
+            }
+        }
     }
 
     fn load_changed(&self, qps: f64) -> bool {
@@ -365,6 +419,17 @@ impl ResourceController for SturgeonController {
         }
     }
 
+    fn set_tracing(&mut self, enabled: bool) {
+        self.tracing = enabled;
+        if !enabled {
+            self.trace.clear();
+        }
+    }
+
+    fn take_trace(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.trace)
+    }
+
     fn decide(&mut self, obs: &Observation, current: PairConfig) -> PairConfig {
         // Stale-telemetry detection: a frozen collector replays the
         // previous sample verbatim, so the measured channels repeat
@@ -391,6 +456,13 @@ impl ResourceController for SturgeonController {
                         // longer anchored to reality.
                         self.warm_hint = None;
                         self.last_search_config = None;
+                        if self.tracing {
+                            self.trace.push(TraceEvent::SafeModeEntered {
+                                t_s: obs.t_s,
+                                reason: "stale_telemetry",
+                                qps: obs.qps,
+                            });
+                        }
                     }
                     return self.safe_config(obs.qps);
                 }
@@ -403,6 +475,9 @@ impl ResourceController for SturgeonController {
                 self.safe_mode = false;
                 self.last_search_qps = None;
                 self.rejected.clear();
+                if self.tracing {
+                    self.trace.push(TraceEvent::SafeModeExited { t_s: obs.t_s });
+                }
             }
         }
 
@@ -425,8 +500,13 @@ impl ResourceController for SturgeonController {
         // (Algorithm 1 line 6): the predictor reacts faster and more
         // accurately than incremental feedback would.
         if self.load_changed(obs.qps) {
+            let reason = if self.last_search_qps.is_none() {
+                SearchReason::Initial
+            } else {
+                SearchReason::LoadChanged
+            };
             self.rejected.clear();
-            return self.run_search(obs.qps);
+            return self.run_search(obs.qps, obs.t_s, reason);
         }
 
         if slack < self.params.alpha {
@@ -450,6 +530,7 @@ impl ResourceController for SturgeonController {
                     self.qos_target_ms,
                     current,
                 ) {
+                    self.trace_balancer_step(obs.t_s, next);
                     return next;
                 }
                 // The balancer has run out of moves while QoS keeps
@@ -460,6 +541,13 @@ impl ResourceController for SturgeonController {
                     if !self.safe_mode {
                         self.safe_mode = true;
                         self.safe_mode_entries += 1;
+                        if self.tracing {
+                            self.trace.push(TraceEvent::SafeModeEntered {
+                                t_s: obs.t_s,
+                                reason: "balancer_exhausted",
+                                qps: obs.qps,
+                            });
+                        }
                     }
                     return self.safe_config(obs.qps);
                 }
@@ -482,11 +570,12 @@ impl ResourceController for SturgeonController {
                     self.qos_target_ms,
                     current,
                 ) {
+                    self.trace_balancer_step(obs.t_s, next);
                     return next;
                 }
             }
             if self.last_search_config != Some(current) {
-                let fresh = self.run_search(obs.qps);
+                let fresh = self.run_search(obs.qps, obs.t_s, SearchReason::SlackRelease);
                 if self.rejected.contains(&fresh) {
                     // The search keeps proposing a configuration observed
                     // to violate; stick with the balancer's fix.

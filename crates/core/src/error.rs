@@ -1,0 +1,91 @@
+//! The crate-wide error type.
+//!
+//! Every user-reachable fallible path — offline profiling, model
+//! training, run setup, trace export — funnels into [`SturgeonError`] so
+//! callers handle one enum instead of a zoo of layer-specific types.
+//! Internal invariants (e.g. "the balancer never produces an invalid
+//! configuration") still panic: those are bugs, not conditions a caller
+//! can recover from.
+
+use std::fmt;
+use std::io;
+use sturgeon_mlkit::MlError;
+use sturgeon_simnode::ConfigError;
+
+/// Unified error for the profiling → training → run pipeline.
+#[derive(Debug)]
+pub enum SturgeonError {
+    /// Model training or dataset assembly failed.
+    Ml(MlError),
+    /// A resource configuration was rejected by the node spec, or an
+    /// actuation could not be installed.
+    Config(ConfigError),
+    /// An I/O failure while writing traces, metrics, or exports.
+    Io(io::Error),
+    /// Invalid experiment, profiler, or run parameters.
+    Setup(String),
+}
+
+impl SturgeonError {
+    /// Convenience constructor for parameter-validation failures.
+    pub fn setup(msg: impl Into<String>) -> Self {
+        SturgeonError::Setup(msg.into())
+    }
+}
+
+impl fmt::Display for SturgeonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SturgeonError::Ml(e) => write!(f, "model training failed: {e}"),
+            SturgeonError::Config(e) => write!(f, "invalid configuration: {e}"),
+            SturgeonError::Io(e) => write!(f, "i/o error: {e}"),
+            SturgeonError::Setup(msg) => write!(f, "invalid setup: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SturgeonError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SturgeonError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MlError> for SturgeonError {
+    fn from(e: MlError) -> Self {
+        SturgeonError::Ml(e)
+    }
+}
+
+impl From<ConfigError> for SturgeonError {
+    fn from(e: ConfigError) -> Self {
+        SturgeonError::Config(e)
+    }
+}
+
+impl From<io::Error> for SturgeonError {
+    fn from(e: io::Error) -> Self {
+        SturgeonError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_prefixed_by_layer() {
+        let e = SturgeonError::setup("empty load fractions");
+        assert_eq!(e.to_string(), "invalid setup: empty load fractions");
+        let e: SturgeonError = io::Error::other("disk full").into();
+        assert!(e.to_string().contains("disk full"));
+    }
+
+    #[test]
+    fn conversions_preserve_the_source_variant() {
+        let e: SturgeonError = ConfigError::EmptyPartition.into();
+        assert!(matches!(e, SturgeonError::Config(_)));
+    }
+}

@@ -3,16 +3,36 @@
 //! the paper's evaluation metrics.
 //!
 //! One [`ExperimentSetup`] owns a reproducible environment for a single
-//! LS × BE pair; [`ExperimentSetup::run`] clones that environment per
-//! controller so Sturgeon, Sturgeon-NoB and PARTIES face the *identical*
-//! load and interference sequence — the apples-to-apples comparison
-//! behind Figs. 9–11.
+//! LS × BE pair; [`ExperimentSetup::runner`] starts a builder-configured
+//! run against a fresh clone of that environment, so Sturgeon,
+//! Sturgeon-NoB and PARTIES face the *identical* load and interference
+//! sequence — the apples-to-apples comparison behind Figs. 9–11.
+//!
+//! ```no_run
+//! # use sturgeon::prelude::*;
+//! let setup = ExperimentSetup::new(
+//!     ColocationPair::new(LsServiceId::Memcached, BeAppId::Raytrace),
+//!     42,
+//! );
+//! let controller = StaticReservationController;
+//! let metrics = MetricsRegistry::new();
+//! let result = setup
+//!     .runner()
+//!     .controller(controller)
+//!     .load(LoadProfile::paper_fluctuating(600.0))
+//!     .intervals(600)
+//!     .faults(FaultPlan::everything(7))
+//!     .metrics(&metrics)
+//!     .go()
+//!     .unwrap();
+//! ```
 
 use crate::controller::ResourceController;
+use crate::error::SturgeonError;
+use crate::obs::{MetricsRegistry, TraceEvent, TraceSink};
 use crate::predictor::{PerfPowerPredictor, PredictorConfig};
 use crate::profiler::{ProfileDatasets, Profiler, ProfilerConfig};
 use serde::Serialize;
-use sturgeon_mlkit::MlError;
 use sturgeon_simnode::{
     ActuationOutcome, AuditLog, FaultPlan, FaultyActuators, IntervalSample, NodeSpec, PowerModel,
     SimActuators, TelemetryFault, TelemetryLog,
@@ -22,8 +42,9 @@ use sturgeon_workloads::env::{CoLocationEnv, Observation};
 use sturgeon_workloads::interference::InterferenceParams;
 use sturgeon_workloads::loadgen::LoadProfile;
 
-/// One of the paper's 18 co-location pairs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// One of the paper's 18 co-location pairs. Pairs order (LS-major, then
+/// BE) and hash, so they can key maps and sorted reports directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ColocationPair {
     /// The latency-sensitive service.
     pub ls: LsServiceId,
@@ -42,12 +63,13 @@ impl ColocationPair {
         format!("{}+{}", self.ls.name(), self.be.name())
     }
 
-    /// All 18 pairs in paper order.
-    pub fn all() -> Vec<ColocationPair> {
-        sturgeon_workloads::catalog::all_pairs()
-            .into_iter()
-            .map(|(ls, be)| ColocationPair::new(ls, be))
-            .collect()
+    /// All 18 pairs in paper order (LS-major, BE-minor), lazily.
+    pub fn all() -> impl Iterator<Item = ColocationPair> {
+        LsServiceId::all().into_iter().flat_map(|ls| {
+            BeAppId::all()
+                .into_iter()
+                .map(move |be| ColocationPair::new(ls, be))
+        })
     }
 }
 
@@ -150,7 +172,7 @@ pub struct RunResult {
     pub budget_w: f64,
     /// Audit trail of every configuration change the controller applied.
     pub audit: AuditLog,
-    /// Fault accounting (all zeros for a fault-free [`ExperimentSetup::run`]).
+    /// Fault accounting (all zeros for a fault-free run).
     pub faults: FaultReport,
 }
 
@@ -233,7 +255,7 @@ impl ExperimentSetup {
     }
 
     /// Offline phase: collect profiling datasets with custom controls.
-    pub fn profile(&self, config: ProfilerConfig) -> Result<ProfileDatasets, MlError> {
+    pub fn profile(&self, config: ProfilerConfig) -> Result<ProfileDatasets, SturgeonError> {
         Profiler::new(&self.env, config).collect()
     }
 
@@ -242,15 +264,15 @@ impl ExperimentSetup {
         &self,
         profiler: ProfilerConfig,
         predictor: PredictorConfig,
-    ) -> Result<PerfPowerPredictor, MlError> {
+    ) -> Result<PerfPowerPredictor, SturgeonError> {
         let datasets = self.profile(profiler)?;
-        PerfPowerPredictor::train(
+        Ok(PerfPowerPredictor::train(
             &datasets,
             predictor,
             self.env.static_power_w(),
             self.env.be().params.input_level as f64,
             self.qos_target_ms(),
-        )
+        )?)
     }
 
     /// Paper-default profiling + model families (§V-C picks).
@@ -259,87 +281,102 @@ impl ExperimentSetup {
             .expect("default profiling must produce valid datasets")
     }
 
+    /// Starts configuring a run with the builder API.
+    ///
+    /// The builder replaces the positional `run(...)` / `run_with_faults(...)`
+    /// calls: pick a controller, then chain whichever knobs the experiment
+    /// needs and finish with [`ConfiguredRun::go`].
+    pub fn runner(&self) -> RunBuilder<'_> {
+        RunBuilder { setup: self }
+    }
+
     /// Runs one controller against a fresh clone of the environment for
     /// `duration_s` one-second intervals under the load profile.
+    #[deprecated(note = "use the builder: setup.runner().controller(c).load(p).intervals(n).go()")]
     pub fn run(
         &self,
-        mut controller: impl ResourceController,
+        controller: impl ResourceController,
         profile: LoadProfile,
         duration_s: u32,
     ) -> RunResult {
-        let mut env = self.env.clone();
-        let actuators = SimActuators::new(env.spec().clone());
-        let mut log = TelemetryLog::new();
-        let mut audit = AuditLog::new();
-        let qos_target = self.qos_target_ms();
-        let peak = self.peak_qps();
-
-        let mut config = controller.initial_config(env.spec());
-        actuators
-            .apply(config)
-            .expect("initial configuration must be valid");
-
-        for t in 0..duration_s {
-            let qps = profile.qps_at(t as f64, peak);
-            let obs = env.step(&actuators.config(), qps);
-            actuators.push_power(obs.power_w);
-            log.push(IntervalSample {
-                t_s: obs.t_s,
-                qps: obs.qps,
-                p95_ms: obs.p95_ms,
-                in_target_fraction: obs.in_target_fraction.min(if obs.p95_ms <= qos_target {
-                    1.0
-                } else {
-                    0.95
-                }),
-                power_w: obs.power_w,
-                be_throughput_norm: obs.be_throughput_norm,
-                config: actuators.config(),
-            });
-            let next = controller.decide(&obs, config);
-            if next != config {
-                actuators
-                    .apply(next)
-                    .expect("controller produced an invalid configuration");
-                audit.record(obs.t_s, controller.name(), config, next);
-                config = next;
-            }
-        }
-
-        let budget = self.budget_w();
-        RunResult {
-            controller: controller.name(),
-            pair: self.pair.label(),
-            qos_rate: log.qos_guarantee_rate(),
-            mean_be_throughput: log.mean_be_throughput(),
-            overload_fraction: log.overload_fraction(budget),
-            peak_power_w: log.peak_power_w(),
-            budget_w: budget,
-            log,
-            audit,
-            faults: FaultReport::default(),
-        }
+        self.runner()
+            .controller(controller)
+            .load(profile)
+            .intervals(duration_s)
+            .go()
+            .expect("run failed")
     }
 
-    /// Like [`ExperimentSetup::run`], but with deterministic fault
-    /// injection and an explicit actuation policy. With a zero
-    /// [`FaultPlan`] and any policy the trajectory is bit-identical to
-    /// [`ExperimentSetup::run`]'s — the injected faults, not the harness,
-    /// are the only source of divergence.
+    /// Like `run`, but with deterministic fault injection and an explicit
+    /// actuation policy.
+    #[deprecated(
+        note = "use the builder: setup.runner().controller(c).load(p).intervals(n).faults(plan).policy(policy).go()"
+    )]
+    pub fn run_with_faults(
+        &self,
+        controller: impl ResourceController,
+        profile: LoadProfile,
+        duration_s: u32,
+        plan: &FaultPlan,
+        policy: ActuationPolicy,
+    ) -> RunResult {
+        self.runner()
+            .controller(controller)
+            .load(profile)
+            .intervals(duration_s)
+            .faults(*plan)
+            .policy(policy)
+            .go()
+            .expect("run failed")
+    }
+
+    /// The single run engine behind the builder. A zero [`FaultPlan`]
+    /// (the builder default) makes the trajectory bit-identical to a
+    /// fault-free run — the injected faults, not the harness, are the
+    /// only source of divergence.
     ///
     /// Telemetry is logged from ground truth (the metrics judge what the
     /// node really did) while the controller sees the faulted stream; the
     /// environment always steps on the configuration *actually installed*,
     /// which under partial/failed actuations can differ from what the
     /// controller believes it requested.
-    pub fn run_with_faults(
+    ///
+    /// Tracing contract: when no sink is attached (or a disabled one, like
+    /// [`crate::obs::NullSink`]) and no registry is given, no event is
+    /// ever constructed — the control trajectory and [`RunResult`] are
+    /// bit-identical to an unobserved run.
+    // One parameter per builder knob; only `ConfiguredRun::go` calls this.
+    #[allow(clippy::too_many_arguments)]
+    fn execute(
         &self,
         mut controller: impl ResourceController,
         profile: LoadProfile,
         duration_s: u32,
         plan: &FaultPlan,
         policy: ActuationPolicy,
-    ) -> RunResult {
+        mut sink: Option<&mut dyn TraceSink>,
+        metrics: Option<&MetricsRegistry>,
+    ) -> Result<RunResult, SturgeonError> {
+        fn dispatch(
+            metrics: Option<&MetricsRegistry>,
+            sink: &mut Option<&mut dyn TraceSink>,
+            event: &TraceEvent,
+        ) {
+            if let Some(m) = metrics {
+                m.observe_event(event);
+            }
+            if let Some(s) = sink.as_mut() {
+                if s.enabled() {
+                    s.record(event);
+                }
+            }
+        }
+
+        let tracing = metrics.is_some() || sink.as_ref().is_some_and(|s| s.enabled());
+        if tracing {
+            controller.set_tracing(true);
+        }
+
         let mut env = self.env.clone();
         let mut actuators = FaultyActuators::new(SimActuators::new(env.spec().clone()));
         let mut injector = plan.injector();
@@ -355,9 +392,7 @@ impl ExperimentSetup {
         // policy this is re-synced from a read-back every interval; under
         // the unhardened one it is whatever the controller last requested.
         let mut believed = controller.initial_config(env.spec());
-        actuators
-            .apply(believed)
-            .expect("initial configuration must be valid");
+        actuators.apply(believed)?;
         // The last sample actually handed to the controller; a dropout
         // replays it verbatim (frozen collector).
         let mut last_delivered: Option<Observation> = None;
@@ -385,6 +420,29 @@ impl ExperimentSetup {
                 be_throughput_norm: truth.be_throughput_norm,
                 config: actuators.config(),
             });
+            if tracing {
+                dispatch(
+                    metrics,
+                    &mut sink,
+                    &TraceEvent::TelemetrySample {
+                        t_s: truth.t_s,
+                        qps: truth.qps,
+                        p95_ms: truth.p95_ms,
+                        power_w: truth.power_w,
+                        be_throughput_norm: truth.be_throughput_norm,
+                    },
+                );
+                if !fault.is_none() {
+                    dispatch(
+                        metrics,
+                        &mut sink,
+                        &TraceEvent::FaultInjected {
+                            t_s: truth.t_s,
+                            classes: fault.classes(),
+                        },
+                    );
+                }
+            }
 
             let delivered = match fault.telemetry {
                 TelemetryFault::None => truth,
@@ -410,6 +468,11 @@ impl ExperimentSetup {
             last_delivered = Some(delivered);
 
             let next = controller.decide(&delivered, believed);
+            if tracing {
+                for event in controller.take_trace() {
+                    dispatch(metrics, &mut sink, &event);
+                }
+            }
             if next != believed {
                 let mut result = actuators.apply(next);
                 let mut attempts = 0;
@@ -430,6 +493,29 @@ impl ExperimentSetup {
                         ActuationOutcome::Failed
                     }
                 };
+                if tracing {
+                    if attempts > 0 {
+                        dispatch(
+                            metrics,
+                            &mut sink,
+                            &TraceEvent::ActuationRetry {
+                                t_s: truth.t_s,
+                                attempts,
+                                recovered: result.is_ok(),
+                            },
+                        );
+                    }
+                    dispatch(
+                        metrics,
+                        &mut sink,
+                        &TraceEvent::ConfigApplied {
+                            t_s: truth.t_s,
+                            from: believed,
+                            to: installed,
+                            outcome,
+                        },
+                    );
+                }
                 // `installed == next` for a clean apply, so the audit's
                 // `to` field always records what actually landed.
                 audit.record_outcome(truth.t_s, controller.name(), believed, installed, outcome);
@@ -454,7 +540,11 @@ impl ExperimentSetup {
         report.safe_mode_entries = counters.safe_mode_entries;
         report.balancer_retry_rounds = counters.balancer_retry_rounds;
 
-        RunResult {
+        if let Some(s) = sink.as_mut() {
+            s.flush()?;
+        }
+
+        Ok(RunResult {
             controller: controller.name(),
             pair: self.pair.label(),
             qos_rate: log.qos_guarantee_rate(),
@@ -469,12 +559,110 @@ impl ExperimentSetup {
             log,
             audit,
             faults: report,
-        }
+        })
     }
 
     /// The RNG seed in use (printed by every experiment binary).
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+}
+
+/// First stage of the builder-style run API: names the controller.
+///
+/// Obtained from [`ExperimentSetup::runner`]; see the module docs for a
+/// complete example.
+#[derive(Debug, Clone, Copy)]
+pub struct RunBuilder<'a> {
+    setup: &'a ExperimentSetup,
+}
+
+impl<'a> RunBuilder<'a> {
+    /// Chooses the controller under test and moves on to the run knobs.
+    pub fn controller<C: ResourceController>(self, controller: C) -> ConfiguredRun<'a, C> {
+        ConfiguredRun {
+            setup: self.setup,
+            controller,
+            profile: None,
+            duration_s: 600,
+            plan: FaultPlan::none(0),
+            policy: ActuationPolicy::hardened(),
+            sink: None,
+            metrics: None,
+        }
+    }
+}
+
+/// A fully described run, ready to [`go`](ConfiguredRun::go).
+///
+/// Defaults: the paper's fluctuating load over the run length, 600
+/// one-second intervals, no injected faults, the hardened actuation
+/// policy, and no observability (no trace sink, no metrics registry) —
+/// i.e. the plain evaluation run of Figs. 9/10.
+pub struct ConfiguredRun<'a, C: ResourceController> {
+    setup: &'a ExperimentSetup,
+    controller: C,
+    profile: Option<LoadProfile>,
+    duration_s: u32,
+    plan: FaultPlan,
+    policy: ActuationPolicy,
+    sink: Option<&'a mut dyn TraceSink>,
+    metrics: Option<&'a MetricsRegistry>,
+}
+
+impl<'a, C: ResourceController> ConfiguredRun<'a, C> {
+    /// Drives the run with this load profile (default: the paper's
+    /// 20% → 80% → 20% fluctuation across the whole run).
+    pub fn load(mut self, profile: LoadProfile) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// Number of one-second control intervals to simulate (default 600).
+    pub fn intervals(mut self, duration_s: u32) -> Self {
+        self.duration_s = duration_s;
+        self
+    }
+
+    /// Injects this deterministic fault plan (default: no faults).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// How the harness reacts to actuation failures (default: hardened).
+    pub fn policy(mut self, policy: ActuationPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Streams every [`TraceEvent`] of the run into `sink`.
+    pub fn trace(mut self, sink: &'a mut dyn TraceSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Aggregates the run's events into `registry` (counters, gauges and
+    /// latency/power histograms; see [`MetricsRegistry::observe_event`]).
+    pub fn metrics(mut self, registry: &'a MetricsRegistry) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Executes the run.
+    pub fn go(self) -> Result<RunResult, SturgeonError> {
+        let profile = self
+            .profile
+            .unwrap_or_else(|| LoadProfile::paper_fluctuating(self.duration_s as f64));
+        self.setup.execute(
+            self.controller,
+            profile,
+            self.duration_s,
+            &self.plan,
+            self.policy,
+            self.sink,
+            self.metrics,
+        )
     }
 }
 
@@ -499,11 +687,13 @@ mod tests {
             ColocationPair::new(LsServiceId::Memcached, BeAppId::Blackscholes),
             1,
         );
-        let r = setup.run(
-            StaticReservationController,
-            LoadProfile::Constant { fraction: 0.3 },
-            60,
-        );
+        let r = setup
+            .runner()
+            .controller(StaticReservationController)
+            .load(LoadProfile::Constant { fraction: 0.3 })
+            .intervals(60)
+            .go()
+            .unwrap();
         assert!(r.qos_rate > 0.99, "QoS rate {}", r.qos_rate);
         assert!(r.mean_be_throughput < 0.05);
         assert!(!r.suffers_overload());
@@ -523,7 +713,13 @@ mod tests {
             setup.qos_target_ms(),
             ControllerParams::default(),
         );
-        let r = setup.run(controller, LoadProfile::Constant { fraction: 0.25 }, 90);
+        let r = setup
+            .runner()
+            .controller(controller)
+            .load(LoadProfile::Constant { fraction: 0.25 })
+            .intervals(90)
+            .go()
+            .unwrap();
         assert!(r.qos_rate > 0.9, "QoS rate {}", r.qos_rate);
         assert!(
             r.mean_be_throughput > 0.3,
@@ -536,16 +732,17 @@ mod tests {
     fn identical_seeds_give_identical_runs() {
         let pair = ColocationPair::new(LsServiceId::Xapian, BeAppId::Ferret);
         let setup = ExperimentSetup::new(pair, 7);
-        let a = setup.run(
-            StaticReservationController,
-            LoadProfile::paper_fluctuating(60.0),
-            60,
-        );
-        let b = setup.run(
-            StaticReservationController,
-            LoadProfile::paper_fluctuating(60.0),
-            60,
-        );
+        let run = || {
+            setup
+                .runner()
+                .controller(StaticReservationController)
+                .load(LoadProfile::paper_fluctuating(60.0))
+                .intervals(60)
+                .go()
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
         assert_eq!(a.qos_rate, b.qos_rate);
         assert_eq!(a.peak_power_w, b.peak_power_w);
     }
@@ -556,11 +753,13 @@ mod tests {
             ColocationPair::new(LsServiceId::ImgDnn, BeAppId::Swaptions),
             3,
         );
-        let r = setup.run(
-            StaticReservationController,
-            LoadProfile::Constant { fraction: 0.2 },
-            42,
-        );
+        let r = setup
+            .runner()
+            .controller(StaticReservationController)
+            .load(LoadProfile::Constant { fraction: 0.2 })
+            .intervals(42)
+            .go()
+            .unwrap();
         assert_eq!(r.log.len(), 42);
     }
 
@@ -568,23 +767,67 @@ mod tests {
     fn zero_fault_plan_reproduces_fault_free_run() {
         let pair = ColocationPair::new(LsServiceId::Xapian, BeAppId::Ferret);
         let setup = ExperimentSetup::new(pair, 7);
-        let clean = setup.run(
-            StaticReservationController,
-            LoadProfile::paper_fluctuating(60.0),
-            60,
-        );
-        let faulted = setup.run_with_faults(
-            StaticReservationController,
-            LoadProfile::paper_fluctuating(60.0),
-            60,
-            &FaultPlan::none(123),
-            ActuationPolicy::hardened(),
-        );
+        let clean = setup
+            .runner()
+            .controller(StaticReservationController)
+            .load(LoadProfile::paper_fluctuating(60.0))
+            .intervals(60)
+            .go()
+            .unwrap();
+        let faulted = setup
+            .runner()
+            .controller(StaticReservationController)
+            .load(LoadProfile::paper_fluctuating(60.0))
+            .intervals(60)
+            .faults(FaultPlan::none(123))
+            .go()
+            .unwrap();
         assert_eq!(clean.log.samples(), faulted.log.samples());
         assert_eq!(clean.qos_rate, faulted.qos_rate);
         assert_eq!(clean.overload_fraction, faulted.overload_fraction);
         assert_eq!(clean.audit.entries(), faulted.audit.entries());
         assert_eq!(faulted.faults, FaultReport::default());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate_to_builder() {
+        let pair = ColocationPair::new(LsServiceId::Xapian, BeAppId::Ferret);
+        let setup = ExperimentSetup::new(pair, 7);
+        let wrapped = setup.run(
+            StaticReservationController,
+            LoadProfile::paper_fluctuating(60.0),
+            60,
+        );
+        let built = setup
+            .runner()
+            .controller(StaticReservationController)
+            .load(LoadProfile::paper_fluctuating(60.0))
+            .intervals(60)
+            .go()
+            .unwrap();
+        assert_eq!(wrapped.log.samples(), built.log.samples());
+        assert_eq!(wrapped.audit.entries(), built.audit.entries());
+
+        let plan = FaultPlan::everything(9);
+        let wrapped = setup.run_with_faults(
+            StaticReservationController,
+            LoadProfile::paper_fluctuating(60.0),
+            60,
+            &plan,
+            ActuationPolicy::unhardened(),
+        );
+        let built = setup
+            .runner()
+            .controller(StaticReservationController)
+            .load(LoadProfile::paper_fluctuating(60.0))
+            .intervals(60)
+            .faults(plan)
+            .policy(ActuationPolicy::unhardened())
+            .go()
+            .unwrap();
+        assert_eq!(wrapped.log.samples(), built.log.samples());
+        assert_eq!(wrapped.faults, built.faults);
     }
 
     #[test]
@@ -601,13 +844,14 @@ mod tests {
             setup.qos_target_ms(),
             ControllerParams::hardened(),
         );
-        let r = setup.run_with_faults(
-            controller,
-            LoadProfile::paper_fluctuating(120.0),
-            120,
-            &FaultPlan::actuation_faults(5, 0.3),
-            ActuationPolicy::hardened(),
-        );
+        let r = setup
+            .runner()
+            .controller(controller)
+            .load(LoadProfile::paper_fluctuating(120.0))
+            .intervals(120)
+            .faults(FaultPlan::actuation_faults(5, 0.3))
+            .go()
+            .unwrap();
         let f = &r.faults;
         assert!(f.faults_seen > 0, "30% fault rate must fire in 120 s");
         assert_eq!(
@@ -625,7 +869,7 @@ mod tests {
 
     #[test]
     fn all_pairs_enumerates_18() {
-        assert_eq!(ColocationPair::all().len(), 18);
+        assert_eq!(ColocationPair::all().count(), 18);
     }
 
     #[test]

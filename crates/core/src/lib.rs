@@ -28,16 +28,23 @@
 //!   §VII-A, Sturgeon-NoB (balancer disabled), and a static-reservation
 //!   controller, for the Figs. 9–11 experiments.
 //! * [`experiment`] — the co-location run harness producing the paper's
-//!   metrics (QoS guarantee rate, normalized BE throughput, overload).
+//!   metrics (QoS guarantee rate, normalized BE throughput, overload),
+//!   driven through the builder API ([`experiment::ExperimentSetup::runner`]).
+//! * [`obs`] — the structured observability layer: typed per-interval
+//!   decision traces through pluggable [`obs::TraceSink`]s and a
+//!   dependency-free [`obs::MetricsRegistry`], both zero-cost when not
+//!   attached to a run.
 
 pub mod balancer;
 pub mod baselines;
 pub mod cache;
 pub mod cluster;
 pub mod controller;
+pub mod error;
 pub mod experiment;
 pub mod heracles;
 pub mod multi;
+pub mod obs;
 pub mod online;
 pub mod placement;
 pub mod predictor;
@@ -47,7 +54,7 @@ pub mod search;
 
 /// Convenient re-exports covering the typical experiment workflow.
 pub mod prelude {
-    pub use crate::balancer::{BalancerParams, ResourceBalancer};
+    pub use crate::balancer::{BalancerAction, BalancerParams, HarvestTarget, ResourceBalancer};
     pub use crate::baselines::{PartiesController, StaticReservationController};
     pub use crate::cache::PredictionCache;
     pub use crate::cluster::{Cluster, ClusterResult, DispatchPolicy};
@@ -55,12 +62,17 @@ pub mod prelude {
         ControllerFaultCounters, ControllerParams, ResourceController, RobustnessParams,
         SturgeonController,
     };
+    pub use crate::error::SturgeonError;
     pub use crate::experiment::{
-        ActuationPolicy, ColocationPair, ExperimentSetup, FaultReport, RunResult,
+        ActuationPolicy, ColocationPair, ConfiguredRun, ExperimentSetup, FaultReport, RunBuilder,
+        RunResult,
     };
     pub use crate::heracles::{HeraclesController, HeraclesParams};
     pub use crate::multi::{
         MultiProfiler, MultiProfilerConfig, MultiSearch, MultiSturgeonController,
+    };
+    pub use crate::obs::{
+        JsonlSink, MetricsRegistry, NullSink, RingSink, SearchReason, TraceEvent, TraceSink,
     };
     pub use crate::online::{OnlineAdaptor, OnlineAdaptorConfig, OnlineSample};
     pub use crate::placement::{BePlacer, PlacementDecision};

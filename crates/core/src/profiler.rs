@@ -9,10 +9,11 @@
 //! [`sturgeon_mlkit::Dataset`]s with the paper's four features:
 //! **input size, cores, core frequency, LLC ways**.
 
+use crate::error::SturgeonError;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use sturgeon_mlkit::{Dataset, MlError};
+use sturgeon_mlkit::Dataset;
 use sturgeon_simnode::{Allocation, PairConfig};
 use sturgeon_workloads::env::CoLocationEnv;
 
@@ -83,9 +84,30 @@ impl<'e> Profiler<'e> {
     }
 
     /// Runs the offline profiling campaign and assembles all datasets.
-    pub fn collect(&self) -> Result<ProfileDatasets, MlError> {
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
+    ///
+    /// Fails with [`SturgeonError::Setup`] when the controls cannot
+    /// produce a training set (no load levels, no samples, or a node too
+    /// small to leave the BE partition any resources), and with
+    /// [`SturgeonError::Ml`] when the collected rows are rejected by the
+    /// dataset layer.
+    pub fn collect(&self) -> Result<ProfileDatasets, SturgeonError> {
+        if self.config.ls_load_fractions.is_empty() {
+            return Err(SturgeonError::setup(
+                "profiler needs at least one LS load fraction",
+            ));
+        }
+        if self.config.ls_samples_per_load == 0 || self.config.be_samples == 0 {
+            return Err(SturgeonError::setup(
+                "profiler sample counts must be nonzero",
+            ));
+        }
         let spec = self.env.spec().clone();
+        if spec.total_cores < 2 || spec.total_llc_ways < 2 {
+            return Err(SturgeonError::setup(
+                "profiling needs a node with at least 2 cores and 2 LLC ways",
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
         let max_level = spec.max_freq_level();
 
         // --- LS sweeps ------------------------------------------------
@@ -242,6 +264,24 @@ mod tests {
         let b = Profiler::new(&e, small_config()).collect().unwrap();
         assert_eq!(a.ls_qos.y, b.ls_qos.y);
         assert_eq!(a.be_power.y, b.be_power.y);
+    }
+
+    #[test]
+    fn degenerate_controls_are_setup_errors() {
+        let e = env();
+        let no_loads = ProfilerConfig {
+            ls_load_fractions: vec![],
+            ..small_config()
+        };
+        let err = Profiler::new(&e, no_loads).collect().unwrap_err();
+        assert!(matches!(err, SturgeonError::Setup(_)), "got {err}");
+
+        let no_samples = ProfilerConfig {
+            be_samples: 0,
+            ..small_config()
+        };
+        let err = Profiler::new(&e, no_samples).collect().unwrap_err();
+        assert!(matches!(err, SturgeonError::Setup(_)), "got {err}");
     }
 
     #[test]

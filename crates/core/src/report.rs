@@ -188,11 +188,13 @@ mod tests {
             ColocationPair::new(LsServiceId::Xapian, BeAppId::Swaptions),
             1,
         );
-        setup.run(
-            StaticReservationController,
-            LoadProfile::Constant { fraction: 0.3 },
-            10,
-        )
+        setup
+            .runner()
+            .controller(StaticReservationController)
+            .load(LoadProfile::Constant { fraction: 0.3 })
+            .intervals(10)
+            .go()
+            .unwrap()
     }
 
     #[test]

@@ -219,6 +219,30 @@ impl IntervalFault {
     pub fn is_none(&self) -> bool {
         *self == Self::none()
     }
+
+    /// Labels of the fault classes active this interval (empty when
+    /// nothing fires) — the observability layer's `FaultInjected` tags.
+    pub fn classes(&self) -> Vec<&'static str> {
+        let mut classes = Vec::new();
+        match self.telemetry {
+            TelemetryFault::None => {}
+            TelemetryFault::Noise { .. } => classes.push("telemetry_noise"),
+            TelemetryFault::Dropout => classes.push("telemetry_dropout"),
+        }
+        match self.actuation {
+            ActuationFault::None => {}
+            ActuationFault::Stuck => classes.push("actuation_stuck"),
+            ActuationFault::Transient => classes.push("actuation_transient"),
+            ActuationFault::Partial => classes.push("actuation_partial"),
+        }
+        if self.qps_mult != 1.0 {
+            classes.push("qps_spike");
+        }
+        if self.budget_mult != 1.0 {
+            classes.push("budget_cut");
+        }
+        classes
+    }
 }
 
 /// Counts of every fault the injector has drawn so far.

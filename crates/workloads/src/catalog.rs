@@ -25,7 +25,7 @@ pub const TOTAL_CORES: u32 = 20;
 pub const TOTAL_WAYS: u32 = 20;
 
 /// Identifier for the three LS services.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LsServiceId {
     /// In-memory key-value cache (CloudSuite), peak 60 000 QPS, 10 ms QoS.
     Memcached,
@@ -56,7 +56,7 @@ impl LsServiceId {
 }
 
 /// Identifier for the six PARSEC BE applications.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum BeAppId {
     /// Option pricing; embarrassingly parallel, compute-bound.
     Blackscholes,

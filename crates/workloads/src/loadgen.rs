@@ -108,6 +108,18 @@ impl LoadProfile {
         Some(LoadProfile::Trace { samples, dt_s })
     }
 
+    /// Canonical lowercase profile name, used by trace/metrics labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LoadProfile::Constant { .. } => "constant",
+            LoadProfile::Ramp { .. } => "ramp",
+            LoadProfile::Triangle { .. } => "triangle",
+            LoadProfile::Diurnal { .. } => "diurnal",
+            LoadProfile::Step { .. } => "step",
+            LoadProfile::Trace { .. } => "trace",
+        }
+    }
+
     /// Load fraction at time `t_s`, always clamped to `[0, 1]`.
     pub fn fraction_at(&self, t_s: f64) -> f64 {
         let t = t_s.max(0.0);

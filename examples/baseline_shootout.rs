@@ -40,7 +40,15 @@ fn main() {
                 ..ControllerParams::default()
             },
         );
-        results.push(setup.run(controller, load.clone(), duration));
+        results.push(
+            setup
+                .runner()
+                .controller(controller)
+                .load(load.clone())
+                .intervals(duration)
+                .go()
+                .expect("sturgeon run"),
+        );
     }
     for power_aware in [true, false] {
         let controller = PartiesController::new(
@@ -52,19 +60,39 @@ fn main() {
                 ..PartiesParams::default()
             },
         );
-        results.push(setup.run(controller, load.clone(), duration));
+        results.push(
+            setup
+                .runner()
+                .controller(controller)
+                .load(load.clone())
+                .intervals(duration)
+                .go()
+                .expect("parties run"),
+        );
     }
-    results.push(setup.run(
-        HeraclesController::new(
-            setup.spec().clone(),
-            setup.budget_w(),
-            setup.qos_target_ms(),
-            HeraclesParams::default(),
-        ),
-        load.clone(),
-        duration,
-    ));
-    results.push(setup.run(StaticReservationController, load, duration));
+    results.push(
+        setup
+            .runner()
+            .controller(HeraclesController::new(
+                setup.spec().clone(),
+                setup.budget_w(),
+                setup.qos_target_ms(),
+                HeraclesParams::default(),
+            ))
+            .load(load.clone())
+            .intervals(duration)
+            .go()
+            .expect("heracles run"),
+    );
+    results.push(
+        setup
+            .runner()
+            .controller(StaticReservationController)
+            .load(load)
+            .intervals(duration)
+            .go()
+            .expect("reserved run"),
+    );
 
     println!(
         "{:<14} {:>9} {:>9} {:>11} {:>11} {:>9}",

@@ -29,8 +29,14 @@ fn main() {
         ("latency-aware dispatch", DispatchPolicy::LatencyAware),
     ] {
         println!("== {name} ==");
-        let mut cluster = Cluster::new(pair, nodes, policy, 42);
-        let result = cluster.run(LoadProfile::paper_fluctuating(duration as f64), duration);
+        let mut cluster =
+            Cluster::try_new(pair, nodes, policy, 42).expect("valid cluster configuration");
+        let registry = MetricsRegistry::new();
+        let result = cluster.run_with_metrics(
+            LoadProfile::paper_fluctuating(duration as f64),
+            duration,
+            &registry,
+        );
         for n in &result.nodes {
             println!(
                 "  node {}: QoS {:.2}%  BE tput {:.3}  mean power {:.1} W  overload {:.1}%",
@@ -42,11 +48,18 @@ fn main() {
             );
         }
         println!(
-            "  cluster: QoS {:.2}% | batch work recovered {:.2} machine-equivalents | power {:.0}/{:.0} W\n",
+            "  cluster: QoS {:.2}% | batch work recovered {:.2} machine-equivalents | power {:.0}/{:.0} W",
             result.qos_rate * 100.0,
             result.total_be_throughput,
             result.mean_cluster_power_w,
             result.cluster_budget_w
+        );
+        let p95 = registry
+            .histogram("interval.p95_ms")
+            .expect("run_with_metrics fills interval.p95_ms");
+        println!(
+            "  fleet latency histogram: p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms over {} intervals\n",
+            p95.p50, p95.p95, p95.p99, p95.count
         );
     }
 

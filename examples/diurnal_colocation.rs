@@ -41,8 +41,20 @@ fn main() {
         setup.qos_target_ms(),
         ControllerParams::default(),
     );
-    let sturgeon = setup.run(controller, day.clone(), 1200);
-    let reserved = setup.run(StaticReservationController, day, 1200);
+    let sturgeon = setup
+        .runner()
+        .controller(controller)
+        .load(day.clone())
+        .intervals(1200)
+        .go()
+        .expect("sturgeon run");
+    let reserved = setup
+        .runner()
+        .controller(StaticReservationController)
+        .load(day)
+        .intervals(1200)
+        .go()
+        .expect("reserved run");
 
     // Hourly digest of the Sturgeon run.
     println!(

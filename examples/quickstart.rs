@@ -34,7 +34,9 @@ fn main() {
     let predictor = setup.train_default_predictor();
 
     // 3. Online phase: run the Algorithm 1 controller for ten minutes of
-    //    the paper's fluctuating load (20% → 80% → 20% of peak).
+    //    the paper's fluctuating load (20% → 80% → 20% of peak), keeping
+    //    the last few hundred decision-trace events and an aggregate
+    //    metrics registry on the side.
     let controller = SturgeonController::new(
         predictor,
         setup.spec().clone(),
@@ -42,7 +44,17 @@ fn main() {
         setup.qos_target_ms(),
         ControllerParams::default(),
     );
-    let result = setup.run(controller, LoadProfile::paper_fluctuating(600.0), 600);
+    let mut trace = RingSink::new(512);
+    let metrics = MetricsRegistry::new();
+    let result = setup
+        .runner()
+        .controller(controller)
+        .load(LoadProfile::paper_fluctuating(600.0))
+        .intervals(600)
+        .trace(&mut trace)
+        .metrics(&metrics)
+        .go()
+        .expect("run succeeds");
 
     // 4. The paper's three success criteria.
     println!("\n== results over {} intervals ==", result.log.len());
@@ -67,4 +79,16 @@ fn main() {
         "and still extracted {:.0}% of raytrace's solo throughput from the leftovers.",
         result.mean_be_throughput * 100.0
     );
+
+    // 5. What the observability layer saw: the searches the controller
+    //    ran, the balancer's harvest/revert steps, predictor cache hits —
+    //    all without touching the control trajectory.
+    println!("\n== decision trace (last {} events kept) ==", trace.len());
+    for kind in TraceEvent::kinds() {
+        let n = trace.count_of(kind);
+        if n > 0 {
+            println!("{kind:<16} {n}");
+        }
+    }
+    println!("\n{}", metrics.text_summary());
 }

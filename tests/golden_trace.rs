@@ -37,7 +37,13 @@ fn golden_run() -> RunResult {
         setup.qos_target_ms(),
         ControllerParams::default(),
     );
-    setup.run(controller, LoadProfile::paper_fluctuating(160.0), 160)
+    setup
+        .runner()
+        .controller(controller)
+        .load(LoadProfile::paper_fluctuating(160.0))
+        .intervals(160)
+        .go()
+        .unwrap()
 }
 
 #[test]

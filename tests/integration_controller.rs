@@ -46,7 +46,13 @@ fn sturgeon_guarantees_qos_on_fluctuating_load() {
         setup.qos_target_ms(),
         ControllerParams::default(),
     );
-    let r = setup.run(controller, LoadProfile::paper_fluctuating(240.0), 240);
+    let r = setup
+        .runner()
+        .controller(controller)
+        .load(LoadProfile::paper_fluctuating(240.0))
+        .intervals(240)
+        .go()
+        .unwrap();
     assert!(r.qos_rate >= 0.95, "QoS rate {}", r.qos_rate);
     assert!(
         !r.suffers_overload(),
@@ -70,11 +76,13 @@ fn sturgeon_respects_power_budget_on_every_pair_sampled() {
         (LsServiceId::ImgDnn, BeAppId::Ferret),
     ] {
         let setup = ExperimentSetup::new(ColocationPair::new(ls, be), 8);
-        let r = setup.run(
-            sturgeon_for(&setup, true),
-            LoadProfile::paper_fluctuating(200.0),
-            200,
-        );
+        let r = setup
+            .runner()
+            .controller(sturgeon_for(&setup, true))
+            .load(LoadProfile::paper_fluctuating(200.0))
+            .intervals(200)
+            .go()
+            .unwrap();
         assert!(
             !r.suffers_overload(),
             "{}: overload fraction {}",
@@ -91,8 +99,20 @@ fn balancer_ablation_degrades_qos() {
     let pair = ColocationPair::new(LsServiceId::ImgDnn, BeAppId::Fluidanimate);
     let setup = ExperimentSetup::new(pair, 11);
     let load = LoadProfile::paper_fluctuating(300.0);
-    let with = setup.run(sturgeon_for(&setup, true), load.clone(), 300);
-    let without = setup.run(sturgeon_for(&setup, false), load, 300);
+    let with = setup
+        .runner()
+        .controller(sturgeon_for(&setup, true))
+        .load(load.clone())
+        .intervals(300)
+        .go()
+        .unwrap();
+    let without = setup
+        .runner()
+        .controller(sturgeon_for(&setup, false))
+        .load(load)
+        .intervals(300)
+        .go()
+        .unwrap();
     assert!(
         with.qos_rate > without.qos_rate,
         "balancer did not help: {} vs {}",
@@ -110,17 +130,25 @@ fn sturgeon_beats_parties_on_throughput_with_qos_held() {
     let pair = ColocationPair::new(LsServiceId::Memcached, BeAppId::Ferret);
     let setup = ExperimentSetup::new(pair, 13);
     let load = LoadProfile::paper_fluctuating(300.0);
-    let sturgeon = setup.run(sturgeon_for(&setup, true), load.clone(), 300);
-    let parties = setup.run(
-        PartiesController::new(
+    let sturgeon = setup
+        .runner()
+        .controller(sturgeon_for(&setup, true))
+        .load(load.clone())
+        .intervals(300)
+        .go()
+        .unwrap();
+    let parties = setup
+        .runner()
+        .controller(PartiesController::new(
             setup.spec().clone(),
             setup.budget_w(),
             setup.qos_target_ms(),
             PartiesParams::default(),
-        ),
-        load,
-        300,
-    );
+        ))
+        .load(load)
+        .intervals(300)
+        .go()
+        .unwrap();
     assert!(sturgeon.qos_rate >= 0.95);
     assert!(parties.qos_rate >= 0.93);
     assert!(
@@ -135,15 +163,17 @@ fn sturgeon_beats_parties_on_throughput_with_qos_held() {
 fn controller_tracks_step_load_change() {
     let pair = ColocationPair::new(LsServiceId::Xapian, BeAppId::Swaptions);
     let setup = ExperimentSetup::new(pair, 17);
-    let r = setup.run(
-        sturgeon_for(&setup, true),
-        LoadProfile::Step {
+    let r = setup
+        .runner()
+        .controller(sturgeon_for(&setup, true))
+        .load(LoadProfile::Step {
             before: 0.2,
             after: 0.7,
             at_s: 100.0,
-        },
-        200,
-    );
+        })
+        .intervals(200)
+        .go()
+        .unwrap();
     // After the step the controller must re-provision: the LS compute
     // capacity (cores × frequency) in the final interval must exceed the
     // pre-step capacity.
@@ -164,11 +194,13 @@ fn controller_tracks_step_load_change() {
 fn static_reservation_is_safe_but_wasteful() {
     let pair = ColocationPair::new(LsServiceId::ImgDnn, BeAppId::Raytrace);
     let setup = ExperimentSetup::new(pair, 19);
-    let r = setup.run(
-        StaticReservationController,
-        LoadProfile::paper_fluctuating(120.0),
-        120,
-    );
+    let r = setup
+        .runner()
+        .controller(StaticReservationController)
+        .load(LoadProfile::paper_fluctuating(120.0))
+        .intervals(120)
+        .go()
+        .unwrap();
     assert!(r.qos_rate > 0.99);
     assert!(r.mean_be_throughput < 0.05);
 }
@@ -218,16 +250,18 @@ fn parties_reacts_to_measured_overload() {
     // budget.
     let pair = ColocationPair::new(LsServiceId::Memcached, BeAppId::Swaptions);
     let setup = ExperimentSetup::new(pair, 31);
-    let r = setup.run(
-        PartiesController::new(
+    let r = setup
+        .runner()
+        .controller(PartiesController::new(
             setup.spec().clone(),
             setup.budget_w(),
             setup.qos_target_ms(),
             PartiesParams::default(),
-        ),
-        LoadProfile::paper_fluctuating(300.0),
-        300,
-    );
+        ))
+        .load(LoadProfile::paper_fluctuating(300.0))
+        .intervals(300)
+        .go()
+        .unwrap();
     // Reactive control may transiently overload but must never run away.
     assert!(
         r.peak_power_w < 1.10 * r.budget_w,
@@ -270,7 +304,13 @@ fn online_adaptation_variant_runs_and_holds_qos() {
     )
     .with_adaptation(adaptor);
 
-    let r = setup.run(controller, LoadProfile::paper_fluctuating(300.0), 300);
+    let r = setup
+        .runner()
+        .controller(controller)
+        .load(LoadProfile::paper_fluctuating(300.0))
+        .intervals(300)
+        .go()
+        .unwrap();
     assert!(r.qos_rate > 0.93, "Sturgeon-OA QoS {}", r.qos_rate);
     assert!(!r.suffers_overload());
     assert!(r.mean_be_throughput > 0.3);

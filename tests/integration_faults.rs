@@ -47,13 +47,14 @@ fn same_seed_gives_bit_identical_fault_runs() {
     let plan = FaultPlan::everything(1309);
     let load = cycling_load(160);
     let run = |setup: &ExperimentSetup| {
-        setup.run_with_faults(
-            sturgeon_for(setup, ControllerParams::hardened()),
-            load.clone(),
-            160,
-            &plan,
-            ActuationPolicy::hardened(),
-        )
+        setup
+            .runner()
+            .controller(sturgeon_for(setup, ControllerParams::hardened()))
+            .load(load.clone())
+            .intervals(160)
+            .faults(plan)
+            .go()
+            .unwrap()
     };
     let a = run(&setup);
     let b = run(&setup);
@@ -80,13 +81,14 @@ fn different_fault_seeds_diverge() {
     );
     let load = cycling_load(160);
     let run = |seed: u64| {
-        setup.run_with_faults(
-            sturgeon_for(&setup, ControllerParams::hardened()),
-            load.clone(),
-            160,
-            &FaultPlan::everything(seed),
-            ActuationPolicy::hardened(),
-        )
+        setup
+            .runner()
+            .controller(sturgeon_for(&setup, ControllerParams::hardened()))
+            .load(load.clone())
+            .intervals(160)
+            .faults(FaultPlan::everything(seed))
+            .go()
+            .unwrap()
     };
     let a = run(1309);
     let b = run(2718);
@@ -105,18 +107,21 @@ fn zero_fault_plan_reproduces_fault_free_trajectory() {
     let load = cycling_load(200);
     let plan = FaultPlan::none(7);
     assert!(plan.is_zero());
-    let clean = setup.run(
-        sturgeon_for(&setup, ControllerParams::hardened()),
-        load.clone(),
-        200,
-    );
-    let faulted = setup.run_with_faults(
-        sturgeon_for(&setup, ControllerParams::hardened()),
-        load,
-        200,
-        &plan,
-        ActuationPolicy::hardened(),
-    );
+    let clean = setup
+        .runner()
+        .controller(sturgeon_for(&setup, ControllerParams::hardened()))
+        .load(load.clone())
+        .intervals(200)
+        .go()
+        .unwrap();
+    let faulted = setup
+        .runner()
+        .controller(sturgeon_for(&setup, ControllerParams::hardened()))
+        .load(load)
+        .intervals(200)
+        .faults(plan)
+        .go()
+        .unwrap();
     assert_eq!(faulted.faults, FaultReport::default());
     assert_eq!(
         telemetry_csv(&clean.log),
@@ -182,13 +187,14 @@ fn dropout_run_records_staleness_and_stays_consistent() {
         ColocationPair::new(LsServiceId::Memcached, BeAppId::Raytrace),
         42,
     );
-    let r = setup.run_with_faults(
-        sturgeon_for(&setup, ControllerParams::hardened()),
-        cycling_load(240),
-        240,
-        &FaultPlan::telemetry_dropout(1309, 0.20),
-        ActuationPolicy::hardened(),
-    );
+    let r = setup
+        .runner()
+        .controller(sturgeon_for(&setup, ControllerParams::hardened()))
+        .load(cycling_load(240))
+        .intervals(240)
+        .faults(FaultPlan::telemetry_dropout(1309, 0.20))
+        .go()
+        .unwrap();
     assert!(r.faults.telemetry_dropouts > 0, "dropout plan never fired");
     assert!(
         r.faults.stale_intervals >= r.faults.telemetry_dropouts,
@@ -239,27 +245,31 @@ fn hardened_qos_survives_actuator_faults_where_unhardened_degrades() {
     let load = cycling_load(240);
     let plan = FaultPlan::actuation_faults(1309, 0.10);
 
-    let baseline = setup.run_with_faults(
-        sturgeon_for(&setup, ControllerParams::hardened()),
-        load.clone(),
-        240,
-        &FaultPlan::none(1309),
-        ActuationPolicy::hardened(),
-    );
-    let hardened = setup.run_with_faults(
-        sturgeon_for(&setup, ControllerParams::hardened()),
-        load.clone(),
-        240,
-        &plan,
-        ActuationPolicy::hardened(),
-    );
-    let unhardened = setup.run_with_faults(
-        sturgeon_for(&setup, ControllerParams::default()),
-        load,
-        240,
-        &plan,
-        ActuationPolicy::unhardened(),
-    );
+    let baseline = setup
+        .runner()
+        .controller(sturgeon_for(&setup, ControllerParams::hardened()))
+        .load(load.clone())
+        .intervals(240)
+        .faults(FaultPlan::none(1309))
+        .go()
+        .unwrap();
+    let hardened = setup
+        .runner()
+        .controller(sturgeon_for(&setup, ControllerParams::hardened()))
+        .load(load.clone())
+        .intervals(240)
+        .faults(plan)
+        .go()
+        .unwrap();
+    let unhardened = setup
+        .runner()
+        .controller(sturgeon_for(&setup, ControllerParams::default()))
+        .load(load)
+        .intervals(240)
+        .faults(plan)
+        .policy(ActuationPolicy::unhardened())
+        .go()
+        .unwrap();
 
     assert!(hardened.faults.faults_seen > 0);
     assert!(hardened.faults.retries > 0, "hardened policy never retried");
@@ -288,13 +298,14 @@ fn fault_counters_surface_in_summary_json() {
         ColocationPair::new(LsServiceId::Xapian, BeAppId::Swaptions),
         9,
     );
-    let r = setup.run_with_faults(
-        sturgeon_for(&setup, ControllerParams::hardened()),
-        cycling_load(160),
-        160,
-        &FaultPlan::everything(55),
-        ActuationPolicy::hardened(),
-    );
+    let r = setup
+        .runner()
+        .controller(sturgeon_for(&setup, ControllerParams::hardened()))
+        .load(cycling_load(160))
+        .intervals(160)
+        .faults(FaultPlan::everything(55))
+        .go()
+        .unwrap();
     let json: serde_json::Value =
         serde_json::from_str(&run_summary_json(&r)).expect("summary is valid JSON");
     let seen = json["faults_seen"].as_u64().expect("faults_seen present");
