@@ -1,8 +1,9 @@
 //! Criterion bench backing the §VII-E overhead table: wall-clock time of
-//! the O(N log N) binary configuration search vs the O(N⁴) exhaustive
-//! sweep, at low and high LS load — each in cached and uncached flavours
-//! (the prediction memo cache) and, for the exhaustive oracle, serial vs
-//! parallel (the rayon C1 fan-out).
+//! the O(N log N) binary configuration search, the O(N⁴) exhaustive
+//! sweep, and the frontier-pruned engine (exhaustive-equivalent results)
+//! at low and high LS load — each in cached and uncached flavours (the
+//! prediction memo cache), with warm-start / frontier-reuse variants, and
+//! for the exhaustive oracle serial vs parallel (the rayon C1 fan-out).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -41,6 +42,31 @@ fn bench_search(c: &mut Criterion) {
         b.iter(|| {
             black_box(search.best_config_warm(black_box(0.5 * peak), Some((&prev, prev_qps))))
         })
+    });
+    // The frontier-pruned engine: exhaustive-equivalent answers from the
+    // table-driven branch-and-bound sweep.
+    for frac in [0.2, 0.5] {
+        let qps = frac * peak;
+        group.bench_function(format!("pruned_{:.0}pct", frac * 100.0), |b| {
+            let search =
+                ConfigSearch::new(&predictor, spec.clone(), budget, SearchParams::default());
+            b.iter(|| black_box(search.pruned(black_box(qps))))
+        });
+    }
+    group.bench_function("pruned_50pct_uncached", |b| {
+        let search = ConfigSearch::new(&predictor, spec.clone(), budget, SearchParams::default());
+        predictor.set_caching(false);
+        b.iter(|| black_box(search.pruned(black_box(0.5 * peak))));
+        predictor.set_caching(true);
+    });
+    // Steady state: the frontier cache supplies the incumbent, so the
+    // bisection warm-up disappears and only the pruned sweep remains.
+    group.bench_function("pruned_50pct_frontier_warm", |b| {
+        let frontiers = FrontierCache::default();
+        let search = ConfigSearch::new(&predictor, spec.clone(), budget, SearchParams::default())
+            .with_frontiers(&frontiers);
+        let _ = search.pruned(0.5 * peak);
+        b.iter(|| black_box(search.pruned(black_box(0.5 * peak))))
     });
     // The exhaustive sweep is orders of magnitude slower; keep one load and
     // a reduced sample count so the bench suite stays tractable.

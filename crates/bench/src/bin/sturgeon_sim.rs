@@ -7,6 +7,7 @@
 //!              [--duration 600] [--seed 42] [--export PATH_STEM]
 //!              [--trace PATH.jsonl] [--metrics PATH.json]
 //!              [--faults none|telemetry|actuation|shocks|everything]
+//!              [--search heuristic|pruned]
 //! ```
 //!
 //! Runs one experiment and prints the paper's three metrics; `--export`
@@ -36,6 +37,7 @@ struct Args {
     trace: Option<PathBuf>,
     metrics: Option<PathBuf>,
     faults: String,
+    search: String,
 }
 
 impl Default for Args {
@@ -52,6 +54,7 @@ impl Default for Args {
             trace: None,
             metrics: None,
             faults: "none".into(),
+            search: "heuristic".into(),
         }
     }
 }
@@ -94,6 +97,7 @@ fn parse_args() -> Result<Args, String> {
             "--trace" => args.trace = Some(PathBuf::from(value)),
             "--metrics" => args.metrics = Some(PathBuf::from(value)),
             "--faults" => args.faults = value.clone(),
+            "--search" => args.search = value.clone(),
             other => return Err(format!("unknown flag {other}")),
         }
         i += 2;
@@ -109,7 +113,8 @@ fn usage() {
                     [--load triangle|constant|ramp|diurnal] [--fraction F] \\
                     [--duration SECONDS] [--seed N] [--export PATH_STEM] \\
                     [--trace PATH.jsonl] [--metrics PATH.json] \\
-                    [--faults none|telemetry|actuation|shocks|everything]"
+                    [--faults none|telemetry|actuation|shocks|everything] \\
+                    [--search heuristic|pruned]"
     );
 }
 
@@ -197,6 +202,16 @@ fn main() -> ExitCode {
         }
     };
 
+    let strategy = match args.search.as_str() {
+        "heuristic" => SearchStrategy::Heuristic,
+        "pruned" => SearchStrategy::FrontierPruned,
+        other => {
+            eprintln!("error: unknown search strategy {other}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+
     let registry = MetricsRegistry::new();
     let metrics_ref = args.metrics.as_ref().map(|_| &registry);
     let mut trace_sink = match &args.trace {
@@ -222,6 +237,10 @@ fn main() -> ExitCode {
                 setup.qos_target_ms(),
                 ControllerParams {
                     balancer_enabled: args.controller == "sturgeon",
+                    search: SearchParams {
+                        strategy,
+                        ..SearchParams::default()
+                    },
                     ..ControllerParams::default()
                 },
             );

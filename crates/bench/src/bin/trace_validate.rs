@@ -45,6 +45,13 @@ fn validate_body(kind: &str, body: &serde_json::Value) -> Result<(), String> {
         "ActuationRetry" => &["t_s", "attempts"],
         "ConfigApplied" => &["t_s"],
         "FaultInjected" => &["t_s"],
+        "SearchPruned" => &[
+            "t_s",
+            "evaluated",
+            "pruned_candidates",
+            "pruned_subspaces",
+            "frontier_reuses",
+        ],
         "CacheSnapshot" => &["t_s", "entries", "hits", "misses"],
         other => return Err(format!("unknown event type {other}")),
     };

@@ -47,6 +47,9 @@ struct NodeRuntime {
     last_p95_ms: f64,
     /// EWMA-smoothed dispatch weight (LatencyAware policy only).
     smoothed_weight: f64,
+    /// The node's load share for the interval being stepped, staged here
+    /// so the parallel step needs no per-interval work list.
+    next_qps: f64,
 }
 
 /// Per-node summary after a cluster run.
@@ -89,6 +92,9 @@ pub struct Cluster {
     policy: DispatchPolicy,
     peak_qps_per_node: f64,
     qos_target_ms: f64,
+    /// Reusable dispatch-weight buffer (one slot per node), refilled each
+    /// interval instead of allocated.
+    weights_buf: Vec<f64>,
 }
 
 impl Cluster {
@@ -109,6 +115,19 @@ impl Cluster {
         n: usize,
         policy: DispatchPolicy,
         seed: u64,
+    ) -> Result<Self, SturgeonError> {
+        Self::try_new_with_params(pair, n, policy, seed, ControllerParams::default())
+    }
+
+    /// Like [`Cluster::try_new`] but with explicit controller parameters
+    /// for every node — e.g. to run the whole fleet on the frontier-pruned
+    /// search strategy.
+    pub fn try_new_with_params(
+        pair: ColocationPair,
+        n: usize,
+        policy: DispatchPolicy,
+        seed: u64,
+        params: ControllerParams,
     ) -> Result<Self, SturgeonError> {
         if n == 0 {
             return Err(SturgeonError::setup("cluster needs at least one node"));
@@ -137,7 +156,7 @@ impl Cluster {
                 setup.spec().clone(),
                 setup.budget_w(),
                 setup.qos_target_ms(),
-                ControllerParams::default(),
+                params,
             );
             let env = setup.env().clone();
             let actuators = SimActuators::new(env.spec().clone());
@@ -151,6 +170,7 @@ impl Cluster {
                 log: TelemetryLog::new(),
                 last_p95_ms: 0.0,
                 smoothed_weight: 1.0 / n as f64,
+                next_qps: 0.0,
             });
         }
         Ok(Self {
@@ -158,6 +178,7 @@ impl Cluster {
             policy,
             peak_qps_per_node: peak,
             qos_target_ms: target,
+            weights_buf: vec![0.0; n],
         })
     }
 
@@ -176,47 +197,49 @@ impl Cluster {
         self.peak_qps_per_node * self.nodes.len() as f64
     }
 
-    /// Dispatch weights for this interval. The LatencyAware policy
-    /// mutates its EWMA state.
-    fn weights(&mut self) -> Vec<f64> {
+    /// The bounded, damped headroom target of the LatencyAware policy:
+    /// a node near its QoS target receives less load, spread ≤ 2:1.
+    fn headroom_target(&self, node: &NodeRuntime) -> f64 {
+        let headroom =
+            ((self.qos_target_ms - node.last_p95_ms) / self.qos_target_ms).clamp(0.0, 1.0);
+        0.5 + 0.5 * headroom
+    }
+
+    /// Refills `weights_buf` with this interval's dispatch weights. The
+    /// LatencyAware policy mutates its EWMA state. No per-interval
+    /// allocation: the buffer is cleared and refilled in place.
+    fn fill_weights(&mut self) {
         let n = self.nodes.len();
+        let mut buf = std::mem::take(&mut self.weights_buf);
+        buf.clear();
         match &self.policy {
-            DispatchPolicy::Even => vec![1.0 / n as f64; n],
+            DispatchPolicy::Even => buf.resize(n, 1.0 / n as f64),
             DispatchPolicy::Weighted(w) => {
                 let sum: f64 = w.iter().sum();
-                w.iter().map(|&x| x / sum).collect()
+                buf.extend(w.iter().map(|&x| x / sum));
             }
             DispatchPolicy::LatencyAware => {
                 // Bounded headroom target (spread ≤ 2:1), EWMA-damped:
                 // the latency signal lags one interval, so an aggressive
                 // proportional policy oscillates against the per-node
                 // controllers and shreds everyone's QoS.
-                let targets: Vec<f64> = self
-                    .nodes
-                    .iter()
-                    .map(|node| {
-                        let headroom = ((self.qos_target_ms - node.last_p95_ms)
-                            / self.qos_target_ms)
-                            .clamp(0.0, 1.0);
-                        0.5 + 0.5 * headroom
-                    })
-                    .collect();
-                let sum: f64 = targets.iter().sum();
-                for (node, t) in self.nodes.iter_mut().zip(&targets) {
-                    let target = t / sum;
+                let sum: f64 = self.nodes.iter().map(|n| self.headroom_target(n)).sum();
+                for i in 0..self.nodes.len() {
+                    let target = self.headroom_target(&self.nodes[i]) / sum;
+                    let node = &mut self.nodes[i];
                     node.smoothed_weight = 0.9 * node.smoothed_weight + 0.1 * target;
                 }
                 let total: f64 = self.nodes.iter().map(|x| x.smoothed_weight).sum();
-                self.nodes
-                    .iter()
-                    .map(|x| x.smoothed_weight / total)
-                    .collect()
+                buf.extend(self.nodes.iter().map(|x| x.smoothed_weight / total));
             }
         }
+        self.weights_buf = buf;
     }
 
-    /// One node's monitor → decide → actuate interval.
-    fn step_node(node: &mut NodeRuntime, qps: f64) {
+    /// One node's monitor → decide → actuate interval at its staged
+    /// `next_qps` share.
+    fn step_node(node: &mut NodeRuntime) {
+        let qps = node.next_qps;
         let obs = node.env.step(&node.actuators.config(), qps);
         node.actuators.push_power(obs.power_w);
         node.last_p95_ms = obs.p95_ms;
@@ -245,14 +268,11 @@ impl Cluster {
     pub fn run(&mut self, profile: LoadProfile, duration_s: u32) -> ClusterResult {
         for t in 0..duration_s {
             let total_qps = profile.qps_at(t as f64, self.peak_qps());
-            let weights = self.weights();
-            let mut work: Vec<(&mut NodeRuntime, f64)> = self
-                .nodes
-                .iter_mut()
-                .zip(weights.iter().map(|w| total_qps * w))
-                .collect();
-            work.par_iter_mut()
-                .for_each(|(node, qps)| Self::step_node(node, *qps));
+            self.fill_weights();
+            for (node, w) in self.nodes.iter_mut().zip(&self.weights_buf) {
+                node.next_qps = total_qps * w;
+            }
+            self.nodes.par_iter_mut().for_each(Self::step_node);
         }
         self.result()
     }
@@ -287,6 +307,18 @@ impl Cluster {
         registry.add("controller.stale_intervals", c.stale_intervals);
         registry.add("controller.safe_mode_entries", c.safe_mode_entries);
         registry.add("balancer.retry_rounds", c.balancer_retry_rounds);
+        let mut pruned_cells = 0u64;
+        let mut pruned_slices = 0u64;
+        let mut frontier_reuses = 0u64;
+        for node in &self.nodes {
+            let (cells, slices, reuses) = node.controller.pruned_totals();
+            pruned_cells += cells;
+            pruned_slices += slices;
+            frontier_reuses += reuses;
+        }
+        registry.add("search.pruned_candidates", pruned_cells);
+        registry.add("search.pruned_subspaces", pruned_slices);
+        registry.add("search.frontier_reuses", frontier_reuses);
         registry.set_gauge("cluster.qos_rate", result.qos_rate);
         registry.set_gauge("cluster.total_be_throughput", result.total_be_throughput);
         registry.set_gauge("cluster.mean_power_w", result.mean_cluster_power_w);
@@ -387,7 +419,8 @@ mod tests {
         // Prime node 0 as "slow" and node 1 as "fast".
         cluster.nodes[0].last_p95_ms = 14.0; // near the 15 ms target
         cluster.nodes[1].last_p95_ms = 2.0;
-        let w = cluster.weights();
+        cluster.fill_weights();
+        let w = &cluster.weights_buf;
         assert!(w[1] > w[0], "fast node must receive more load: {w:?}");
         assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
     }
@@ -436,6 +469,37 @@ mod tests {
         assert_eq!(registry.gauge("cluster.qos_rate"), Some(r.qos_rate));
         let p95 = registry.histogram("interval.p95_ms").unwrap();
         assert_eq!(p95.count, 60);
+    }
+
+    #[test]
+    fn pruned_strategy_fleet_steps_and_reports_prune_counters() {
+        use crate::search::{SearchParams, SearchStrategy};
+        let params = ControllerParams {
+            search: SearchParams {
+                strategy: SearchStrategy::FrontierPruned,
+                ..SearchParams::default()
+            },
+            ..ControllerParams::default()
+        };
+        let mut cluster =
+            Cluster::try_new_with_params(pair(), 2, DispatchPolicy::Even, 42, params).unwrap();
+        let registry = MetricsRegistry::new();
+        // A triangle wave revisits its load levels on the way back down,
+        // so later searches land in QPS buckets the frontier cache has
+        // already seen.
+        let r = cluster.run_with_metrics(LoadProfile::paper_fluctuating(80.0), 80, &registry);
+        // The exact engine optimizes over the whole space, so the fleet
+        // must still hold QoS (lenient: the exhaustive-equivalent pick can
+        // sit closer to the feasibility edge than the hardened heuristic).
+        assert!(r.qos_rate > 0.8, "pruned fleet QoS {}", r.qos_rate);
+        assert!(
+            registry.counter("search.pruned_candidates") > 0,
+            "table bounds must prune at fleet scale"
+        );
+        assert!(
+            registry.counter("search.frontier_reuses") > 0,
+            "revisited load levels must hit the frontier cache"
+        );
     }
 
     #[test]

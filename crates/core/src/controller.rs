@@ -7,10 +7,11 @@
 //! against the interference the predictor cannot see.
 
 use crate::balancer::{BalancerParams, ResourceBalancer};
+use crate::cache::FrontierCache;
 use crate::obs::{SearchReason, TraceEvent};
 use crate::online::{OnlineAdaptor, OnlineSample};
 use crate::predictor::PerfPowerPredictor;
-use crate::search::{ConfigSearch, SearchParams, SearchStats};
+use crate::search::{ConfigSearch, SearchParams, SearchStats, SearchStrategy};
 use sturgeon_simnode::{Allocation, NodeSpec, PairConfig};
 use sturgeon_workloads::env::Observation;
 
@@ -182,6 +183,15 @@ pub struct SturgeonController {
     /// `tracing` is on, so an untraced run never allocates here.
     tracing: bool,
     trace: Vec<TraceEvent>,
+    /// Cross-interval frontier seeds for the pruned engine: best configs
+    /// keyed by quantized QPS bucket, invalidated on predictor retrain via
+    /// the table generation. Unused under the heuristic strategy.
+    frontiers: FrontierCache,
+    /// Running totals across the run's pruned searches (zero under the
+    /// heuristic strategy), exposed for fleet-level metrics aggregation.
+    pruned_candidates_total: u64,
+    pruned_subspaces_total: u64,
+    frontier_reuses_total: u64,
 }
 
 impl SturgeonController {
@@ -216,6 +226,10 @@ impl SturgeonController {
             safe_mode_entries: 0,
             tracing: false,
             trace: Vec::new(),
+            frontiers: FrontierCache::default(),
+            pruned_candidates_total: 0,
+            pruned_subspaces_total: 0,
+            frontier_reuses_total: 0,
         }
     }
 
@@ -245,6 +259,17 @@ impl SturgeonController {
     /// Number of full searches run so far.
     pub fn search_count(&self) -> u64 {
         self.searches
+    }
+
+    /// Running totals over the run's pruned-engine searches, as
+    /// `(pruned_candidates, pruned_subspaces, frontier_reuses)`. All zero
+    /// under the default heuristic strategy.
+    pub fn pruned_totals(&self) -> (u64, u64, u64) {
+        (
+            self.pruned_candidates_total,
+            self.pruned_subspaces_total,
+            self.frontier_reuses_total,
+        )
     }
 
     /// The balancer (for effectiveness accounting).
@@ -306,18 +331,34 @@ impl SturgeonController {
     }
 
     fn run_search(&mut self, qps: f64, t_s: f64, reason: SearchReason) -> PairConfig {
-        let search = ConfigSearch::new(
-            &self.predictor,
-            self.spec.clone(),
-            self.budget_w,
-            self.params.search,
-        );
-        // Warm start from the previous successful search when the load
-        // drifted only a little (the common diurnal case): the C1 window
-        // re-scan costs a fraction of the full §V-B pass and falls back to
-        // it automatically when the seed no longer applies.
-        let previous = self.warm_hint.as_ref().map(|(cfg, q)| (cfg, *q));
-        let outcome = search.best_config_warm(qps, previous);
+        let outcome = {
+            let search = ConfigSearch::new(
+                &self.predictor,
+                self.spec.clone(),
+                self.budget_w,
+                self.params.search,
+            );
+            match self.params.search.strategy {
+                // Warm start from the previous successful search when the
+                // load drifted only a little (the common diurnal case): the
+                // C1 window re-scan costs a fraction of the full §V-B pass
+                // and falls back to it automatically when the seed no
+                // longer applies.
+                SearchStrategy::Heuristic => {
+                    let previous = self.warm_hint.as_ref().map(|(cfg, q)| (cfg, *q));
+                    search.best_config_warm(qps, previous)
+                }
+                // The table-driven branch-and-bound engine: exhaustive-
+                // equivalent results, with frontier seeds reused across
+                // intervals in the same QPS bucket.
+                SearchStrategy::FrontierPruned => {
+                    search.with_frontiers(&self.frontiers).pruned(qps)
+                }
+            }
+        };
+        self.pruned_candidates_total += outcome.stats.pruned_candidates;
+        self.pruned_subspaces_total += outcome.stats.pruned_subspaces;
+        self.frontier_reuses_total += outcome.stats.frontier_reuses;
         self.warm_hint = outcome.best.map(|cfg| (cfg, qps));
         self.last_search_stats = Some(outcome.stats);
         self.last_search_qps = Some(qps);
@@ -367,6 +408,15 @@ impl SturgeonController {
                 predicted_power_w: self.predictor.total_power_w(&config, &self.spec, qps),
                 fallback: outcome.best.is_none(),
             });
+            if self.params.search.strategy == SearchStrategy::FrontierPruned {
+                self.trace.push(TraceEvent::SearchPruned {
+                    t_s,
+                    evaluated: outcome.stats.candidates,
+                    pruned_candidates: outcome.stats.pruned_candidates,
+                    pruned_subspaces: outcome.stats.pruned_subspaces,
+                    frontier_reuses: outcome.stats.frontier_reuses,
+                });
+            }
             self.trace.push(TraceEvent::CacheSnapshot {
                 t_s,
                 entries: self.predictor.cache().len(),

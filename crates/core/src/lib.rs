@@ -51,12 +51,13 @@ pub mod predictor;
 pub mod profiler;
 pub mod report;
 pub mod search;
+pub mod tables;
 
 /// Convenient re-exports covering the typical experiment workflow.
 pub mod prelude {
     pub use crate::balancer::{BalancerAction, BalancerParams, HarvestTarget, ResourceBalancer};
     pub use crate::baselines::{PartiesController, StaticReservationController};
-    pub use crate::cache::PredictionCache;
+    pub use crate::cache::{FrontierCache, PredictionCache};
     pub use crate::cluster::{Cluster, ClusterResult, DispatchPolicy};
     pub use crate::controller::{
         ControllerFaultCounters, ControllerParams, ResourceController, RobustnessParams,
@@ -78,7 +79,10 @@ pub mod prelude {
     pub use crate::placement::{BePlacer, PlacementDecision};
     pub use crate::predictor::{ModelKind, PerfPowerPredictor, PredictorConfig};
     pub use crate::profiler::{ProfileDatasets, Profiler, ProfilerConfig};
-    pub use crate::search::{ConfigSearch, SearchOutcome, SearchParams};
+    pub use crate::search::{
+        ConfigSearch, SearchOutcome, SearchParams, SearchStats, SearchStrategy,
+    };
+    pub use crate::tables::{BeLattice, ModelTables};
     pub use sturgeon_simnode::{
         ActuationFault, Allocation, FaultInjector, FaultPlan, FaultStats, FaultyActuators,
         IntervalFault, NodeSpec, PairConfig, PowerModel, TelemetryFault,

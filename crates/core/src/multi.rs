@@ -22,6 +22,7 @@
 use crate::predictor::{make_classifier, make_regressor, PredictorConfig};
 use crate::profiler::features;
 use crate::search::{greatest_satisfying, least_satisfying};
+use crate::tables::BeLattice;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -73,6 +74,12 @@ pub struct BeModelSet {
     perf: Box<dyn Regressor + Send + Sync>,
     power: Box<dyn Regressor + Send + Sync>,
     input_level: f64,
+    /// Dense `(cores, level, ways)` flattening of both regressors,
+    /// built once at train time. On-lattice queries — which is all the
+    /// water-fill and greedy-split search ever issues — become two array
+    /// index computations instead of tree/KNN walks; off-lattice queries
+    /// fall through to the live models.
+    lattice: Option<BeLattice>,
 }
 
 impl std::fmt::Debug for BeModelSet {
@@ -86,6 +93,11 @@ impl std::fmt::Debug for BeModelSet {
 impl BeModelSet {
     /// Predicted normalized throughput.
     pub fn throughput(&self, cores: u32, freq_ghz: f64, ways: u32) -> f64 {
+        if let Some(lattice) = &self.lattice {
+            if let Some(t) = lattice.throughput(cores, freq_ghz, ways) {
+                return t;
+            }
+        }
         self.perf
             .predict(&features(self.input_level, cores, freq_ghz, ways))
             .max(0.0)
@@ -93,6 +105,11 @@ impl BeModelSet {
 
     /// Predicted partition power (W).
     pub fn power_w(&self, cores: u32, freq_ghz: f64, ways: u32) -> f64 {
+        if let Some(lattice) = &self.lattice {
+            if let Some(p) = lattice.power_w(cores, freq_ghz, ways) {
+                return p;
+            }
+        }
         self.power
             .predict(&features(self.input_level, cores, freq_ghz, ways))
             .max(0.0)
@@ -214,10 +231,20 @@ impl<'e> MultiProfiler<'e> {
             perf.fit(&perf_data)?;
             let mut power = make_regressor(predictor.be_power);
             power.fit(&pow_data)?;
+            // Flatten both regressors over the node's full lattice so the
+            // search loops hit arrays, not models. The evaluators are the
+            // accessors' own fall-through paths, so tabled and live
+            // answers are bit-identical.
+            let lattice = BeLattice::build(
+                spec,
+                |c, ghz, w| perf.predict(&features(input_level, c, ghz, w)).max(0.0),
+                |c, ghz, w| power.predict(&features(input_level, c, ghz, w)).max(0.0),
+            );
             be_sets.push(BeModelSet {
                 perf,
                 power,
                 input_level,
+                lattice: Some(lattice),
             });
         }
 
@@ -671,6 +698,51 @@ mod tests {
         );
         // Every BE partition got something beyond the mandatory minimum.
         assert!(cfg.be.iter().map(|a| a.cores).sum::<u32>() > 2);
+    }
+
+    #[test]
+    fn be_lattice_matches_live_models_and_search_results() {
+        let env = env();
+        let (ls, mut be) = trained(&env);
+        let spec = env.spec();
+        // Tabled and live answers agree bit-for-bit across the lattice.
+        for set in &be {
+            for c in [1, spec.total_cores / 2, spec.total_cores] {
+                for f in [0, spec.max_freq_level()] {
+                    let ghz = spec.freq_ghz(f);
+                    for w in [1, spec.total_llc_ways / 2, spec.total_llc_ways] {
+                        let live_t = set.perf.predict(&features(set.input_level, c, ghz, w));
+                        let live_p = set.power.predict(&features(set.input_level, c, ghz, w));
+                        assert_eq!(
+                            set.throughput(c, ghz, w).to_bits(),
+                            live_t.max(0.0).to_bits()
+                        );
+                        assert_eq!(set.power_w(c, ghz, w).to_bits(), live_p.max(0.0).to_bits());
+                    }
+                }
+            }
+            // Off-lattice frequencies fall through to the model.
+            let odd_ghz = spec.freq_ghz(0) + 0.0123;
+            let live = set.perf.predict(&features(set.input_level, 2, odd_ghz, 2));
+            assert_eq!(
+                set.throughput(2, odd_ghz, 2).to_bits(),
+                live.max(0.0).to_bits()
+            );
+        }
+        // The full search is indifferent to the lattice being present.
+        let qps = [0.3 * 3_500.0, 0.3 * 3_000.0];
+        let with_lattice =
+            MultiSearch::new(spec.clone(), env.budget_w(), env.static_power_w(), &ls, &be)
+                .best_config(&qps)
+                .expect("feasible");
+        for set in &mut be {
+            set.lattice = None;
+        }
+        let without =
+            MultiSearch::new(spec.clone(), env.budget_w(), env.static_power_w(), &ls, &be)
+                .best_config(&qps)
+                .expect("feasible");
+        assert_eq!(with_lattice, without);
     }
 
     #[test]

@@ -317,6 +317,17 @@ impl MetricsRegistry {
                     self.add(&format!("faults.{class}"), 1);
                 }
             }
+            TraceEvent::SearchPruned {
+                pruned_candidates,
+                pruned_subspaces,
+                frontier_reuses,
+                ..
+            } => {
+                self.inc("search.pruned_runs");
+                self.add("search.pruned_candidates", *pruned_candidates);
+                self.add("search.pruned_subspaces", *pruned_subspaces);
+                self.add("search.frontier_reuses", *frontier_reuses);
+            }
             TraceEvent::CacheSnapshot {
                 entries,
                 hits,

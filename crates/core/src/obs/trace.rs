@@ -119,6 +119,22 @@ pub enum TraceEvent {
         /// Active fault classes (e.g. `"telemetry_dropout"`).
         classes: Vec<&'static str>,
     },
+    /// The frontier-pruned engine's accounting for one search: how much
+    /// of the configuration space the table bounds eliminated. Emitted
+    /// right after `SearchRan` when the pruned strategy is active.
+    SearchPruned {
+        /// Interval timestamp (s).
+        t_s: f64,
+        /// Candidate configurations fully evaluated.
+        evaluated: usize,
+        /// `(F1, L1)` cells skipped by the admissible table bound.
+        pruned_candidates: u64,
+        /// Whole C1 slices skipped outright.
+        pruned_subspaces: u64,
+        /// 1 when the incumbent came from the cross-interval frontier
+        /// cache, 0 when the bisection warm-up supplied it.
+        frontier_reuses: u64,
+    },
     /// Prediction-cache occupancy after a search.
     CacheSnapshot {
         /// Interval timestamp (s).
@@ -144,12 +160,13 @@ impl TraceEvent {
             TraceEvent::ActuationRetry { .. } => "ActuationRetry",
             TraceEvent::ConfigApplied { .. } => "ConfigApplied",
             TraceEvent::FaultInjected { .. } => "FaultInjected",
+            TraceEvent::SearchPruned { .. } => "SearchPruned",
             TraceEvent::CacheSnapshot { .. } => "CacheSnapshot",
         }
     }
 
     /// Every variant name, in a stable order (the validator's schema).
-    pub fn kinds() -> [&'static str; 9] {
+    pub fn kinds() -> [&'static str; 10] {
         [
             "TelemetrySample",
             "SearchRan",
@@ -159,6 +176,7 @@ impl TraceEvent {
             "ActuationRetry",
             "ConfigApplied",
             "FaultInjected",
+            "SearchPruned",
             "CacheSnapshot",
         ]
     }
@@ -174,6 +192,7 @@ impl TraceEvent {
             | TraceEvent::ActuationRetry { t_s, .. }
             | TraceEvent::ConfigApplied { t_s, .. }
             | TraceEvent::FaultInjected { t_s, .. }
+            | TraceEvent::SearchPruned { t_s, .. }
             | TraceEvent::CacheSnapshot { t_s, .. } => *t_s,
         }
     }
@@ -390,6 +409,6 @@ mod tests {
     #[test]
     fn every_kind_is_listed() {
         assert!(TraceEvent::kinds().contains(&sample(0.0).kind()));
-        assert_eq!(TraceEvent::kinds().len(), 9);
+        assert_eq!(TraceEvent::kinds().len(), 10);
     }
 }

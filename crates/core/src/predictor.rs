@@ -20,7 +20,10 @@
 
 use crate::cache::{Family, PredictionCache};
 use crate::profiler::{features, ProfileDatasets, FEATURE_DIM};
+use crate::tables::ModelTables;
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use sturgeon_mlkit::{
     Classifier, Dataset, DecisionTreeClassifier, DecisionTreeRegressor, KnnClassifier,
     KnnRegressor, LinearRegression, LogisticRegression, MlError, MlpClassifier, MlpRegressor,
@@ -189,6 +192,13 @@ pub struct PerfPowerPredictor {
     /// Memoized answers for the four hot query families. Keys are exact
     /// by default, so the cache never changes a result, only its cost.
     cache: PredictionCache,
+    /// Training generation: bumped by every [`retrain`](Self::retrain),
+    /// so table/frontier consumers can detect that their flattened model
+    /// state went stale.
+    generation: AtomicU64,
+    /// Lazily built flattened BE lattices (see [`ModelTables`]), rebuilt
+    /// when the generation moves or a different node spec is asked for.
+    tables: Mutex<Option<Arc<ModelTables>>>,
 }
 
 impl std::fmt::Debug for PerfPowerPredictor {
@@ -240,6 +250,8 @@ impl PerfPowerPredictor {
             qos_target_ms,
             predictions: AtomicU64::new(0),
             cache: PredictionCache::new(),
+            generation: AtomicU64::new(0),
+            tables: Mutex::new(None),
         })
     }
 
@@ -303,12 +315,60 @@ impl PerfPowerPredictor {
         self.be_power = be_power;
         self.max_trained_qps = datasets.ls_qos.x.iter().map(|r| r[0]).fold(0.0, f64::max);
         self.cache.clear();
+        // The flattened tables answer for the old models; bump the
+        // generation and drop them alongside the memo entries.
+        self.generation.fetch_add(1, Ordering::Relaxed);
+        *self.tables.lock() = None;
         Ok(())
     }
 
     /// The configuration this predictor was built with.
     pub fn config(&self) -> &PredictorConfig {
         &self.config
+    }
+
+    /// The training generation (0 after [`train`](Self::train), +1 per
+    /// [`retrain`](Self::retrain)).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// The flattened QPS-independent model tables for `spec`, built on
+    /// first use and cached until the next retrain (or a different spec).
+    ///
+    /// Entries are computed by the same paths as
+    /// [`be_throughput`](Self::be_throughput) / [`be_power_w`](Self::be_power_w)
+    /// — same features, clamps and margins — so a table lookup is
+    /// bit-identical to the model call it replaces. The build itself runs
+    /// the raw models directly: it neither advances the prediction counter
+    /// nor touches the memo cache, keeping §VII-E per-search accounting
+    /// clean.
+    pub fn model_tables(&self, spec: &NodeSpec) -> Arc<ModelTables> {
+        let generation = self.generation();
+        let mut slot = self.tables.lock();
+        if let Some(tables) = slot.as_ref() {
+            if tables.generation() == generation && tables.matches(spec) {
+                return Arc::clone(tables);
+            }
+        }
+        let built = Arc::new(ModelTables::build(
+            spec,
+            generation,
+            self.static_power_w,
+            |cores, freq_ghz, ways| {
+                self.be_perf
+                    .predict(&features(self.be_input_level, cores, freq_ghz, ways))
+                    .max(0.0)
+            },
+            |cores, freq_ghz| {
+                self.be_power
+                    .predict(&features(self.be_input_level, cores, freq_ghz, 0))
+                    .max(0.0)
+                    * (1.0 + self.config.power_margin)
+            },
+        ));
+        *slot = Some(Arc::clone(&built));
+        built
     }
 
     /// Does `<cores, freq, ways>` meet the LS QoS target at `qps`?

@@ -240,6 +240,7 @@ mod tests {
             duration: std::time::Duration::from_millis(3),
             cache_hits: 60,
             cache_misses: 20,
+            ..SearchStats::default()
         };
         let s = OverheadSummary::from_stats("binary@20%", &stats);
         assert_eq!(s.prediction_count, 100);

@@ -16,11 +16,63 @@
 //!
 //! An exhaustive-search oracle is provided for the §VII-E overhead
 //! comparison and for validating the fast path in tests.
+//!
+//! ## The frontier-pruned engine ([`ConfigSearch::pruned`])
+//!
+//! The heuristic above is fast but inexact: it only visits minimal-LS
+//! frontier points. The pruned engine returns the *oracle's* answer —
+//! bit-identical configuration and predicted throughput to
+//! [`ConfigSearch::exhaustive_serial`] — at a fraction of the work, via
+//! three layers:
+//!
+//! 1. **dense model tables** ([`ModelTables`]): the QPS-independent BE
+//!    throughput and BE power models are flattened per (re)train into
+//!    contiguous arrays, so the inner loop's model calls become loads and
+//!    admissible throughput upper bounds per `(C2, L2)` cell and per C2
+//!    slice come for free;
+//! 2. **branch-and-bound**: a bisected-frontier warm-up phase
+//!    (`least_satisfying` over the QoS frontier, table scan over the power
+//!    frontier `F2*(C1,F1,L1)`) produces a genuine incumbent candidate;
+//!    the exact sweep then walks the oracle's scan order but skips every
+//!    cell (and whole C1 slice) whose table bound proves it cannot beat
+//!    the incumbent or the running best — the skipped work is reported in
+//!    [`SearchStats::pruned_candidates`] / [`SearchStats::pruned_subspaces`];
+//! 3. **cross-interval frontier reuse** ([`FrontierCache`]): winning
+//!    configurations are remembered per quantized-QPS bucket and replayed
+//!    as incumbents (after revalidation at the live load) on later
+//!    intervals, invalidated by generation whenever the predictor
+//!    retrains.
+//!
+//! Exactness argument: the incumbent is always a real candidate evaluated
+//! under the oracle's own rules, so its value `t0` is a lower bound on the
+//! oracle maximum. A cell is skipped only when its admissible bound is
+//! *strictly* below `t0` (such a cell can never attain the maximum) or at
+//! most the best earlier in-scan-order survivor (such a cell can never win
+//! the oracle's strict-`>` first-best-wins tie-break). Every cell that
+//! could be the oracle's earliest argmax therefore survives and is
+//! evaluated with bit-identical arithmetic, so the sweep returns exactly
+//! the oracle's configuration.
 
+use crate::cache::FrontierCache;
 use crate::predictor::PerfPowerPredictor;
+use crate::tables::ModelTables;
 use rayon::prelude::*;
 use std::time::{Duration, Instant};
 use sturgeon_simnode::{Allocation, NodeSpec, PairConfig};
+
+/// Which engine the controller's per-interval search runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchStrategy {
+    /// The paper's §V-B bisection heuristic with warm starts — the
+    /// historical default, kept for trajectory stability. Uses the
+    /// island-hardened `ls_trusted` feasibility probe.
+    #[default]
+    Heuristic,
+    /// The frontier-pruned branch-and-bound engine: oracle-exact result
+    /// (bit-identical to [`ConfigSearch::exhaustive_serial`]) with
+    /// table-driven pruning and cross-interval frontier reuse.
+    FrontierPruned,
+}
 
 /// Search-space limits and toggles.
 #[derive(Debug, Clone, Copy)]
@@ -51,6 +103,9 @@ pub struct SearchParams {
     /// Half-width of the C1 window scanned around the previous
     /// configuration's LS core count on the warm path.
     pub warm_start_window: u32,
+    /// Which engine [`crate::controller::SturgeonController`] dispatches
+    /// its per-interval searches to.
+    pub strategy: SearchStrategy,
 }
 
 impl Default for SearchParams {
@@ -62,6 +117,7 @@ impl Default for SearchParams {
             power_guard: 0.02,
             warm_start_drift: 0.20,
             warm_start_window: 2,
+            strategy: SearchStrategy::default(),
         }
     }
 }
@@ -79,6 +135,14 @@ pub struct SearchStats {
     pub cache_hits: u64,
     /// Of `model_calls`, queries that ran the underlying models.
     pub cache_misses: u64,
+    /// Pruned engine only: lattice cells skipped because their admissible
+    /// table bound proved they cannot win.
+    pub pruned_candidates: u64,
+    /// Pruned engine only: whole C1 slices skipped by their slice bound.
+    pub pruned_subspaces: u64,
+    /// Pruned engine only: incumbents replayed from the
+    /// [`FrontierCache`] instead of re-running the bisection warm-up.
+    pub frontier_reuses: u64,
 }
 
 /// The search result.
@@ -92,6 +156,18 @@ pub struct SearchOutcome {
     pub predicted_throughput: f64,
     /// Instrumentation.
     pub stats: SearchStats,
+}
+
+/// Per-C1-slice outcome of the pruned sweep:
+/// `(slice best, evaluated, pruned cells, whole slice skipped)`.
+type SliceResult = (Option<(PairConfig, f64)>, usize, u64, bool);
+
+/// Pruning counters accumulated by the frontier-pruned engine.
+#[derive(Debug, Clone, Copy, Default)]
+struct PruneTally {
+    cells: u64,
+    slices: u64,
+    frontier_reuses: u64,
 }
 
 /// Binary-search the least `x` in `[lo, hi]` with `pred(x)` true, given
@@ -138,6 +214,7 @@ pub struct ConfigSearch<'p> {
     spec: NodeSpec,
     budget_w: f64,
     params: SearchParams,
+    frontiers: Option<&'p FrontierCache>,
 }
 
 impl<'p> ConfigSearch<'p> {
@@ -153,7 +230,17 @@ impl<'p> ConfigSearch<'p> {
             spec,
             budget_w,
             params,
+            frontiers: None,
         }
+    }
+
+    /// Attaches a cross-interval frontier cache: [`pruned`](Self::pruned)
+    /// will seed its incumbent from the cache's quantized-QPS bucket (after
+    /// revalidating it at the live load) and store its winner back. Results
+    /// are unchanged with or without the cache — only the warm-up cost is.
+    pub fn with_frontiers(mut self, cache: &'p FrontierCache) -> Self {
+        self.frontiers = Some(cache);
+        self
     }
 
     fn max_c1(&self) -> u32 {
@@ -265,6 +352,16 @@ impl<'p> ConfigSearch<'p> {
         best: Option<(PairConfig, f64)>,
         candidates: usize,
     ) -> SearchOutcome {
+        self.finish_pruned(meter, best, candidates, PruneTally::default())
+    }
+
+    fn finish_pruned(
+        &self,
+        meter: (Instant, u64, u64, u64),
+        best: Option<(PairConfig, f64)>,
+        candidates: usize,
+        tally: PruneTally,
+    ) -> SearchOutcome {
         let (started, calls, hits, misses) = meter;
         let stats = SearchStats {
             model_calls: self.predictor.prediction_count() - calls,
@@ -272,6 +369,9 @@ impl<'p> ConfigSearch<'p> {
             duration: started.elapsed(),
             cache_hits: self.predictor.cache_hits() - hits,
             cache_misses: self.predictor.cache_misses() - misses,
+            pruned_candidates: tally.cells,
+            pruned_subspaces: tally.slices,
+            frontier_reuses: tally.frontier_reuses,
         };
         match best {
             Some((cfg, t)) => SearchOutcome {
@@ -287,6 +387,54 @@ impl<'p> ConfigSearch<'p> {
         }
     }
 
+    /// One C1 window of the §V-B scan (steps 2–4): grow C1 across
+    /// `[lo, hi]`, rebuilding each candidate, keeping the best.
+    ///
+    /// With `early_break`, the scan stops once the BE partition has
+    /// reached maximum frequency *and* the table bound proves no
+    /// remaining (smaller-C2) slice can beat the running best. The
+    /// historical break condition stopped on max frequency alone, which
+    /// can miss the window optimum: a larger C1 lowers the LS partition's
+    /// minimal way count, so the BE side can gain LLC ways — and
+    /// throughput — even with its frequency already at the top. The
+    /// `warm_break_equivalence` property test in `tests/search_pruned.rs`
+    /// exhibits exactly that counterexample against the old rule; the
+    /// bound-gated rule is provably equivalent to scanning the window
+    /// exhaustively.
+    fn scan_c1_window(
+        &self,
+        lo: u32,
+        hi: u32,
+        qps: f64,
+        early_break: bool,
+    ) -> (Option<(PairConfig, f64)>, usize) {
+        let top = self.spec.max_freq_level();
+        let mut tables = None;
+        let mut best: Option<(PairConfig, f64)> = None;
+        let mut candidates = 0usize;
+        for c1 in lo..=hi {
+            let Some((cfg, t)) = self.candidate_for_c1(c1, qps) else {
+                continue;
+            };
+            candidates += 1;
+            if best.as_ref().is_none_or(|(_, bt)| t > *bt) {
+                best = Some((cfg, t));
+            }
+            if early_break && cfg.be.freq_level == top && c1 < hi {
+                let bt = best.as_ref().map(|&(_, bt)| bt).unwrap_or(t);
+                let tables = tables.get_or_insert_with(|| self.predictor.model_tables(&self.spec));
+                // Candidates at larger C1 draw from slices of at most
+                // total − (c1+1) BE cores; their prefix bound is
+                // admissible over all of them.
+                let remaining = tables.slice_max_tput_upto(self.spec.total_cores - (c1 + 1));
+                if remaining <= bt {
+                    break;
+                }
+            }
+        }
+        (best, candidates)
+    }
+
     /// The §V-B binary search: O(N log N) model calls.
     pub fn best_config(&self, qps: f64) -> SearchOutcome {
         let meter = self.meter();
@@ -297,24 +445,12 @@ impl<'p> ConfigSearch<'p> {
             self.ls_trusted(c, top, self.max_l1(), qps)
         });
 
-        let mut best: Option<(PairConfig, f64)> = None;
-        let mut candidates = 0usize;
-        if let Some(c1_min) = c1_min {
-            // Steps 2–4: grow C1, rebuilding each candidate, until the BE
-            // partition reaches maximum frequency.
-            for c1 in c1_min..=self.max_c1() {
-                let Some((cfg, t)) = self.candidate_for_c1(c1, qps) else {
-                    continue;
-                };
-                candidates += 1;
-                if best.as_ref().is_none_or(|(_, bt)| t > *bt) {
-                    best = Some((cfg, t));
-                }
-                if cfg.be.freq_level == top {
-                    break;
-                }
-            }
-        }
+        // Steps 2–4: grow C1, rebuilding each candidate, until the BE
+        // partition reaches maximum frequency and the table bound closes.
+        let (best, candidates) = match c1_min {
+            Some(c1_min) => self.scan_c1_window(c1_min, self.max_c1(), qps, true),
+            None => (None, 0),
+        };
 
         self.finish(meter, best, candidates)
     }
@@ -340,25 +476,11 @@ impl<'p> ConfigSearch<'p> {
             return self.best_config(qps);
         }
         let meter = self.meter();
-        let top = self.spec.max_freq_level();
         let w = self.params.warm_start_window;
         let lo = prev.ls.cores.saturating_sub(w).max(1);
         let hi = (prev.ls.cores + w).min(self.max_c1());
 
-        let mut best: Option<(PairConfig, f64)> = None;
-        let mut candidates = 0usize;
-        for c1 in lo..=hi {
-            let Some((cfg, t)) = self.candidate_for_c1(c1, qps) else {
-                continue;
-            };
-            candidates += 1;
-            if best.as_ref().is_none_or(|(_, bt)| t > *bt) {
-                best = Some((cfg, t));
-            }
-            if cfg.be.freq_level == top {
-                break;
-            }
-        }
+        let (best, candidates) = self.scan_c1_window(lo, hi, qps, true);
         if best.is_none() {
             // The previous neighbourhood no longer contains a feasible
             // point (e.g. load rose past what ± window cores can absorb).
@@ -406,26 +528,12 @@ impl<'p> ConfigSearch<'p> {
         (best, candidates)
     }
 
-    fn exhaustive_impl(&self, qps: f64, parallel: bool) -> SearchOutcome {
-        let meter = self.meter();
-        // Same drifted-load power check as the fast path, so both searches
-        // answer the same feasibility question.
-        let qps_power = qps * (1.0 + self.params.power_load_headroom);
-        let c1_values: Vec<u32> = (1..=self.max_c1()).collect();
-        // The per-slice results come back in C1 order either way, and the
-        // reduction keeps the serial path's first-best-wins tie-breaking
-        // (strict `>`), so both paths return the identical configuration.
-        let slices: Vec<(Option<(PairConfig, f64)>, usize)> = if parallel {
-            c1_values
-                .into_par_iter()
-                .map(|c1| self.exhaustive_slice(c1, qps, qps_power))
-                .collect()
-        } else {
-            c1_values
-                .into_iter()
-                .map(|c1| self.exhaustive_slice(c1, qps, qps_power))
-                .collect()
-        };
+    /// In-C1-order reduction shared by the exhaustive and pruned sweeps:
+    /// keeps the serial path's first-best-wins tie-breaking (strict `>`),
+    /// so every engine returns the identical configuration.
+    fn reduce_slices(
+        slices: impl IntoIterator<Item = (Option<(PairConfig, f64)>, usize)>,
+    ) -> (Option<(PairConfig, f64)>, usize) {
         let mut best: Option<(PairConfig, f64)> = None;
         let mut candidates = 0usize;
         for (slice_best, slice_candidates) in slices {
@@ -436,6 +544,28 @@ impl<'p> ConfigSearch<'p> {
                 }
             }
         }
+        (best, candidates)
+    }
+
+    fn exhaustive_impl(&self, qps: f64, parallel: bool) -> SearchOutcome {
+        let meter = self.meter();
+        // Same drifted-load power check as the fast path, so both searches
+        // answer the same feasibility question.
+        let qps_power = qps * (1.0 + self.params.power_load_headroom);
+        // The C1 range feeds the slice map directly — no per-call
+        // candidate-list allocation in the search hot path. The per-slice
+        // results come back in C1 order on both paths.
+        let (best, candidates) = if parallel {
+            let slices: Vec<(Option<(PairConfig, f64)>, usize)> = (1..self.max_c1() + 1)
+                .into_par_iter()
+                .map(|c1| self.exhaustive_slice(c1, qps, qps_power))
+                .collect();
+            Self::reduce_slices(slices)
+        } else {
+            Self::reduce_slices(
+                (1..=self.max_c1()).map(|c1| self.exhaustive_slice(c1, qps, qps_power)),
+            )
+        };
         self.finish(meter, best, candidates)
     }
 
@@ -453,6 +583,255 @@ impl<'p> ConfigSearch<'p> {
     /// reference for the equivalence tests.
     pub fn exhaustive_serial(&self, qps: f64) -> SearchOutcome {
         self.exhaustive_impl(qps, false)
+    }
+
+    /// The oracle's power frontier `F2*(C1,F1,L1)`, resolved against the
+    /// flattened BE power table: the greatest F2 whose total power fits
+    /// the guarded budget. A descending linear scan over the (few-entry)
+    /// table row reproduces the oracle's continue-on-overbudget loop
+    /// exactly, so the result matches even where model noise makes
+    /// predicted power non-monotone in frequency. The float arithmetic
+    /// mirrors `total_power_w`'s association order, `(static + ls) + be`,
+    /// so the comparison is bit-identical.
+    fn table_f2(
+        &self,
+        c1: u32,
+        f1: usize,
+        l1: u32,
+        qps_power: f64,
+        tables: &ModelTables,
+    ) -> Option<usize> {
+        let c2 = self.spec.total_cores - c1;
+        let base = tables.static_power_w()
+            + self
+                .predictor
+                .ls_power_w(c1, self.spec.freq_ghz(f1), l1, qps_power);
+        let budget = self.guarded_budget();
+        (0..=self.spec.max_freq_level())
+            .rev()
+            .find(|&f2| base + tables.be_power_w(c2, f2) <= budget)
+    }
+
+    /// Re-evaluates a frontier-cache seed at the live load. The seed's LS
+    /// side is re-checked for QoS and its BE frequency re-derived from the
+    /// power frontier, so the returned pair is a genuine oracle candidate
+    /// for *this* interval (or `None`, and the caller falls back to the
+    /// bisection warm-up).
+    fn revalidate_seed(
+        &self,
+        seed: PairConfig,
+        qps: f64,
+        qps_power: f64,
+        tables: &ModelTables,
+    ) -> Option<(PairConfig, f64)> {
+        let (c1, f1, l1) = (seed.ls.cores, seed.ls.freq_level, seed.ls.llc_ways);
+        if !(1..=self.max_c1()).contains(&c1)
+            || !(1..=self.max_l1()).contains(&l1)
+            || f1 > self.spec.max_freq_level()
+        {
+            return None;
+        }
+        if !self.ls_ok(c1, f1, l1, qps) {
+            return None;
+        }
+        let f2 = self.table_f2(c1, f1, l1, qps_power, tables)?;
+        let c2 = self.spec.total_cores - c1;
+        let l2 = self.spec.total_llc_ways - l1;
+        let t = tables.be_throughput(c2, f2, l2);
+        Some((
+            PairConfig::new(Allocation::new(c1, f1, l1), Allocation::new(c2, f2, l2)),
+            t,
+        ))
+    }
+
+    /// Phase 1 of the pruned engine: a bisected-frontier warm-up that
+    /// produces a high-value *incumbent* candidate. `least_satisfying`
+    /// walks the QoS frontiers (`L1*(C1, qps)` at top frequency, then
+    /// `F1*(C1, L1, qps)` down the frequency axis) and the power frontier
+    /// `F2*` comes from the table scan. Every point probed satisfies the
+    /// oracle's own feasibility predicate (`ls_ok`, not the hardened
+    /// `ls_trusted`), so the incumbent's value is a true lower bound on
+    /// the oracle maximum — which is all phase 2 needs; the incumbent
+    /// itself never short-circuits the exact sweep.
+    fn frontier_incumbent(
+        &self,
+        qps: f64,
+        qps_power: f64,
+        tables: &ModelTables,
+    ) -> Option<(PairConfig, f64)> {
+        let top = self.spec.max_freq_level();
+        let max_l1 = self.max_l1();
+        let c1_min = least_satisfying(1, self.max_c1(), |c| self.ls_ok(c, top, max_l1, qps))?;
+        let mut best: Option<(PairConfig, f64)> = None;
+        for c1 in c1_min..=self.max_c1() {
+            let c2 = self.spec.total_cores - c1;
+            if let Some((_, bt)) = &best {
+                if tables.slice_max_tput_upto(c2) <= *bt {
+                    break;
+                }
+            }
+            let Some(l1_min) = least_satisfying(1, max_l1, |l| self.ls_ok(c1, top, l, qps)) else {
+                continue;
+            };
+            // The same short L1 ladder as the heuristic path: minimal ways
+            // plus a few spare-way points that can buy BE frequency under
+            // a tight budget.
+            for step in [0u32, 1, 3, 7] {
+                let l1 = l1_min + step;
+                if l1 > max_l1 {
+                    break;
+                }
+                let l2 = self.spec.total_llc_ways - l1;
+                let Some(f1) =
+                    least_satisfying(0, top as u32, |f| self.ls_ok(c1, f as usize, l1, qps))
+                else {
+                    continue;
+                };
+                let f1 = f1 as usize;
+                let Some(f2) = self.table_f2(c1, f1, l1, qps_power, tables) else {
+                    continue;
+                };
+                let t = tables.be_throughput(c2, f2, l2);
+                if best.as_ref().is_none_or(|(_, bt)| t > *bt) {
+                    best = Some((
+                        PairConfig::new(Allocation::new(c1, f1, l1), Allocation::new(c2, f2, l2)),
+                        t,
+                    ));
+                }
+            }
+        }
+        best
+    }
+
+    /// Phase 2, one C1 slice: the oracle's exact `(F1, L1)` scan order,
+    /// with cells skipped when their admissible table bound proves they
+    /// cannot become the oracle's earliest argmax — `bound < t0` (strictly
+    /// below a known candidate value) or `bound <= slice best so far` (an
+    /// earlier in-order survivor already ties or beats it, and the oracle
+    /// breaks ties by strict `>` first-wins). Surviving cells are
+    /// evaluated with the same predicate, power rule and float order as
+    /// [`exhaustive_slice`](Self::exhaustive_slice).
+    fn pruned_slice(
+        &self,
+        c1: u32,
+        qps: f64,
+        qps_power: f64,
+        t0: f64,
+        tables: &ModelTables,
+    ) -> (Option<(PairConfig, f64)>, usize, u64) {
+        let top = self.spec.max_freq_level();
+        let c2 = self.spec.total_cores - c1;
+        let mut best: Option<(PairConfig, f64)> = None;
+        let mut evaluated = 0usize;
+        let mut pruned = 0u64;
+        for f1 in 0..=top {
+            for l1 in 1..=self.max_l1() {
+                let l2 = self.spec.total_llc_ways - l1;
+                let bound = tables.max_tput_any_freq(c2, l2);
+                if bound < t0 || best.as_ref().is_some_and(|(_, bt)| bound <= *bt) {
+                    pruned += 1;
+                    continue;
+                }
+                if !self.ls_ok(c1, f1, l1, qps) {
+                    continue;
+                }
+                let Some(f2) = self.table_f2(c1, f1, l1, qps_power, tables) else {
+                    continue;
+                };
+                evaluated += 1;
+                let t = tables.be_throughput(c2, f2, l2);
+                if best.as_ref().is_none_or(|(_, bt)| t > *bt) {
+                    best = Some((
+                        PairConfig::new(Allocation::new(c1, f1, l1), Allocation::new(c2, f2, l2)),
+                        t,
+                    ));
+                }
+            }
+        }
+        (best, evaluated, pruned)
+    }
+
+    fn pruned_impl(&self, qps: f64, parallel: bool) -> SearchOutcome {
+        let meter = self.meter();
+        let tables = self.predictor.model_tables(&self.spec);
+        let qps_power = qps * (1.0 + self.params.power_load_headroom);
+        let mut tally = PruneTally::default();
+
+        // Incumbent: a revalidated frontier-cache seed when available,
+        // else the bisected-frontier warm-up. Either way its value t0 is
+        // the value of a genuine candidate, so pruning strictly below it
+        // is sound; with no incumbent t0 = -inf and phase 2 degenerates to
+        // the exhaustive sweep (still exact, just unpruned).
+        let mut incumbent: Option<(PairConfig, f64)> = None;
+        if let Some(fc) = self.frontiers {
+            if let Some(seed) = fc.get(tables.generation(), qps) {
+                if let Some(cand) = self.revalidate_seed(seed, qps, qps_power, &tables) {
+                    tally.frontier_reuses = 1;
+                    incumbent = Some(cand);
+                }
+            }
+        }
+        if incumbent.is_none() {
+            incumbent = self.frontier_incumbent(qps, qps_power, &tables);
+        }
+        let t0 = incumbent.map_or(f64::NEG_INFINITY, |(_, t)| t);
+
+        // Phase 2: the oracle's sweep, branch-and-bound pruned. Slices
+        // run independently (optionally in parallel); the reduction is
+        // the oracle's own in-C1-order strict-`>` fold. The incumbent
+        // only supplies t0 — it is never folded in, so ties resolve to
+        // the oracle's earliest argmax, not to the warm-up's pick.
+        let total = self.spec.total_cores;
+        let run_slice = |c1: u32| -> SliceResult {
+            let c2 = total - c1;
+            if tables.slice_max_tput(c2) < t0 {
+                return (None, 0, 0, true);
+            }
+            let (best, evaluated, cells) = self.pruned_slice(c1, qps, qps_power, t0, &tables);
+            (best, evaluated, cells, false)
+        };
+        let slices: Vec<SliceResult> = if parallel {
+            (1..self.max_c1() + 1)
+                .into_par_iter()
+                .map(run_slice)
+                .collect()
+        } else {
+            (1..=self.max_c1()).map(run_slice).collect()
+        };
+        let mut best: Option<(PairConfig, f64)> = None;
+        let mut candidates = 0usize;
+        for (slice_best, evaluated, cells, skipped) in slices {
+            candidates += evaluated;
+            tally.cells += cells;
+            tally.slices += u64::from(skipped);
+            if let Some((cfg, t)) = slice_best {
+                if best.as_ref().is_none_or(|(_, bt)| t > *bt) {
+                    best = Some((cfg, t));
+                }
+            }
+        }
+
+        if let (Some(fc), Some((cfg, _))) = (self.frontiers, best.as_ref()) {
+            fc.insert(tables.generation(), qps, *cfg);
+        }
+        self.finish_pruned(meter, best, candidates, tally)
+    }
+
+    /// The frontier-pruned, table-driven engine: returns the *oracle's*
+    /// result — bit-identical configuration and predicted throughput to
+    /// [`exhaustive_serial`](Self::exhaustive_serial) — while evaluating
+    /// an order of magnitude fewer candidates (see
+    /// [`SearchStats::pruned_candidates`] /
+    /// [`SearchStats::pruned_subspaces`]). Slices run across the rayon
+    /// pool; use [`pruned_serial`](Self::pruned_serial) for the
+    /// single-threaded variant (same result).
+    pub fn pruned(&self, qps: f64) -> SearchOutcome {
+        self.pruned_impl(qps, true)
+    }
+
+    /// Single-threaded [`pruned`](Self::pruned) (identical result).
+    pub fn pruned_serial(&self, qps: f64) -> SearchOutcome {
+        self.pruned_impl(qps, false)
     }
 }
 
@@ -715,5 +1094,129 @@ mod tests {
         )
         .best_config(qps);
         assert!(tight.predicted_throughput <= normal.predicted_throughput + 1e-9);
+    }
+
+    #[test]
+    fn pruned_is_bit_identical_to_exhaustive_serial() {
+        let (env, p) = setup();
+        let search = ConfigSearch::new(
+            &p,
+            env.spec().clone(),
+            env.budget_w(),
+            SearchParams::default(),
+        );
+        for frac in [0.15, 0.3, 0.5, 0.8] {
+            let qps = frac * env.ls().params.peak_qps;
+            let full = search.exhaustive_serial(qps);
+            let pruned = search.pruned(qps);
+            assert_eq!(pruned.best, full.best, "config mismatch at frac {frac}");
+            assert_eq!(
+                pruned.predicted_throughput.to_bits(),
+                full.predicted_throughput.to_bits(),
+                "throughput bits differ at frac {frac}"
+            );
+            // The acceptance bar: an order of magnitude fewer candidate
+            // evaluations than the oracle, proven via stats not wall time.
+            assert!(
+                full.stats.candidates >= 10 * pruned.stats.candidates.max(1),
+                "frac {frac}: exhaustive {} vs pruned {} candidates",
+                full.stats.candidates,
+                pruned.stats.candidates
+            );
+            assert!(
+                pruned.stats.pruned_candidates > 0,
+                "pruning must actually fire"
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_serial_matches_parallel() {
+        let (env, p) = setup();
+        let search = ConfigSearch::new(
+            &p,
+            env.spec().clone(),
+            env.budget_w(),
+            SearchParams::default(),
+        );
+        for frac in [0.25, 0.6] {
+            let qps = frac * env.ls().params.peak_qps;
+            let par = search.pruned(qps);
+            let ser = search.pruned_serial(qps);
+            assert_eq!(par.best, ser.best);
+            assert_eq!(par.stats.candidates, ser.stats.candidates);
+            assert_eq!(par.stats.pruned_candidates, ser.stats.pruned_candidates);
+            assert_eq!(par.predicted_throughput, ser.predicted_throughput);
+        }
+    }
+
+    #[test]
+    fn pruned_reuses_frontier_cache_across_intervals() {
+        let (env, p) = setup();
+        let frontiers = crate::cache::FrontierCache::default();
+        let search = ConfigSearch::new(
+            &p,
+            env.spec().clone(),
+            env.budget_w(),
+            SearchParams::default(),
+        )
+        .with_frontiers(&frontiers);
+        let qps = 0.4 * env.ls().params.peak_qps;
+        let first = search.pruned(qps);
+        assert_eq!(first.stats.frontier_reuses, 0);
+        assert_eq!(frontiers.len(), 1);
+        // A steady-state repeat lands in the same QPS bucket: the cached
+        // seed supplies the incumbent and the result stays the oracle's.
+        let second = search.pruned(qps * 1.001);
+        assert_eq!(second.stats.frontier_reuses, 1);
+        assert_eq!(second.best, first.best);
+        let oracle = search.exhaustive_serial(qps * 1.001);
+        assert_eq!(second.best, oracle.best);
+        assert_eq!(frontiers.reuses(), 1);
+    }
+
+    #[test]
+    fn pruned_impossible_load_yields_none() {
+        let (env, p) = setup();
+        let search = ConfigSearch::new(
+            &p,
+            env.spec().clone(),
+            env.budget_w(),
+            SearchParams::default(),
+        );
+        let qps = 5.0 * env.ls().params.peak_qps;
+        let pruned = search.pruned(qps);
+        let full = search.exhaustive_serial(qps);
+        assert_eq!(pruned.best, full.best);
+        assert!(pruned.best.is_none());
+        assert_eq!(pruned.predicted_throughput, 0.0);
+    }
+
+    #[test]
+    fn warm_break_never_misses_window_optimum() {
+        // Satellite check for the early-break rule: breaking out of the C1
+        // scan must never skip a window point that would have won. The old
+        // rule broke as soon as any candidate ran BE at top frequency; a
+        // larger C1 can still win because it lowers L1* and frees LLC ways
+        // for BE. The fixed rule also requires the table bound over all
+        // remaining slices to be <= the current best.
+        let (env, p) = setup();
+        let search = ConfigSearch::new(
+            &p,
+            env.spec().clone(),
+            env.budget_w(),
+            SearchParams::default(),
+        );
+        let peak = env.ls().params.peak_qps;
+        for frac in [0.15, 0.25, 0.4, 0.55, 0.7, 0.85] {
+            let qps = frac * peak;
+            let (with_break, _) = search.scan_c1_window(1, search.max_c1(), qps, true);
+            let (no_break, _) = search.scan_c1_window(1, search.max_c1(), qps, false);
+            assert_eq!(
+                with_break.map(|(c, t)| (c, t.to_bits())),
+                no_break.map(|(c, t)| (c, t.to_bits())),
+                "early break lost the optimum at frac {frac}"
+            );
+        }
     }
 }

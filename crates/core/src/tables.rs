@@ -1,0 +1,356 @@
+//! Dense SoA model tables for the frontier-pruned configuration search.
+//!
+//! The BE-side queries of [`crate::predictor::PerfPowerPredictor`] are
+//! QPS-independent: BE throughput depends only on `(C2, F2, L2)` and BE
+//! power (ways-masked, see `mask_ways` in the predictor) only on
+//! `(C2, F2)`. Both therefore live on a small discrete lattice — at most
+//! `cores × levels × ways` points (4 000 on the paper's Table II node) —
+//! that can be flattened once per (re)train into contiguous `Vec<f64>`
+//! arrays indexed arithmetically. The search inner loop then costs a
+//! couple of loads instead of a boxed-model evaluation, and admissible
+//! per-`(C2, L2)` / per-`C2` throughput maxima computed alongside give the
+//! branch-and-bound sweep its pruning bounds.
+//!
+//! Every table entry is produced by the *same* compute path as the
+//! predictor's public methods (same feature vector, same `.max(0.0)`
+//! clamp, same power margin), so a lookup is bit-identical to the model
+//! call it replaces — the equivalence proofs in `search.rs` rely on this.
+//!
+//! Tables carry the predictor's training `generation`; retraining bumps
+//! the generation, which invalidates cached tables the same way it clears
+//! the prediction memo cache.
+
+use sturgeon_simnode::NodeSpec;
+
+/// Flattened QPS-independent model lattices plus pruning bounds.
+///
+/// Built by [`crate::predictor::PerfPowerPredictor::model_tables`]; the
+/// search layer only reads it (through an `Arc`, shared across rayon
+/// workers without locking).
+#[derive(Debug, Clone)]
+pub struct ModelTables {
+    generation: u64,
+    total_cores: u32,
+    total_ways: u32,
+    n_levels: usize,
+    freq_levels_ghz: Vec<f64>,
+    static_power_w: f64,
+    /// BE throughput, `[(c-1)·levels·ways + f·ways + (w-1)]`.
+    be_tput: Vec<f64>,
+    /// BE partition power (margin included, ways-masked), `[(c-1)·levels + f]`.
+    be_power: Vec<f64>,
+    /// `max_f` of `be_tput`, `[(c-1)·ways + (w-1)]` — the admissible bound
+    /// for one `(C2, L2)` cell whatever frequency the power budget allows.
+    tput_max_freq: Vec<f64>,
+    /// `max_{f,w}` of `be_tput`, `[c-1]` — the admissible bound for a whole
+    /// C2 slice.
+    slice_max_tput: Vec<f64>,
+    /// Prefix maximum of `slice_max_tput`: `[c-1]` bounds every slice with
+    /// *at most* `c` BE cores. Model noise means `slice_max_tput` itself
+    /// need not be monotone in cores, so early-stop rules over "all
+    /// remaining (smaller-C2) slices" must use this.
+    slice_max_prefix: Vec<f64>,
+}
+
+impl ModelTables {
+    /// Builds the tables by sweeping the full BE lattice of `spec` through
+    /// the two evaluators. `tput(cores, freq_ghz, ways)` and
+    /// `power(cores, freq_ghz)` must be the predictor's exact compute
+    /// paths (clamps and margins included) for lookups to be bit-identical
+    /// to model calls.
+    pub fn build(
+        spec: &NodeSpec,
+        generation: u64,
+        static_power_w: f64,
+        mut tput: impl FnMut(u32, f64, u32) -> f64,
+        mut power: impl FnMut(u32, f64) -> f64,
+    ) -> Self {
+        let total_cores = spec.total_cores;
+        let total_ways = spec.total_llc_ways;
+        let n_levels = spec.freq_level_count();
+        let nc = total_cores as usize;
+        let nw = total_ways as usize;
+        let mut be_tput = vec![0.0; nc * n_levels * nw];
+        let mut be_power = vec![0.0; nc * n_levels];
+        let mut tput_max_freq = vec![0.0; nc * nw];
+        let mut slice_max_tput = vec![0.0; nc];
+        for c in 1..=total_cores {
+            let ci = (c - 1) as usize;
+            let mut slice_max = 0.0f64;
+            for f in 0..n_levels {
+                let ghz = spec.freq_ghz(f);
+                be_power[ci * n_levels + f] = power(c, ghz);
+                for w in 1..=total_ways {
+                    let wi = (w - 1) as usize;
+                    let t = tput(c, ghz, w);
+                    be_tput[(ci * n_levels + f) * nw + wi] = t;
+                    let cell = &mut tput_max_freq[ci * nw + wi];
+                    if t > *cell {
+                        *cell = t;
+                    }
+                    slice_max = slice_max.max(t);
+                }
+            }
+            slice_max_tput[ci] = slice_max;
+        }
+        let mut slice_max_prefix = slice_max_tput.clone();
+        for i in 1..slice_max_prefix.len() {
+            slice_max_prefix[i] = slice_max_prefix[i].max(slice_max_prefix[i - 1]);
+        }
+        Self {
+            generation,
+            total_cores,
+            total_ways,
+            n_levels,
+            freq_levels_ghz: spec.freq_levels_ghz.clone(),
+            static_power_w,
+            be_tput,
+            be_power,
+            tput_max_freq,
+            slice_max_tput,
+            slice_max_prefix,
+        }
+    }
+
+    /// Training generation these tables were flattened from.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The node's static/uncore power (W), the constant term of every
+    /// total-power check.
+    pub fn static_power_w(&self) -> f64 {
+        self.static_power_w
+    }
+
+    /// True when the tables cover exactly this node's lattice.
+    pub fn matches(&self, spec: &NodeSpec) -> bool {
+        self.total_cores == spec.total_cores
+            && self.total_ways == spec.total_llc_ways
+            && self.n_levels == spec.freq_level_count()
+            && self.freq_levels_ghz.len() == spec.freq_levels_ghz.len()
+            && self
+                .freq_levels_ghz
+                .iter()
+                .zip(&spec.freq_levels_ghz)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+
+    #[inline]
+    fn idx3(&self, cores: u32, level: usize, ways: u32) -> usize {
+        debug_assert!((1..=self.total_cores).contains(&cores));
+        debug_assert!(level < self.n_levels);
+        debug_assert!((1..=self.total_ways).contains(&ways));
+        ((cores - 1) as usize * self.n_levels + level) * self.total_ways as usize
+            + (ways - 1) as usize
+    }
+
+    /// BE throughput at `(cores, level, ways)` — bit-identical to
+    /// `predictor.be_throughput(cores, spec.freq_ghz(level), ways)`.
+    #[inline]
+    pub fn be_throughput(&self, cores: u32, level: usize, ways: u32) -> f64 {
+        self.be_tput[self.idx3(cores, level, ways)]
+    }
+
+    /// BE partition power at `(cores, level)`, margin included —
+    /// bit-identical to `predictor.be_power_w(cores, spec.freq_ghz(level), _)`.
+    #[inline]
+    pub fn be_power_w(&self, cores: u32, level: usize) -> f64 {
+        self.be_power[(cores - 1) as usize * self.n_levels + level]
+    }
+
+    /// Admissible throughput upper bound for a `(C2, L2)` cell: the
+    /// maximum over every frequency level. No feasible candidate in the
+    /// cell can exceed it, whatever F2 the power frontier picks.
+    #[inline]
+    pub fn max_tput_any_freq(&self, cores: u32, ways: u32) -> f64 {
+        self.tput_max_freq[(cores - 1) as usize * self.total_ways as usize + (ways - 1) as usize]
+    }
+
+    /// Admissible throughput upper bound for a whole C2 slice: the maximum
+    /// over every `(F2, L2)`.
+    #[inline]
+    pub fn slice_max_tput(&self, cores: u32) -> f64 {
+        self.slice_max_tput[(cores - 1) as usize]
+    }
+
+    /// Admissible throughput upper bound over *every* slice with at most
+    /// `cores` BE cores — the stop bound for scans that grow C1 (shrink
+    /// C2) monotonically.
+    #[inline]
+    pub fn slice_max_tput_upto(&self, cores: u32) -> f64 {
+        self.slice_max_prefix[(cores - 1) as usize]
+    }
+}
+
+/// Flattened BE model lattice for the multi-application search
+/// ([`crate::multi::BeModelSet`]): unlike the pair predictor, the
+/// multi-app BE power model keeps its `ways` feature, so both tables are
+/// indexed `(cores, level, ways)`.
+///
+/// Lookups key the frequency by exact bit pattern, so any query off the
+/// node's DVFS table falls through to the live model (`None`) instead of
+/// silently rounding.
+#[derive(Debug, Clone)]
+pub struct BeLattice {
+    total_cores: u32,
+    total_ways: u32,
+    freq_levels_ghz: Vec<f64>,
+    tput: Vec<f64>,
+    power: Vec<f64>,
+}
+
+impl BeLattice {
+    /// Sweeps the full `(cores, level, ways)` lattice of `spec` through
+    /// the two evaluators (which must be the model set's exact compute
+    /// paths, clamps included).
+    pub fn build(
+        spec: &NodeSpec,
+        mut tput: impl FnMut(u32, f64, u32) -> f64,
+        mut power: impl FnMut(u32, f64, u32) -> f64,
+    ) -> Self {
+        let nc = spec.total_cores as usize;
+        let nw = spec.total_llc_ways as usize;
+        let nf = spec.freq_level_count();
+        let mut t = vec![0.0; nc * nf * nw];
+        let mut p = vec![0.0; nc * nf * nw];
+        for c in 1..=spec.total_cores {
+            let ci = (c - 1) as usize;
+            for f in 0..nf {
+                let ghz = spec.freq_ghz(f);
+                for w in 1..=spec.total_llc_ways {
+                    let idx = (ci * nf + f) * nw + (w - 1) as usize;
+                    t[idx] = tput(c, ghz, w);
+                    p[idx] = power(c, ghz, w);
+                }
+            }
+        }
+        Self {
+            total_cores: spec.total_cores,
+            total_ways: spec.total_llc_ways,
+            freq_levels_ghz: spec.freq_levels_ghz.clone(),
+            tput: t,
+            power: p,
+        }
+    }
+
+    #[inline]
+    fn index(&self, cores: u32, freq_ghz: f64, ways: u32) -> Option<usize> {
+        if cores < 1 || cores > self.total_cores || ways < 1 || ways > self.total_ways {
+            return None;
+        }
+        let bits = freq_ghz.to_bits();
+        let level = self
+            .freq_levels_ghz
+            .iter()
+            .position(|f| f.to_bits() == bits)?;
+        let nf = self.freq_levels_ghz.len();
+        Some(((cores - 1) as usize * nf + level) * self.total_ways as usize + (ways - 1) as usize)
+    }
+
+    /// Tabled throughput, or `None` when the query is off the lattice.
+    #[inline]
+    pub fn throughput(&self, cores: u32, freq_ghz: f64, ways: u32) -> Option<f64> {
+        self.index(cores, freq_ghz, ways).map(|i| self.tput[i])
+    }
+
+    /// Tabled power (W), or `None` when the query is off the lattice.
+    #[inline]
+    pub fn power_w(&self, cores: u32, freq_ghz: f64, ways: u32) -> Option<f64> {
+        self.index(cores, freq_ghz, ways).map(|i| self.power[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> NodeSpec {
+        NodeSpec {
+            total_cores: 4,
+            freq_levels_ghz: vec![1.0, 1.5, 2.0],
+            total_llc_ways: 3,
+            llc_mb: 4.0,
+        }
+    }
+
+    #[test]
+    fn model_tables_store_every_lattice_point() {
+        let spec = small_spec();
+        let t = ModelTables::build(
+            &spec,
+            7,
+            12.5,
+            |c, f, w| c as f64 * 100.0 + f * 10.0 + w as f64,
+            |c, f| c as f64 + f,
+        );
+        assert_eq!(t.generation(), 7);
+        assert_eq!(t.static_power_w(), 12.5);
+        assert!(t.matches(&spec));
+        for c in 1..=4u32 {
+            for (level, &ghz) in spec.freq_levels_ghz.iter().enumerate() {
+                assert_eq!(t.be_power_w(c, level), c as f64 + ghz);
+                for w in 1..=3u32 {
+                    assert_eq!(
+                        t.be_throughput(c, level, w),
+                        c as f64 * 100.0 + ghz * 10.0 + w as f64
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_dominate_their_cells() {
+        let spec = small_spec();
+        // An arbitrary non-monotone function: bounds must still dominate.
+        let f = |c: u32, g: f64, w: u32| ((c * 31 + w * 17) as f64 * g).sin().abs() * 10.0;
+        let t = ModelTables::build(&spec, 0, 0.0, f, |_, _| 0.0);
+        for c in 1..=4u32 {
+            let mut slice_max = 0.0f64;
+            for level in 0..3usize {
+                for w in 1..=3u32 {
+                    let v = t.be_throughput(c, level, w);
+                    assert!(t.max_tput_any_freq(c, w) >= v);
+                    assert!(t.slice_max_tput(c) >= v);
+                    slice_max = slice_max.max(v);
+                }
+            }
+            assert_eq!(t.slice_max_tput(c), slice_max);
+        }
+        // The prefix bound dominates every smaller-or-equal slice.
+        for c in 1..=4u32 {
+            for smaller in 1..=c {
+                assert!(t.slice_max_tput_upto(c) >= t.slice_max_tput(smaller));
+            }
+        }
+    }
+
+    #[test]
+    fn tables_reject_mismatched_spec() {
+        let spec = small_spec();
+        let t = ModelTables::build(&spec, 0, 0.0, |_, _, _| 0.0, |_, _| 0.0);
+        let mut other = small_spec();
+        other.total_llc_ways = 4;
+        assert!(!t.matches(&other));
+        let mut shifted = small_spec();
+        shifted.freq_levels_ghz[1] = 1.5000000001;
+        assert!(!t.matches(&shifted));
+    }
+
+    #[test]
+    fn be_lattice_lookup_matches_evaluator_and_rejects_off_lattice() {
+        let spec = small_spec();
+        let l = BeLattice::build(
+            &spec,
+            |c, g, w| c as f64 * g + w as f64,
+            |c, g, w| c as f64 - g + w as f64,
+        );
+        assert_eq!(l.throughput(2, 1.5, 3), Some(2.0 * 1.5 + 3.0));
+        assert_eq!(l.power_w(2, 1.5, 3), Some(2.0 - 1.5 + 3.0));
+        // Off-lattice frequency or out-of-range resources fall through.
+        assert_eq!(l.throughput(2, 1.7, 3), None);
+        assert_eq!(l.throughput(5, 1.5, 3), None);
+        assert_eq!(l.power_w(2, 1.5, 0), None);
+    }
+}

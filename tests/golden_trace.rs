@@ -11,9 +11,9 @@ use sturgeon::profiler::ProfilerConfig;
 
 /// Pinned metrics of the golden run (seed 42, fast profiler seed 77,
 /// memcached+raytrace, 160 s fluctuating load).
-const GOLDEN_QOS_RATE: f64 = 0.999990946174;
-const GOLDEN_MEAN_POWER_W: f64 = 73.272853194655;
-const GOLDEN_MEAN_BE_TPUT: f64 = 0.644367916073;
+const GOLDEN_QOS_RATE: f64 = 0.999994449236;
+const GOLDEN_MEAN_POWER_W: f64 = 73.277102288235;
+const GOLDEN_MEAN_BE_TPUT: f64 = 0.642892802735;
 const GOLDEN_PEAK_POWER_W: f64 = 76.439689453728;
 
 fn golden_run() -> RunResult {

@@ -1,0 +1,165 @@
+//! Equivalence tests for the frontier-pruned search engine: the pruned
+//! path must return the *same bits* as the exhaustive serial oracle —
+//! on the pinned production setup, and under a property sweep over
+//! random node geometries and workload pairs — while evaluating an
+//! order of magnitude fewer candidates.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use sturgeon::prelude::*;
+use sturgeon::profiler::{Profiler, ProfilerConfig};
+use sturgeon_workloads::catalog::{be_app, ls_service};
+use sturgeon_workloads::env::CoLocationEnv;
+use sturgeon_workloads::interference::InterferenceParams;
+
+/// Shared production-recipe predictor (training once keeps the suite fast).
+fn shared_predictor() -> &'static (PerfPowerPredictor, ExperimentSetup) {
+    static CELL: OnceLock<(PerfPowerPredictor, ExperimentSetup)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let setup = ExperimentSetup::new(
+            ColocationPair::new(LsServiceId::Memcached, BeAppId::Raytrace),
+            2024,
+        );
+        let predictor = setup.train_default_predictor();
+        (predictor, setup)
+    })
+}
+
+#[test]
+fn pruned_matches_oracle_on_pinned_production_setup() {
+    let (predictor, setup) = shared_predictor();
+    let search = ConfigSearch::new(
+        predictor,
+        setup.spec().clone(),
+        setup.budget_w(),
+        SearchParams::default(),
+    );
+    for frac in [0.1, 0.2, 0.35, 0.5, 0.65, 0.8] {
+        let qps = frac * setup.peak_qps();
+        let full = search.exhaustive_serial(qps);
+        let pruned = search.pruned(qps);
+        assert_eq!(pruned.best, full.best, "config mismatch at frac {frac}");
+        assert_eq!(
+            pruned.predicted_throughput.to_bits(),
+            full.predicted_throughput.to_bits()
+        );
+        assert!(
+            full.stats.candidates >= 10 * pruned.stats.candidates.max(1),
+            "frac {frac}: exhaustive evaluated {} candidates, pruned {}",
+            full.stats.candidates,
+            pruned.stats.candidates
+        );
+    }
+}
+
+#[test]
+fn frontier_seeded_search_stays_oracle_equal_across_load_drift() {
+    let (predictor, setup) = shared_predictor();
+    let frontiers = FrontierCache::default();
+    let search = ConfigSearch::new(
+        predictor,
+        setup.spec().clone(),
+        setup.budget_w(),
+        SearchParams::default(),
+    )
+    .with_frontiers(&frontiers);
+    // Walk a small diurnal-style load path; every step must stay
+    // bit-identical to the oracle regardless of whether its incumbent
+    // came from the frontier cache or the bisection warm-up.
+    let mut reuses = 0;
+    for frac in [0.30, 0.31, 0.33, 0.40, 0.33, 0.31, 0.30] {
+        let qps = frac * setup.peak_qps();
+        let pruned = search.pruned(qps);
+        let full = search.exhaustive_serial(qps);
+        assert_eq!(pruned.best, full.best, "mismatch at frac {frac}");
+        reuses += pruned.stats.frontier_reuses;
+    }
+    assert!(reuses > 0, "revisited loads must reuse frontier seeds");
+    assert_eq!(frontiers.reuses(), reuses);
+}
+
+/// Trains a small (but real) predictor on an arbitrary node geometry.
+fn train_on(
+    spec: NodeSpec,
+    ls_idx: usize,
+    be_idx: usize,
+    seed: u64,
+) -> (CoLocationEnv, PerfPowerPredictor) {
+    let ls_ids = LsServiceId::all();
+    let be_ids = BeAppId::all();
+    let env = CoLocationEnv::new(
+        spec,
+        PowerModel::default(),
+        ls_service(ls_ids[ls_idx % ls_ids.len()]),
+        be_app(be_ids[be_idx % be_ids.len()]),
+        InterferenceParams::none(),
+        seed,
+    );
+    let d = Profiler::new(
+        &env,
+        ProfilerConfig {
+            ls_samples_per_load: 40,
+            ls_load_fractions: vec![0.2, 0.4, 0.6, 0.8],
+            be_samples: 200,
+            seed,
+        },
+    )
+    .collect()
+    .expect("profiling succeeds");
+    let p = PerfPowerPredictor::train(
+        &d,
+        PredictorConfig::default(),
+        env.static_power_w(),
+        env.be().params.input_level as f64,
+        env.ls().params.qos_target_ms,
+    )
+    .expect("training succeeds");
+    (env, p)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The tentpole equivalence property: over random node geometries
+    /// (core counts, DVFS tables, LLC sizes) and workload pairs, the
+    /// pruned engine returns exactly the oracle's configuration — same
+    /// bits, including tie-breaks — at every load level probed.
+    #[test]
+    fn pruned_equals_oracle_on_random_nodes_and_workloads(
+        cores in 8u32..15,
+        n_freqs in 6usize..9,
+        ways in 8u32..13,
+        base_centi in 100u32..140,
+        step_centi in 5u32..20,
+        ls_idx in 0usize..8,
+        be_idx in 0usize..8,
+        seed in 0u64..1_000,
+        frac_pct in 15u32..80,
+    ) {
+        let spec = NodeSpec {
+            total_cores: cores,
+            freq_levels_ghz: (0..n_freqs)
+                .map(|i| (base_centi as f64 + (i as f64) * step_centi as f64) / 100.0)
+                .collect(),
+            total_llc_ways: ways,
+            llc_mb: 1.25 * ways as f64,
+        };
+        prop_assert!(spec.validate().is_ok());
+        let (env, p) = train_on(spec.clone(), ls_idx, be_idx, seed);
+        let search = ConfigSearch::new(&p, spec, env.budget_w(), SearchParams::default());
+        let qps = (frac_pct as f64 / 100.0) * env.ls().params.peak_qps;
+        let full = search.exhaustive_serial(qps);
+        let pruned = search.pruned(qps);
+        prop_assert_eq!(pruned.best, full.best);
+        prop_assert_eq!(
+            pruned.predicted_throughput.to_bits(),
+            full.predicted_throughput.to_bits()
+        );
+        // The parallel and serial pruned variants agree too.
+        let ser = search.pruned_serial(qps);
+        prop_assert_eq!(ser.best, pruned.best);
+        prop_assert_eq!(ser.stats.candidates, pruned.stats.candidates);
+        // Pruning must never *increase* work relative to the oracle.
+        prop_assert!(pruned.stats.candidates <= full.stats.candidates);
+    }
+}
