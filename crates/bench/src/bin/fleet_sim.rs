@@ -1,0 +1,371 @@
+//! `fleet_sim` — the fleet-scale control-plane benchmark driver.
+//!
+//! ```text
+//! fleet_sim [--nodes 10000] [--intervals 1000] [--shards 0] [--regions 1]
+//!           [--ls memcached] [--be raytrace]
+//!           [--profile diurnal|triangle|constant|flash|failover]
+//!           [--fraction 0.3] [--policy even|latency] [--search heuristic|pruned]
+//!           [--training shared|per-node] [--sampled 0] [--seed 42]
+//!           [--trace PATH.jsonl] [--json PATH.json]
+//! ```
+//!
+//! Runs one fleet sweep and prints the paper's QoS/throughput metrics
+//! together with the control-plane accounting this benchmark exists to
+//! demonstrate: wall-clock, peak RSS (from `/proc/self/status`, so the
+//! streaming-aggregation memory claim is checkable), and how many
+//! predictor trainings / `ModelTables` builds the whole fleet paid.
+//! `--json` writes the measurements as one machine-readable row —
+//! `BENCH_fleet.json` is an array of such rows; CI replays the 1k-node
+//! smoke row and asserts against it. `--trace` streams shard 0's
+//! decision trace as JSON Lines (validated by `trace_validate`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+use sturgeon::fleet::{Fleet, FleetParams, TrainingMode};
+use sturgeon::prelude::*;
+use sturgeon::search::{SearchParams, SearchStrategy};
+
+#[derive(Debug)]
+struct Args {
+    nodes: usize,
+    intervals: u32,
+    shards: usize,
+    regions: usize,
+    ls: LsServiceId,
+    be: BeAppId,
+    profile: String,
+    fraction: f64,
+    policy: String,
+    search: String,
+    training: String,
+    sampled: usize,
+    seed: u64,
+    trace: Option<PathBuf>,
+    json: Option<PathBuf>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            nodes: 10_000,
+            intervals: 1000,
+            shards: 0,
+            regions: 1,
+            ls: LsServiceId::Memcached,
+            be: BeAppId::Raytrace,
+            profile: "diurnal".into(),
+            fraction: 0.3,
+            policy: "even".into(),
+            search: "heuristic".into(),
+            training: "shared".into(),
+            sampled: 0,
+            seed: 42,
+            trace: None,
+            json: None,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        if flag == "--help" || flag == "-h" {
+            return Err(String::new());
+        }
+        let value = argv
+            .get(i + 1)
+            .ok_or_else(|| format!("missing value for {flag}"))?;
+        match flag {
+            "--nodes" => args.nodes = value.parse().map_err(|_| format!("bad nodes {value}"))?,
+            "--intervals" => {
+                args.intervals = value
+                    .parse()
+                    .map_err(|_| format!("bad intervals {value}"))?
+            }
+            "--shards" => args.shards = value.parse().map_err(|_| format!("bad shards {value}"))?,
+            "--regions" => {
+                args.regions = value.parse().map_err(|_| format!("bad regions {value}"))?
+            }
+            "--ls" => {
+                args.ls = LsServiceId::all()
+                    .into_iter()
+                    .find(|id| id.name() == value)
+                    .ok_or(format!("unknown LS service {value}"))?
+            }
+            "--be" => {
+                args.be = BeAppId::all()
+                    .into_iter()
+                    .find(|id| id.name() == value || id.abbrev() == value)
+                    .ok_or(format!("unknown BE app {value}"))?
+            }
+            "--profile" => args.profile = value.clone(),
+            "--fraction" => {
+                args.fraction = value.parse().map_err(|_| format!("bad fraction {value}"))?
+            }
+            "--policy" => args.policy = value.clone(),
+            "--search" => args.search = value.clone(),
+            "--training" => args.training = value.clone(),
+            "--sampled" => {
+                args.sampled = value.parse().map_err(|_| format!("bad sampled {value}"))?
+            }
+            "--seed" => args.seed = value.parse().map_err(|_| format!("bad seed {value}"))?,
+            "--trace" => args.trace = Some(PathBuf::from(value)),
+            "--json" => args.json = Some(PathBuf::from(value)),
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    Ok(args)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: fleet_sim [--nodes N] [--intervals N] [--shards N|0=auto] [--regions N] \\
+                 [--ls memcached|xapian|img-dnn] [--be raytrace|...] \\
+                 [--profile diurnal|triangle|constant|flash|failover] [--fraction F] \\
+                 [--policy even|latency] [--search heuristic|pruned] \\
+                 [--training shared|per-node] [--sampled N] [--seed N] \\
+                 [--trace PATH.jsonl] [--json PATH.json]"
+    );
+}
+
+/// Peak resident set size (MiB) from `/proc/self/status` (`VmHWM`);
+/// `None` off Linux.
+fn peak_rss_mib() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+/// The per-region load profiles for a named scenario. Every scenario is
+/// built from the composable [`LoadProfile`] algebra; `failover` needs
+/// at least two regions (region 0 fails, the rest absorb its traffic).
+fn profiles(name: &str, fraction: f64, intervals: u32, regions: usize) -> Option<Vec<LoadProfile>> {
+    let day = intervals as f64;
+    let base = match name {
+        "constant" => LoadProfile::Constant { fraction },
+        "triangle" => LoadProfile::paper_fluctuating(day),
+        "diurnal" => LoadProfile::Diurnal {
+            low: 0.2,
+            high: 0.8,
+            day_s: day,
+        },
+        "flash" => LoadProfile::FlashCrowd {
+            base: Box::new(LoadProfile::Diurnal {
+                low: 0.2,
+                high: 0.6,
+                day_s: day,
+            }),
+            at_s: day * 0.25,
+            ramp_s: day * 0.05,
+            hold_s: day * 0.10,
+            decay_s: day * 0.10,
+            magnitude: 1.8,
+        },
+        "failover" => {
+            if regions < 2 {
+                return None;
+            }
+            let steady = LoadProfile::Constant { fraction: 0.4 };
+            let mut out = vec![LoadProfile::Failover {
+                base: Box::new(steady.clone()),
+                at_s: day * 0.3,
+                outage_s: day * 0.3,
+                takeover: 1.0 / (regions - 1) as f64,
+                role: sturgeon_workloads::loadgen::FailoverRole::Failing,
+            }];
+            for _ in 1..regions {
+                out.push(LoadProfile::Failover {
+                    base: Box::new(steady.clone()),
+                    at_s: day * 0.3,
+                    outage_s: day * 0.3,
+                    takeover: 1.0 / (regions - 1) as f64,
+                    role: sturgeon_workloads::loadgen::FailoverRole::Survivor,
+                });
+            }
+            return Some(out);
+        }
+        _ => return None,
+    };
+    Some(vec![base; regions])
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let training = match args.training.as_str() {
+        "shared" => TrainingMode::Shared,
+        "per-node" => TrainingMode::PerNode,
+        other => {
+            eprintln!("error: unknown training mode {other}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let policy = match args.policy.as_str() {
+        "even" => DispatchPolicy::Even,
+        "latency" => DispatchPolicy::LatencyAware,
+        other => {
+            eprintln!("error: unknown policy {other}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let strategy = match args.search.as_str() {
+        "heuristic" => SearchStrategy::Heuristic,
+        "pruned" => SearchStrategy::FrontierPruned,
+        other => {
+            eprintln!("error: unknown search strategy {other}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(profiles) = profiles(&args.profile, args.fraction, args.intervals, args.regions)
+    else {
+        eprintln!(
+            "error: unknown profile {} (failover needs --regions >= 2)",
+            args.profile
+        );
+        usage();
+        return ExitCode::FAILURE;
+    };
+
+    let pair = ColocationPair::new(args.ls, args.be);
+    let params = FleetParams {
+        shards: args.shards,
+        regions: args.regions,
+        training,
+        policy,
+        controller: ControllerParams {
+            search: SearchParams {
+                strategy,
+                ..SearchParams::default()
+            },
+            ..ControllerParams::default()
+        },
+        sampled_nodes: args.sampled,
+        traced_shard: args.trace.as_ref().map(|_| 0),
+    };
+
+    let build_start = Instant::now();
+    let mut fleet = match Fleet::try_new(pair, args.nodes, params, args.seed) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let build_s = build_start.elapsed().as_secs_f64();
+    eprintln!(
+        "fleet: {} nodes, {} shards, {} regions ({}+{}, {} training) built in {:.2}s",
+        fleet.len(),
+        fleet.shard_count(),
+        fleet.region_count(),
+        args.ls.name(),
+        args.be.name(),
+        args.training,
+        build_s
+    );
+
+    let run_start = Instant::now();
+    let result = if let Some(path) = &args.trace {
+        let mut sink = match JsonlSink::create(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot create trace file: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // Tracing only supports a single fleet-wide profile; region 0's
+        // profile drives everyone (scenarios that differ per region are
+        // benchmarked untraced).
+        let r = fleet.run_traced(profiles[0].clone(), args.intervals, &mut sink);
+        if let Err(e) = sink.flush() {
+            eprintln!("error: cannot flush trace file: {e}");
+            return ExitCode::FAILURE;
+        }
+        r
+    } else {
+        match fleet.run_regional(&profiles, args.intervals) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let run_s = run_start.elapsed().as_secs_f64();
+    let peak_rss = peak_rss_mib().unwrap_or(-1.0);
+    let node_intervals = args.nodes as f64 * args.intervals as f64;
+
+    println!(
+        "profile {}  policy {}  search {}  seed {}",
+        args.profile, args.policy, args.search, args.seed
+    );
+    println!(
+        "QoS guarantee rate: {:.4}   total BE throughput: {:.1} machines   mean power: {:.0} W / budget {:.0} W",
+        result.qos_rate, result.total_be_throughput, result.mean_fleet_power_w, result.fleet_budget_w
+    );
+    println!(
+        "wall: build {:.2}s + run {:.2}s   {:.2} M node-intervals/s   peak RSS {:.0} MiB",
+        build_s,
+        run_s,
+        node_intervals / run_s / 1e6,
+        peak_rss
+    );
+    println!(
+        "artifacts: {} trainings, {} table builds, {} searches  (faults: {} stale, {} safe-mode, {} balancer retries)",
+        result.trainings,
+        result.table_builds,
+        result.searches,
+        result.fault_counters.stale_intervals,
+        result.fault_counters.safe_mode_entries,
+        result.fault_counters.balancer_retry_rounds
+    );
+
+    if let Some(path) = &args.json {
+        let row = format!(
+            "{{\n  \"nodes\": {},\n  \"intervals\": {},\n  \"shards\": {},\n  \"regions\": {},\n  \"profile\": \"{}\",\n  \"policy\": \"{}\",\n  \"search\": \"{}\",\n  \"training\": \"{}\",\n  \"seed\": {},\n  \"build_s\": {:.3},\n  \"run_s\": {:.3},\n  \"node_intervals_per_s\": {:.0},\n  \"peak_rss_mib\": {:.1},\n  \"qos_rate\": {:.6},\n  \"total_be_throughput\": {:.3},\n  \"mean_power_w\": {:.1},\n  \"budget_w\": {:.1},\n  \"trainings\": {},\n  \"table_builds\": {},\n  \"searches\": {}\n}}",
+            args.nodes,
+            args.intervals,
+            fleet.shard_count(),
+            fleet.region_count(),
+            args.profile,
+            args.policy,
+            args.search,
+            args.training,
+            args.seed,
+            build_s,
+            run_s,
+            node_intervals / run_s,
+            peak_rss,
+            result.qos_rate,
+            result.total_be_throughput,
+            result.mean_fleet_power_w,
+            result.fleet_budget_w,
+            result.trainings,
+            result.table_builds,
+            result.searches
+        );
+        if let Err(e) = std::fs::write(path, format!("{row}\n")) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}

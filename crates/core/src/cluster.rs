@@ -13,6 +13,7 @@
 use crate::controller::{
     ControllerFaultCounters, ControllerParams, ResourceController, SturgeonController,
 };
+use crate::dispatch::Dispatcher;
 use crate::error::SturgeonError;
 use crate::experiment::{ColocationPair, ExperimentSetup};
 use crate::obs::MetricsRegistry;
@@ -21,21 +22,7 @@ use sturgeon_simnode::{IntervalSample, SimActuators, TelemetryLog};
 use sturgeon_workloads::env::CoLocationEnv;
 use sturgeon_workloads::loadgen::LoadProfile;
 
-/// How the cluster scheduler splits the offered load across nodes.
-#[derive(Debug, Clone, PartialEq)]
-pub enum DispatchPolicy {
-    /// Equal share to every node.
-    Even,
-    /// Fixed weights (normalized internally; must be non-negative, not
-    /// all zero).
-    Weighted(Vec<f64>),
-    /// Adaptive: each interval, weight nodes by their latency headroom in
-    /// the previous interval (a node near its QoS target receives less).
-    /// Weights are EWMA-smoothed and the spread is bounded (≤ 2:1) —
-    /// latency signals lag one interval, and an undamped headroom policy
-    /// oscillates against the per-node controllers.
-    LatencyAware,
-}
+pub use crate::dispatch::DispatchPolicy;
 
 /// One node of the cluster: environment + actuators + controller.
 struct NodeRuntime {
@@ -45,8 +32,6 @@ struct NodeRuntime {
     config: sturgeon_simnode::PairConfig,
     log: TelemetryLog,
     last_p95_ms: f64,
-    /// EWMA-smoothed dispatch weight (LatencyAware policy only).
-    smoothed_weight: f64,
     /// The node's load share for the interval being stepped, staged here
     /// so the parallel step needs no per-interval work list.
     next_qps: f64,
@@ -89,12 +74,11 @@ pub struct ClusterResult {
 /// A homogeneous cluster of Sturgeon nodes serving one LS service.
 pub struct Cluster {
     nodes: Vec<NodeRuntime>,
-    policy: DispatchPolicy,
+    dispatcher: Dispatcher,
     peak_qps_per_node: f64,
-    qos_target_ms: f64,
-    /// Reusable dispatch-weight buffer (one slot per node), refilled each
+    /// Reusable per-node p95 summary buffer fed to the dispatcher each
     /// interval instead of allocated.
-    weights_buf: Vec<f64>,
+    p95_buf: Vec<f64>,
 }
 
 impl Cluster {
@@ -132,24 +116,20 @@ impl Cluster {
         if n == 0 {
             return Err(SturgeonError::setup("cluster needs at least one node"));
         }
-        if let DispatchPolicy::Weighted(w) = &policy {
-            if w.len() != n {
-                return Err(SturgeonError::setup("one weight per node"));
-            }
-            if !w.iter().all(|&x| x >= 0.0) {
-                return Err(SturgeonError::setup("weights must be non-negative"));
-            }
-            if w.iter().sum::<f64>() <= 0.0 {
-                return Err(SturgeonError::setup("weights must not all be zero"));
-            }
-        }
+        // The cluster is homogeneous: peak load and QoS target are pair
+        // properties, identical for every node, so read them once from
+        // the first setup instead of overwriting them per iteration.
+        let first = ExperimentSetup::new(pair, seed);
+        let peak = first.peak_qps();
+        let target = first.qos_target_ms();
+        let dispatcher = Dispatcher::try_new(policy, n, target)?;
         let mut nodes = Vec::with_capacity(n);
-        let mut peak = 0.0;
-        let mut target = 0.0;
         for i in 0..n {
-            let setup = ExperimentSetup::new(pair, seed.wrapping_add(i as u64));
-            peak = setup.peak_qps();
-            target = setup.qos_target_ms();
+            let setup = if i == 0 {
+                first.clone()
+            } else {
+                ExperimentSetup::new(pair, seed.wrapping_add(i as u64))
+            };
             let predictor = setup.train_default_predictor();
             let controller = SturgeonController::new(
                 predictor,
@@ -161,7 +141,12 @@ impl Cluster {
             let env = setup.env().clone();
             let actuators = SimActuators::new(env.spec().clone());
             let config = controller.initial_config(env.spec());
-            actuators.apply(config).expect("valid initial config");
+            // A rejected initial configuration is a setup defect, not a
+            // panic-worthy invariant: report it through the same error
+            // channel as every other constructor failure.
+            actuators.apply(config).map_err(|e| {
+                SturgeonError::setup(format!("node {i}: initial actuation failed: {e}"))
+            })?;
             nodes.push(NodeRuntime {
                 env,
                 actuators,
@@ -169,16 +154,14 @@ impl Cluster {
                 config,
                 log: TelemetryLog::new(),
                 last_p95_ms: 0.0,
-                smoothed_weight: 1.0 / n as f64,
                 next_qps: 0.0,
             });
         }
         Ok(Self {
             nodes,
-            policy,
+            dispatcher,
             peak_qps_per_node: peak,
-            qos_target_ms: target,
-            weights_buf: vec![0.0; n],
+            p95_buf: vec![0.0; n],
         })
     }
 
@@ -197,43 +180,13 @@ impl Cluster {
         self.peak_qps_per_node * self.nodes.len() as f64
     }
 
-    /// The bounded, damped headroom target of the LatencyAware policy:
-    /// a node near its QoS target receives less load, spread ≤ 2:1.
-    fn headroom_target(&self, node: &NodeRuntime) -> f64 {
-        let headroom =
-            ((self.qos_target_ms - node.last_p95_ms) / self.qos_target_ms).clamp(0.0, 1.0);
-        0.5 + 0.5 * headroom
-    }
-
-    /// Refills `weights_buf` with this interval's dispatch weights. The
-    /// LatencyAware policy mutates its EWMA state. No per-interval
-    /// allocation: the buffer is cleared and refilled in place.
-    fn fill_weights(&mut self) {
-        let n = self.nodes.len();
-        let mut buf = std::mem::take(&mut self.weights_buf);
-        buf.clear();
-        match &self.policy {
-            DispatchPolicy::Even => buf.resize(n, 1.0 / n as f64),
-            DispatchPolicy::Weighted(w) => {
-                let sum: f64 = w.iter().sum();
-                buf.extend(w.iter().map(|&x| x / sum));
-            }
-            DispatchPolicy::LatencyAware => {
-                // Bounded headroom target (spread ≤ 2:1), EWMA-damped:
-                // the latency signal lags one interval, so an aggressive
-                // proportional policy oscillates against the per-node
-                // controllers and shreds everyone's QoS.
-                let sum: f64 = self.nodes.iter().map(|n| self.headroom_target(n)).sum();
-                for i in 0..self.nodes.len() {
-                    let target = self.headroom_target(&self.nodes[i]) / sum;
-                    let node = &mut self.nodes[i];
-                    node.smoothed_weight = 0.9 * node.smoothed_weight + 0.1 * target;
-                }
-                let total: f64 = self.nodes.iter().map(|x| x.smoothed_weight).sum();
-                buf.extend(self.nodes.iter().map(|x| x.smoothed_weight / total));
-            }
+    /// Computes this interval's dispatch weights from the nodes'
+    /// last-interval p95 summaries (see [`Dispatcher::fill_weights`]).
+    fn fill_weights(&mut self) -> &[f64] {
+        for (slot, node) in self.p95_buf.iter_mut().zip(&self.nodes) {
+            *slot = node.last_p95_ms;
         }
-        self.weights_buf = buf;
+        self.dispatcher.fill_weights(&self.p95_buf)
     }
 
     /// One node's monitor → decide → actuate interval at its staged
@@ -269,7 +222,7 @@ impl Cluster {
         for t in 0..duration_s {
             let total_qps = profile.qps_at(t as f64, self.peak_qps());
             self.fill_weights();
-            for (node, w) in self.nodes.iter_mut().zip(&self.weights_buf) {
+            for (node, w) in self.nodes.iter_mut().zip(self.dispatcher.weights()) {
                 node.next_qps = total_qps * w;
             }
             self.nodes.par_iter_mut().for_each(Self::step_node);
@@ -419,8 +372,7 @@ mod tests {
         // Prime node 0 as "slow" and node 1 as "fast".
         cluster.nodes[0].last_p95_ms = 14.0; // near the 15 ms target
         cluster.nodes[1].last_p95_ms = 2.0;
-        cluster.fill_weights();
-        let w = &cluster.weights_buf;
+        let w = cluster.fill_weights().to_vec();
         assert!(w[1] > w[0], "fast node must receive more load: {w:?}");
         assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
     }

@@ -12,6 +12,7 @@ use crate::obs::{SearchReason, TraceEvent};
 use crate::online::{OnlineAdaptor, OnlineSample};
 use crate::predictor::PerfPowerPredictor;
 use crate::search::{ConfigSearch, SearchParams, SearchStats, SearchStrategy};
+use std::sync::Arc;
 use sturgeon_simnode::{Allocation, NodeSpec, PairConfig};
 use sturgeon_workloads::env::Observation;
 
@@ -149,7 +150,12 @@ impl ControllerParams {
 /// The Sturgeon runtime: predictor + search + balancer.
 #[derive(Debug)]
 pub struct SturgeonController {
-    predictor: PerfPowerPredictor,
+    /// The trained models, behind an `Arc` so a homogeneous fleet can
+    /// train once and hand every controller the same artifact (the
+    /// predictor is interior-mutable only through thread-safe caches, so
+    /// sharing never changes a prediction). A solo controller simply owns
+    /// the only reference.
+    predictor: Arc<PerfPowerPredictor>,
     spec: NodeSpec,
     budget_w: f64,
     qos_target_ms: f64,
@@ -195,9 +201,25 @@ pub struct SturgeonController {
 }
 
 impl SturgeonController {
-    /// Builds the controller for one node/workload pair.
+    /// Builds the controller for one node/workload pair, taking sole
+    /// ownership of the predictor.
     pub fn new(
         predictor: PerfPowerPredictor,
+        spec: NodeSpec,
+        budget_w: f64,
+        qos_target_ms: f64,
+        params: ControllerParams,
+    ) -> Self {
+        Self::with_shared_predictor(Arc::new(predictor), spec, budget_w, qos_target_ms, params)
+    }
+
+    /// Builds the controller around an already-shared predictor — the
+    /// fleet path, where one trained artifact serves every node of a
+    /// homogeneous (pair, spec) group. All per-node control state
+    /// (balancer, warm hints, frontier cache, safe-mode machinery) stays
+    /// private to this controller.
+    pub fn with_shared_predictor(
+        predictor: Arc<PerfPowerPredictor>,
         spec: NodeSpec,
         budget_w: f64,
         qos_target_ms: f64,
@@ -249,6 +271,11 @@ impl SturgeonController {
     /// The trained predictor (for inspection and the overhead benches).
     pub fn predictor(&self) -> &PerfPowerPredictor {
         &self.predictor
+    }
+
+    /// A new handle on the shared predictor artifact.
+    pub fn predictor_handle(&self) -> Arc<PerfPowerPredictor> {
+        Arc::clone(&self.predictor)
     }
 
     /// Stats from the most recent configuration search.

@@ -1,0 +1,944 @@
+//! Fleet-scale control plane: the datacenter-sized version of
+//! [`crate::cluster`].
+//!
+//! The paper's deployment model (Fig. 4) is per-node autonomy under a
+//! cluster-level dispatcher. [`crate::cluster::Cluster`] reproduces it
+//! faithfully at demonstration scale — every node owns a predictor, a
+//! controller and a full in-memory telemetry log — but a 100k-node sweep
+//! cannot afford 100k trainings or O(nodes × intervals) sample storage.
+//! [`Fleet`] restructures the same control loop around three ideas:
+//!
+//! * **Shared model artifacts** — a homogeneous fleet serves one
+//!   (pair, spec), so offline training and `ModelTables` construction
+//!   are paid once and shared through `Arc`
+//!   ([`TrainingMode::Shared`]). Per-shard control state (balancer,
+//!   warm hints, `FrontierCache`) stays private.
+//!   [`TrainingMode::PerNode`] reproduces today's per-node training for
+//!   the bit-exactness tests.
+//! * **Sharded stepping** — nodes are partitioned into contiguous
+//!   shards, each stepped as one rayon task over an SoA slab of node
+//!   state (qps/p95/power/config arrays) instead of a `Vec` of heap-fat
+//!   per-node structs. One Sturgeon controller runs per shard, driven
+//!   by the shard-mean observation; per-node environments keep their
+//!   own interference processes, so node telemetry still diverges the
+//!   way real machines do. With one node per shard this degenerates to
+//!   exactly the `Cluster` control loop.
+//! * **Streaming aggregation** — shards fold telemetry into running
+//!   sums and fixed-bucket histograms as they step; nothing is replayed
+//!   after the run, so memory is O(nodes + shards), independent of the
+//!   interval count. An opt-in sampled-node full log remains for
+//!   debugging, and one shard can stream decision traces to a
+//!   [`TraceSink`].
+//!
+//! Regions map to contiguous shard groups: each region has its own
+//! dispatcher and can follow its own [`LoadProfile`], which is how the
+//! regional-failover composition drives part of the fleet to zero while
+//! the survivors absorb the traffic.
+
+use crate::cluster::NodeResult;
+use crate::controller::{
+    ControllerFaultCounters, ControllerParams, ResourceController, SturgeonController,
+};
+use crate::dispatch::{DispatchPolicy, Dispatcher};
+use crate::error::SturgeonError;
+use crate::experiment::{ColocationPair, ExperimentSetup};
+use crate::obs::{
+    Histogram, MetricsRegistry, RunningStats, TraceEvent, TraceSink, DEFAULT_BUCKETS,
+};
+use crate::predictor::PerfPowerPredictor;
+use rayon::prelude::*;
+use std::sync::Arc;
+use sturgeon_simnode::{IntervalSample, NodeSpec, PairConfig, TelemetryLog};
+use sturgeon_workloads::env::CoLocationEnv;
+use sturgeon_workloads::env::Observation;
+use sturgeon_workloads::loadgen::LoadProfile;
+
+/// Bucket bounds shared by the cluster and fleet BE-throughput
+/// histograms (normalized throughput lives in `[0, 1]`).
+pub(crate) const BE_THROUGHPUT_BUCKETS: [f64; 10] =
+    [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// Where the fleet's trained model artifacts come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainingMode {
+    /// Train once for the whole fleet and share the predictor (and its
+    /// lazily built `ModelTables`) through `Arc` — the homogeneous-fleet
+    /// fast path: offline cost is paid exactly once per (pair, spec).
+    Shared,
+    /// Train one predictor per shard from that shard's first node seed —
+    /// with one node per shard this is bit-identical to
+    /// [`crate::cluster::Cluster`]'s per-node training.
+    PerNode,
+}
+
+/// Fleet construction knobs.
+#[derive(Debug, Clone)]
+pub struct FleetParams {
+    /// Shard count; 0 picks one shard per ~256 nodes (at least 1, at
+    /// most 512). Must not exceed the node count.
+    pub shards: usize,
+    /// Contiguous shard groups with independent dispatchers and load
+    /// profiles (regional failover). Must not exceed the shard count;
+    /// the [`DispatchPolicy::Weighted`] policy requires exactly one.
+    pub regions: usize,
+    /// Shared or per-shard model training.
+    pub training: TrainingMode,
+    /// How each region's dispatcher splits load across its shards.
+    pub policy: DispatchPolicy,
+    /// Controller tunables applied to every shard controller.
+    pub controller: ControllerParams,
+    /// Keep a full [`TelemetryLog`] for the first `sampled_nodes` nodes
+    /// of the fleet (debugging aid; 0 keeps streaming aggregates only).
+    pub sampled_nodes: usize,
+    /// Stream this shard's decision trace (telemetry samples plus its
+    /// controller's events) through the sink passed to
+    /// [`Fleet::run_traced`].
+    pub traced_shard: Option<usize>,
+}
+
+impl Default for FleetParams {
+    fn default() -> Self {
+        Self {
+            shards: 0,
+            regions: 1,
+            training: TrainingMode::Shared,
+            policy: DispatchPolicy::Even,
+            controller: ControllerParams::default(),
+            sampled_nodes: 0,
+            traced_shard: None,
+        }
+    }
+}
+
+/// Per-node state kept as parallel arrays — the contiguous slab one
+/// shard steps over. Current-interval channels are overwritten each
+/// step; `sum_*` channels accumulate in time order so the end-of-run
+/// per-node aggregates reproduce [`TelemetryLog`]'s formulas exactly.
+#[derive(Debug, Default)]
+struct NodeSlab {
+    qps: Vec<f64>,
+    p95_ms: Vec<f64>,
+    in_target: Vec<f64>,
+    power_w: Vec<f64>,
+    be_tput: Vec<f64>,
+    config: Vec<PairConfig>,
+    sum_qps: Vec<f64>,
+    sum_in_target_qps: Vec<f64>,
+    sum_be_tput: Vec<f64>,
+    sum_power_w: Vec<f64>,
+    overload_intervals: Vec<u32>,
+}
+
+impl NodeSlab {
+    fn new(n: usize, config: PairConfig) -> Self {
+        Self {
+            qps: vec![0.0; n],
+            p95_ms: vec![0.0; n],
+            in_target: vec![0.0; n],
+            power_w: vec![0.0; n],
+            be_tput: vec![0.0; n],
+            config: vec![config; n],
+            sum_qps: vec![0.0; n],
+            sum_in_target_qps: vec![0.0; n],
+            sum_be_tput: vec![0.0; n],
+            sum_power_w: vec![0.0; n],
+            overload_intervals: vec![0; n],
+        }
+    }
+}
+
+/// Sums of one interval's observations across a shard's nodes.
+#[derive(Debug, Clone, Copy, Default)]
+struct ObsSums {
+    t_s: f64,
+    qps: f64,
+    p95_ms: f64,
+    in_target_fraction: f64,
+    ls_utilization: f64,
+    power_w: f64,
+    be_throughput_norm: f64,
+    be_ipc: f64,
+    interference: f64,
+}
+
+impl ObsSums {
+    fn add(&mut self, o: &Observation) {
+        self.t_s += o.t_s;
+        self.qps += o.qps;
+        self.p95_ms += o.p95_ms;
+        self.in_target_fraction += o.in_target_fraction;
+        self.ls_utilization += o.ls_utilization;
+        self.power_w += o.power_w;
+        self.be_throughput_norm += o.be_throughput_norm;
+        self.be_ipc += o.be_ipc;
+        self.interference += o.interference;
+    }
+
+    fn mean(&self, n: f64) -> Observation {
+        Observation {
+            t_s: self.t_s / n,
+            qps: self.qps / n,
+            p95_ms: self.p95_ms / n,
+            in_target_fraction: self.in_target_fraction / n,
+            ls_utilization: self.ls_utilization / n,
+            power_w: self.power_w / n,
+            be_throughput_norm: self.be_throughput_norm / n,
+            be_ipc: self.be_ipc / n,
+            interference: self.interference / n,
+        }
+    }
+}
+
+/// One shard: a contiguous node range stepped as a single rayon task,
+/// controlled by one Sturgeon controller fed the shard-mean observation.
+struct Shard {
+    /// Global index of the shard's first node.
+    first_node: usize,
+    /// Per-node environments (private interference processes).
+    envs: Vec<CoLocationEnv>,
+    controller: SturgeonController,
+    /// The configuration in force on every node of the shard.
+    config: PairConfig,
+    slab: NodeSlab,
+    /// Per-node power budget (identical fleet-wide — homogeneous spec).
+    budget_w: f64,
+    intervals_stepped: u32,
+    /// Streaming aggregates: histogram buckets merged into the registry
+    /// after the run, running stats summarizing the shard for dispatch.
+    p95_hist: Histogram,
+    power_hist: Histogram,
+    tput_hist: Histogram,
+    p95_run: RunningStats,
+    /// Shard-mean p95 of the last stepped interval (dispatch summary).
+    last_mean_p95: f64,
+    /// Per-node load share staged for the interval being stepped.
+    next_qps_per_node: f64,
+    /// Sampled nodes (local index, full log) for debugging.
+    sampled: Vec<(usize, TelemetryLog)>,
+    /// Trace buffer drained by the run loop each interval (traced shard
+    /// only; stays empty otherwise).
+    traced: bool,
+    trace: Vec<TraceEvent>,
+}
+
+impl Shard {
+    fn len(&self) -> usize {
+        self.envs.len()
+    }
+
+    /// One monitor → decide → actuate interval for every node of the
+    /// shard, streaming telemetry into the shard aggregates.
+    fn step_interval(&mut self) {
+        let Self {
+            envs,
+            controller,
+            config,
+            slab,
+            budget_w,
+            p95_hist,
+            power_hist,
+            tput_hist,
+            p95_run,
+            sampled,
+            traced,
+            trace,
+            ..
+        } = self;
+        let qps = self.next_qps_per_node;
+        // Everything that depends only on (config, qps) is identical
+        // across the shard's nodes: evaluate it once, replay per node.
+        let invariants = envs[0].step_invariants(config, qps);
+        let mut sums = ObsSums::default();
+        for (i, env) in envs.iter_mut().enumerate() {
+            let obs = env.step_with(config, qps, &invariants);
+            slab.qps[i] = obs.qps;
+            slab.p95_ms[i] = obs.p95_ms;
+            slab.in_target[i] = obs.in_target_fraction;
+            slab.power_w[i] = obs.power_w;
+            slab.be_tput[i] = obs.be_throughput_norm;
+            slab.sum_qps[i] += obs.qps;
+            slab.sum_in_target_qps[i] += obs.qps * obs.in_target_fraction;
+            slab.sum_be_tput[i] += obs.be_throughput_norm;
+            slab.sum_power_w[i] += obs.power_w;
+            if obs.power_w > *budget_w {
+                slab.overload_intervals[i] += 1;
+            }
+            p95_hist.observe(obs.p95_ms);
+            power_hist.observe(obs.power_w);
+            tput_hist.observe(obs.be_throughput_norm);
+            p95_run.observe(obs.p95_ms);
+            sums.add(&obs);
+        }
+        self.intervals_stepped += 1;
+        for (local, log) in sampled.iter_mut() {
+            let i = *local;
+            log.push(IntervalSample {
+                t_s: self.intervals_stepped as f64,
+                qps: slab.qps[i],
+                p95_ms: slab.p95_ms[i],
+                in_target_fraction: slab.in_target[i],
+                power_w: slab.power_w[i],
+                be_throughput_norm: slab.be_tput[i],
+                config: slab.config[i],
+            });
+        }
+        let mean = sums.mean(envs.len() as f64);
+        self.last_mean_p95 = mean.p95_ms;
+        if *traced {
+            trace.push(TraceEvent::TelemetrySample {
+                t_s: mean.t_s,
+                qps: mean.qps,
+                p95_ms: mean.p95_ms,
+                power_w: mean.power_w,
+                be_throughput_norm: mean.be_throughput_norm,
+            });
+        }
+        let next = controller.decide(&mean, *config);
+        if next != *config {
+            debug_assert!(
+                next.validate(envs[0].spec()).is_ok(),
+                "controller returned invalid config"
+            );
+            *config = next;
+            slab.config.fill(next);
+        }
+        if *traced {
+            trace.extend(controller.take_trace());
+        }
+    }
+}
+
+/// One region: a contiguous shard group with its own dispatcher.
+struct Region {
+    /// Shard index range `[lo, hi)`.
+    lo: usize,
+    hi: usize,
+    /// Aggregate peak capacity (QPS) of the region's nodes.
+    peak_qps: f64,
+    dispatcher: Dispatcher,
+    /// Reusable per-shard p95 summary buffer.
+    p95_buf: Vec<f64>,
+}
+
+/// Fleet-wide results: the [`crate::cluster::ClusterResult`] aggregates
+/// plus the artifact-reuse counters that prove the shared-training path
+/// paid its offline costs once.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    /// Per-node summaries, in node order.
+    pub nodes: Vec<NodeResult>,
+    /// Query-weighted fleet QoS guarantee rate.
+    pub qos_rate: f64,
+    /// Sum of mean normalized BE throughput across nodes.
+    pub total_be_throughput: f64,
+    /// Mean total fleet power (W).
+    pub mean_fleet_power_w: f64,
+    /// Sum of per-node budgets (W).
+    pub fleet_budget_w: f64,
+    /// Robustness counters summed across shard controllers.
+    pub fault_counters: ControllerFaultCounters,
+    /// Offline predictor trainings paid during construction (1 in
+    /// [`TrainingMode::Shared`], one per shard in
+    /// [`TrainingMode::PerNode`]).
+    pub trainings: u64,
+    /// `ModelTables` constructions actually run across the fleet's
+    /// distinct predictors (0 until a pruned search needs them; 1 for a
+    /// shared-predictor fleet no matter how many shards search).
+    pub table_builds: u64,
+    /// Configuration searches run across all shard controllers.
+    pub searches: u64,
+}
+
+/// A homogeneous fleet of Sturgeon nodes stepped in shards.
+pub struct Fleet {
+    shards: Vec<Shard>,
+    regions: Vec<Region>,
+    /// The distinct predictor artifacts (1 or one per shard), kept for
+    /// the table-build accounting in [`FleetResult`].
+    predictors: Vec<Arc<PerfPowerPredictor>>,
+    spec: NodeSpec,
+    peak_qps_per_node: f64,
+    node_count: usize,
+    trainings: u64,
+}
+
+impl Fleet {
+    /// Builds a fleet of `nodes` nodes for one co-location pair. Panics
+    /// on invalid parameters; use [`Fleet::try_new`] for user input.
+    pub fn new(pair: ColocationPair, nodes: usize, params: FleetParams, seed: u64) -> Self {
+        Self::try_new(pair, nodes, params, seed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: validates the shard/region/policy geometry
+    /// and reports failures as [`SturgeonError::Setup`].
+    pub fn try_new(
+        pair: ColocationPair,
+        nodes: usize,
+        params: FleetParams,
+        seed: u64,
+    ) -> Result<Self, SturgeonError> {
+        if nodes == 0 {
+            return Err(SturgeonError::setup("fleet needs at least one node"));
+        }
+        let shard_count = match params.shards {
+            0 => (nodes / 256).clamp(1, 512).min(nodes),
+            s if s > nodes => {
+                return Err(SturgeonError::setup("more shards than nodes"));
+            }
+            s => s,
+        };
+        if params.regions == 0 || params.regions > shard_count {
+            return Err(SturgeonError::setup(
+                "region count must be in 1..=shard count",
+            ));
+        }
+        if matches!(params.policy, DispatchPolicy::Weighted(_)) && params.regions != 1 {
+            return Err(SturgeonError::setup(
+                "weighted dispatch requires a single region",
+            ));
+        }
+        if let Some(t) = params.traced_shard {
+            if t >= shard_count {
+                return Err(SturgeonError::setup("traced shard out of range"));
+            }
+        }
+
+        // The fleet is homogeneous: pair-level properties come from one
+        // setup; per-node environments differ only in interference seed.
+        let first = ExperimentSetup::new(pair, seed);
+        let peak = first.peak_qps();
+        let qos_target = first.qos_target_ms();
+        let budget_w = first.budget_w();
+        let spec = first.spec().clone();
+
+        let shared = match params.training {
+            TrainingMode::Shared => Some(Arc::new(first.train_default_predictor())),
+            TrainingMode::PerNode => None,
+        };
+        let mut predictors: Vec<Arc<PerfPowerPredictor>> = Vec::new();
+        if let Some(p) = &shared {
+            predictors.push(Arc::clone(p));
+        }
+
+        let mut shards = Vec::with_capacity(shard_count);
+        let base = nodes / shard_count;
+        let extra = nodes % shard_count;
+        let mut first_node = 0usize;
+        for s in 0..shard_count {
+            let len = base + usize::from(s < extra);
+            let shard_seed = seed.wrapping_add(first_node as u64);
+            let predictor = match &shared {
+                Some(p) => Arc::clone(p),
+                None => {
+                    let p =
+                        Arc::new(ExperimentSetup::new(pair, shard_seed).train_default_predictor());
+                    predictors.push(Arc::clone(&p));
+                    p
+                }
+            };
+            let controller = SturgeonController::with_shared_predictor(
+                predictor,
+                spec.clone(),
+                budget_w,
+                qos_target,
+                params.controller,
+            );
+            let config = controller.initial_config(&spec);
+            config.validate(&spec).map_err(|e| {
+                SturgeonError::setup(format!("shard {s}: initial config rejected: {e}"))
+            })?;
+            let envs: Vec<CoLocationEnv> = (0..len)
+                .map(|i| {
+                    ExperimentSetup::new(pair, seed.wrapping_add((first_node + i) as u64))
+                        .env()
+                        .clone()
+                })
+                .collect();
+            let sampled = (0..len)
+                .filter(|i| first_node + i < params.sampled_nodes)
+                .map(|i| (i, TelemetryLog::new()))
+                .collect();
+            let mut controller = controller;
+            let traced = params.traced_shard == Some(s);
+            if traced {
+                controller.set_tracing(true);
+            }
+            shards.push(Shard {
+                first_node,
+                envs,
+                controller,
+                config,
+                slab: NodeSlab::new(len, config),
+                budget_w,
+                intervals_stepped: 0,
+                p95_hist: Histogram::new(&DEFAULT_BUCKETS),
+                power_hist: Histogram::new(&DEFAULT_BUCKETS),
+                tput_hist: Histogram::new(&BE_THROUGHPUT_BUCKETS),
+                p95_run: RunningStats::new(),
+                last_mean_p95: 0.0,
+                next_qps_per_node: 0.0,
+                sampled,
+                traced,
+                trace: Vec::new(),
+            });
+            first_node += len;
+        }
+
+        // Regions: contiguous shard groups, sized as evenly as possible.
+        let mut regions = Vec::with_capacity(params.regions);
+        let rbase = shard_count / params.regions;
+        let rextra = shard_count % params.regions;
+        let mut lo = 0usize;
+        for r in 0..params.regions {
+            let rlen = rbase + usize::from(r < rextra);
+            let hi = lo + rlen;
+            let region_nodes: usize = shards[lo..hi].iter().map(Shard::len).sum();
+            regions.push(Region {
+                lo,
+                hi,
+                peak_qps: peak * region_nodes as f64,
+                dispatcher: Dispatcher::try_new(params.policy.clone(), rlen, qos_target)?,
+                p95_buf: vec![0.0; rlen],
+            });
+            lo = hi;
+        }
+
+        let trainings = match params.training {
+            TrainingMode::Shared => 1,
+            TrainingMode::PerNode => shard_count as u64,
+        };
+        Ok(Self {
+            shards,
+            regions,
+            predictors,
+            spec,
+            peak_qps_per_node: peak,
+            node_count: nodes,
+            trainings,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.node_count
+    }
+
+    /// True when the fleet has no nodes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.node_count == 0
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of regions.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// The node spec shared by the whole fleet.
+    pub fn spec(&self) -> &NodeSpec {
+        &self.spec
+    }
+
+    /// Aggregate peak capacity (QPS) of the fleet.
+    pub fn peak_qps(&self) -> f64 {
+        self.peak_qps_per_node * self.node_count as f64
+    }
+
+    /// Full telemetry logs of the sampled nodes, as
+    /// `(global node index, log)` in node order.
+    pub fn sampled_logs(&self) -> Vec<(usize, &TelemetryLog)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for (local, log) in &shard.sampled {
+                out.push((shard.first_node + local, log));
+            }
+        }
+        out.sort_by_key(|(i, _)| *i);
+        out
+    }
+
+    /// Runs the fleet for `duration_s` intervals under one fleet-wide
+    /// load profile (every region follows it against its own capacity).
+    pub fn run(&mut self, profile: LoadProfile, duration_s: u32) -> FleetResult {
+        let profiles = vec![profile; self.regions.len()];
+        self.run_impl(&profiles, duration_s, None)
+            .expect("region count matches by construction")
+    }
+
+    /// Runs the fleet with one load profile per region — the
+    /// regional-failover composition: give the failing region a profile
+    /// that drops to zero and the survivors one that absorbs the spill.
+    pub fn run_regional(
+        &mut self,
+        profiles: &[LoadProfile],
+        duration_s: u32,
+    ) -> Result<FleetResult, SturgeonError> {
+        self.run_impl(profiles, duration_s, None)
+    }
+
+    /// Like [`Fleet::run`], but streams the traced shard's decision
+    /// trace (see [`FleetParams::traced_shard`]) into `sink`.
+    pub fn run_traced(
+        &mut self,
+        profile: LoadProfile,
+        duration_s: u32,
+        sink: &mut dyn TraceSink,
+    ) -> FleetResult {
+        let profiles = vec![profile; self.regions.len()];
+        self.run_impl(&profiles, duration_s, Some(sink))
+            .expect("region count matches by construction")
+    }
+
+    fn run_impl(
+        &mut self,
+        profiles: &[LoadProfile],
+        duration_s: u32,
+        mut sink: Option<&mut dyn TraceSink>,
+    ) -> Result<FleetResult, SturgeonError> {
+        if profiles.len() != self.regions.len() {
+            return Err(SturgeonError::setup("one load profile per region"));
+        }
+        for t in 0..duration_s {
+            // Dispatch: per region, split the offered load across shards
+            // from last-interval shard summaries, then stage per-node
+            // shares. Cheap and serial; the stepping below is the work.
+            for (region, profile) in self.regions.iter_mut().zip(profiles) {
+                let total_qps = profile.qps_at(t as f64, region.peak_qps);
+                for (slot, shard) in region
+                    .p95_buf
+                    .iter_mut()
+                    .zip(&self.shards[region.lo..region.hi])
+                {
+                    *slot = shard.last_mean_p95;
+                }
+                let weights = region.dispatcher.fill_weights(&region.p95_buf);
+                for (shard, w) in self.shards[region.lo..region.hi].iter_mut().zip(weights) {
+                    shard.next_qps_per_node = total_qps * w / shard.len() as f64;
+                }
+            }
+            // Step every shard as one rayon task.
+            self.shards.par_iter_mut().for_each(Shard::step_interval);
+            // Drain the traced shard serially, keeping event order
+            // deterministic regardless of shard scheduling.
+            if let Some(sink) = sink.as_deref_mut() {
+                for shard in self.shards.iter_mut().filter(|s| s.traced) {
+                    for event in shard.trace.drain(..) {
+                        sink.record(&event);
+                    }
+                }
+            }
+        }
+        Ok(self.result())
+    }
+
+    /// Like [`Fleet::run`], but folds the fleet's streaming aggregates
+    /// into `registry` after the run: the per-shard histogram buckets
+    /// are merged in shard order, so the registry contents are
+    /// deterministic even though shards step in parallel.
+    pub fn run_with_metrics(
+        &mut self,
+        profile: LoadProfile,
+        duration_s: u32,
+        registry: &MetricsRegistry,
+    ) -> FleetResult {
+        let result = self.run(profile, duration_s);
+        self.export_metrics(&result, registry);
+        result
+    }
+
+    /// Folds the current streaming aggregates and the run summary into
+    /// `registry` (see [`Fleet::run_with_metrics`]).
+    pub fn export_metrics(&self, result: &FleetResult, registry: &MetricsRegistry) {
+        registry.set_gauge("fleet.nodes", self.node_count as f64);
+        registry.set_gauge("fleet.shards", self.shards.len() as f64);
+        registry.set_gauge("fleet.regions", self.regions.len() as f64);
+        let mut intervals = 0u64;
+        for shard in &self.shards {
+            intervals += shard.intervals_stepped as u64 * shard.len() as u64;
+            registry.merge_histogram("interval.p95_ms", &shard.p95_hist);
+            registry.merge_histogram("interval.power_w", &shard.power_hist);
+            registry.merge_histogram("interval.be_throughput", &shard.tput_hist);
+        }
+        registry.add("run.intervals", intervals);
+        let mut pruned_cells = 0u64;
+        let mut pruned_slices = 0u64;
+        let mut frontier_reuses = 0u64;
+        for shard in &self.shards {
+            let (cells, slices, reuses) = shard.controller.pruned_totals();
+            pruned_cells += cells;
+            pruned_slices += slices;
+            frontier_reuses += reuses;
+        }
+        registry.add("search.pruned_candidates", pruned_cells);
+        registry.add("search.pruned_subspaces", pruned_slices);
+        registry.add("search.frontier_reuses", frontier_reuses);
+        registry.add(
+            "controller.stale_intervals",
+            result.fault_counters.stale_intervals,
+        );
+        registry.add(
+            "controller.safe_mode_entries",
+            result.fault_counters.safe_mode_entries,
+        );
+        registry.add(
+            "balancer.retry_rounds",
+            result.fault_counters.balancer_retry_rounds,
+        );
+        registry.add("fleet.trainings", result.trainings);
+        registry.add("fleet.table_builds", result.table_builds);
+        registry.add("search.runs", result.searches);
+        registry.set_gauge("fleet.qos_rate", result.qos_rate);
+        registry.set_gauge("fleet.total_be_throughput", result.total_be_throughput);
+        registry.set_gauge("fleet.mean_power_w", result.mean_fleet_power_w);
+        registry.set_gauge("fleet.budget_w", result.fleet_budget_w);
+    }
+
+    /// Aggregates the per-node running sums into the run summary. Node
+    /// order and formulas mirror [`crate::cluster::Cluster`] exactly, so
+    /// a one-node-per-shard fleet reproduces `ClusterResult` bit for
+    /// bit.
+    fn result(&self) -> FleetResult {
+        let mut nodes = Vec::with_capacity(self.node_count);
+        let mut total_q = 0.0;
+        let mut in_target_q = 0.0;
+        let mut total_tput = 0.0;
+        let mut total_power = 0.0;
+        let mut budget = 0.0;
+        let mut fault_counters = ControllerFaultCounters::default();
+        let mut searches = 0u64;
+        for shard in &self.shards {
+            let c = shard.controller.fault_counters();
+            fault_counters.stale_intervals += c.stale_intervals;
+            fault_counters.safe_mode_entries += c.safe_mode_entries;
+            fault_counters.balancer_retry_rounds += c.balancer_retry_rounds;
+            searches += shard.controller.search_count();
+            let intervals = shard.intervals_stepped;
+            for i in 0..shard.len() {
+                // The same aggregates TelemetryLog computes, from the
+                // streamed per-node running sums.
+                let q = shard.slab.sum_qps[i];
+                let qos = if q == 0.0 {
+                    1.0
+                } else {
+                    shard.slab.sum_in_target_qps[i] / q
+                };
+                let (tput, mean_power, overload) = if intervals == 0 {
+                    (0.0, 0.0, 0.0)
+                } else {
+                    (
+                        shard.slab.sum_be_tput[i] / intervals as f64,
+                        shard.slab.sum_power_w[i] / intervals as f64,
+                        shard.slab.overload_intervals[i] as f64 / intervals as f64,
+                    )
+                };
+                total_q += q;
+                in_target_q += q * qos;
+                total_tput += tput;
+                total_power += mean_power;
+                budget += shard.budget_w;
+                nodes.push(NodeResult {
+                    node: shard.first_node + i,
+                    qos_rate: qos,
+                    mean_be_throughput: tput,
+                    overload_fraction: overload,
+                    mean_power_w: mean_power,
+                });
+            }
+        }
+        FleetResult {
+            nodes,
+            qos_rate: if total_q > 0.0 {
+                in_target_q / total_q
+            } else {
+                1.0
+            },
+            total_be_throughput: total_tput,
+            mean_fleet_power_w: total_power,
+            fleet_budget_w: budget,
+            fault_counters,
+            trainings: self.trainings,
+            table_builds: self.predictors.iter().map(|p| p.table_builds()).sum(),
+            searches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{SearchParams, SearchStrategy};
+    use sturgeon_workloads::catalog::{BeAppId, LsServiceId};
+
+    fn pair() -> ColocationPair {
+        ColocationPair::new(LsServiceId::Xapian, BeAppId::Swaptions)
+    }
+
+    fn pruned_params() -> ControllerParams {
+        ControllerParams {
+            search: SearchParams {
+                strategy: SearchStrategy::FrontierPruned,
+                ..SearchParams::default()
+            },
+            ..ControllerParams::default()
+        }
+    }
+
+    #[test]
+    fn shared_fleet_trains_once_and_builds_tables_once() {
+        let params = FleetParams {
+            shards: 4,
+            controller: pruned_params(),
+            ..FleetParams::default()
+        };
+        let mut fleet = Fleet::new(pair(), 16, params, 42);
+        assert_eq!(fleet.shard_count(), 4);
+        let r = fleet.run(LoadProfile::Constant { fraction: 0.3 }, 40);
+        assert!(r.qos_rate > 0.9, "fleet QoS {}", r.qos_rate);
+        assert_eq!(r.trainings, 1, "shared fleet must train exactly once");
+        assert_eq!(
+            r.table_builds, 1,
+            "4 pruned shard searches must share one table build"
+        );
+        assert!(r.searches >= 4, "every shard searches at least once");
+        assert_eq!(r.nodes.len(), 16);
+    }
+
+    #[test]
+    fn per_node_training_pays_per_shard() {
+        let params = FleetParams {
+            shards: 3,
+            training: TrainingMode::PerNode,
+            ..FleetParams::default()
+        };
+        let mut fleet = Fleet::new(pair(), 3, params, 7);
+        let r = fleet.run(LoadProfile::Constant { fraction: 0.3 }, 10);
+        assert_eq!(r.trainings, 3);
+        // Every shard owns a private predictor, so any table work is
+        // paid per shard — never more than once per predictor, and
+        // never amortized the way the shared fleet amortizes it.
+        assert!(
+            r.table_builds <= 3,
+            "at most one build per private predictor, got {}",
+            r.table_builds
+        );
+    }
+
+    #[test]
+    fn streaming_memory_is_independent_of_duration() {
+        let params = FleetParams {
+            shards: 2,
+            sampled_nodes: 1,
+            ..FleetParams::default()
+        };
+        let mut fleet = Fleet::new(pair(), 8, params, 11);
+        let r = fleet.run(LoadProfile::paper_fluctuating(60.0), 120);
+        // One sampled node holds a full log; everything else streams.
+        let logs = fleet.sampled_logs();
+        assert_eq!(logs.len(), 1);
+        assert_eq!(logs[0].0, 0);
+        assert_eq!(logs[0].1.len(), 120);
+        // The streamed aggregates saw every node-interval.
+        let registry = MetricsRegistry::new();
+        fleet.export_metrics(&r, &registry);
+        assert_eq!(registry.counter("run.intervals"), 8 * 120);
+        assert_eq!(
+            registry.histogram("interval.p95_ms").unwrap().count,
+            8 * 120
+        );
+        assert_eq!(registry.gauge("fleet.qos_rate"), Some(r.qos_rate));
+    }
+
+    #[test]
+    fn regional_failover_moves_load_to_survivors() {
+        let params = FleetParams {
+            shards: 4,
+            regions: 2,
+            ..FleetParams::default()
+        };
+        let mut fleet = Fleet::new(pair(), 8, params, 3);
+        assert_eq!(fleet.region_count(), 2);
+        let base = LoadProfile::Constant { fraction: 0.4 };
+        let failing = LoadProfile::Failover {
+            base: Box::new(base.clone()),
+            at_s: 20.0,
+            outage_s: 40.0,
+            takeover: 0.5,
+            role: sturgeon_workloads::loadgen::FailoverRole::Failing,
+        };
+        let surviving = LoadProfile::Failover {
+            base: Box::new(base),
+            at_s: 20.0,
+            outage_s: 40.0,
+            takeover: 0.5,
+            role: sturgeon_workloads::loadgen::FailoverRole::Survivor,
+        };
+        let r = fleet
+            .run_regional(&[failing, surviving], 80)
+            .expect("two profiles, two regions");
+        assert!(r.qos_rate > 0.85, "failover fleet QoS {}", r.qos_rate);
+        // The failing region's nodes (first half) served fewer queries;
+        // check via the survivors' higher mean power draw under load.
+        let first_half: f64 = r.nodes[..4].iter().map(|n| n.mean_power_w).sum();
+        let second_half: f64 = r.nodes[4..].iter().map(|n| n.mean_power_w).sum();
+        assert!(
+            second_half > first_half,
+            "survivors must absorb load: {first_half:.1} vs {second_half:.1}"
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_bad_geometry() {
+        let err = |p: FleetParams, n: usize| Fleet::try_new(pair(), n, p, 1).err().unwrap();
+        assert!(matches!(
+            err(FleetParams::default(), 0),
+            SturgeonError::Setup(_)
+        ));
+        let e = err(
+            FleetParams {
+                shards: 5,
+                ..FleetParams::default()
+            },
+            3,
+        );
+        assert!(e.to_string().contains("shards"), "{e}");
+        let e = err(
+            FleetParams {
+                shards: 2,
+                regions: 3,
+                ..FleetParams::default()
+            },
+            4,
+        );
+        assert!(e.to_string().contains("region"), "{e}");
+        let e = err(
+            FleetParams {
+                shards: 2,
+                regions: 2,
+                policy: DispatchPolicy::Weighted(vec![1.0, 1.0]),
+                ..FleetParams::default()
+            },
+            4,
+        );
+        assert!(e.to_string().contains("single region"), "{e}");
+    }
+
+    #[test]
+    fn auto_shards_scale_with_nodes() {
+        let f = Fleet::new(pair(), 1, FleetParams::default(), 1);
+        assert_eq!(f.shard_count(), 1);
+        let params = FleetParams {
+            shards: 2,
+            ..FleetParams::default()
+        };
+        let f = Fleet::new(pair(), 3, params, 1);
+        assert_eq!(f.shard_count(), 2);
+        // Contiguous split: 2 + 1.
+        assert_eq!(f.shards[0].len(), 2);
+        assert_eq!(f.shards[1].len(), 1);
+        assert_eq!(f.shards[1].first_node, 2);
+    }
+}

@@ -40,8 +40,10 @@ pub mod baselines;
 pub mod cache;
 pub mod cluster;
 pub mod controller;
+pub mod dispatch;
 pub mod error;
 pub mod experiment;
+pub mod fleet;
 pub mod heracles;
 pub mod multi;
 pub mod obs;
@@ -58,16 +60,18 @@ pub mod prelude {
     pub use crate::balancer::{BalancerAction, BalancerParams, HarvestTarget, ResourceBalancer};
     pub use crate::baselines::{PartiesController, StaticReservationController};
     pub use crate::cache::{FrontierCache, PredictionCache};
-    pub use crate::cluster::{Cluster, ClusterResult, DispatchPolicy};
+    pub use crate::cluster::{Cluster, ClusterResult};
     pub use crate::controller::{
         ControllerFaultCounters, ControllerParams, ResourceController, RobustnessParams,
         SturgeonController,
     };
+    pub use crate::dispatch::{DispatchPolicy, Dispatcher};
     pub use crate::error::SturgeonError;
     pub use crate::experiment::{
         ActuationPolicy, ColocationPair, ConfiguredRun, ExperimentSetup, FaultReport, RunBuilder,
         RunResult,
     };
+    pub use crate::fleet::{Fleet, FleetParams, FleetResult, TrainingMode};
     pub use crate::heracles::{HeraclesController, HeraclesParams};
     pub use crate::multi::{
         MultiProfiler, MultiProfilerConfig, MultiSearch, MultiSturgeonController,

@@ -130,6 +130,29 @@ impl Histogram {
         self.max
     }
 
+    /// The bucket upper bounds (the overflow bucket is implicit).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Folds another histogram into this one bucket-by-bucket. Both
+    /// histograms must share the same bounds (the merge is the shard →
+    /// fleet aggregation step, and shards are built from one template);
+    /// returns `false` without mutating anything when they differ.
+    pub fn merge(&mut self, other: &Histogram) -> bool {
+        if self.bounds != other.bounds {
+            return false;
+        }
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        true
+    }
+
     /// An owned snapshot for export.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
@@ -144,6 +167,78 @@ impl Histogram {
             p95: self.quantile(0.95),
             p99: self.quantile(0.99),
         }
+    }
+}
+
+/// Streaming count/mean/extrema accumulator — the O(1)-memory summary a
+/// shard keeps per channel instead of a full sample log. Merging two
+/// accumulators gives exactly the stats of the concatenated streams.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningStats {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation (non-finite values are dropped, matching
+    /// [`Histogram::observe`]).
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds another accumulator into this one.
+    pub fn merge(&mut self, other: &RunningStats) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observation, if any.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, if any.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
     }
 }
 
@@ -229,6 +324,20 @@ impl MetricsRegistry {
             .entry(name.to_string())
             .or_insert_with(|| Histogram::new(bounds))
             .observe(value);
+    }
+
+    /// Folds a pre-aggregated histogram into the named registry
+    /// histogram, creating it as an empty clone of `other`'s bounds on
+    /// first touch. This is the streaming-aggregation entry point: shards
+    /// accumulate locally without taking the registry lock per sample,
+    /// then merge once. Returns `false` (registry untouched) on a bucket
+    ///-bounds mismatch with an existing histogram.
+    pub fn merge_histogram(&self, name: &str, other: &Histogram) -> bool {
+        self.lock()
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(other.bounds()))
+            .merge(other)
     }
 
     /// Current value of a counter (0 when never touched).
@@ -438,6 +547,64 @@ mod tests {
         // Non-finite observations are dropped.
         h.observe(f64::NAN);
         assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn histogram_merge_matches_single_stream() {
+        let bounds = [1.0, 10.0, 100.0];
+        let mut whole = Histogram::new(&bounds);
+        let mut a = Histogram::new(&bounds);
+        let mut b = Histogram::new(&bounds);
+        for (i, v) in [0.5, 2.0, 3.0, 50.0, 200.0, 7.0].iter().enumerate() {
+            whole.observe(*v);
+            if i % 2 == 0 { &mut a } else { &mut b }.observe(*v);
+        }
+        assert!(a.merge(&b));
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.sum(), whole.sum());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        assert_eq!(a.snapshot().counts, whole.snapshot().counts);
+        // Mismatched bounds refuse to merge and leave the target alone.
+        let other = Histogram::new(&[5.0]);
+        let before = a.snapshot();
+        assert!(!a.merge(&other));
+        assert_eq!(a.snapshot(), before);
+    }
+
+    #[test]
+    fn running_stats_merge_matches_single_stream() {
+        let mut whole = RunningStats::new();
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for (i, v) in [3.0, -1.0, f64::NAN, 8.5, 0.0].iter().enumerate() {
+            whole.observe(*v);
+            if i < 2 { &mut a } else { &mut b }.observe(*v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.min(), Some(-1.0));
+        assert_eq!(a.max(), Some(8.5));
+        assert!((a.mean() - 10.5 / 4.0).abs() < 1e-12);
+        assert_eq!(RunningStats::new().mean(), 0.0);
+        assert_eq!(RunningStats::new().min(), None);
+    }
+
+    #[test]
+    fn registry_merges_shard_histograms() {
+        let m = MetricsRegistry::new();
+        let mut shard = Histogram::new(&DEFAULT_BUCKETS);
+        shard.observe(3.0);
+        shard.observe(40.0);
+        assert!(m.merge_histogram("lat", &shard));
+        assert!(m.merge_histogram("lat", &shard));
+        let snap = m.histogram("lat").unwrap();
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.sum, 86.0);
+        // Bounds mismatch against the existing histogram is rejected.
+        assert!(!m.merge_histogram("lat", &Histogram::new(&[1.0])));
+        assert_eq!(m.histogram("lat").unwrap().count, 4);
     }
 
     #[test]

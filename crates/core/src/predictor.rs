@@ -199,6 +199,10 @@ pub struct PerfPowerPredictor {
     /// Lazily built flattened BE lattices (see [`ModelTables`]), rebuilt
     /// when the generation moves or a different node spec is asked for.
     tables: Mutex<Option<Arc<ModelTables>>>,
+    /// How many times [`model_tables`](Self::model_tables) actually built
+    /// tables (cache refreshes included). A fleet sharing one predictor
+    /// reads this to prove table construction was paid exactly once.
+    table_builds: AtomicU64,
 }
 
 impl std::fmt::Debug for PerfPowerPredictor {
@@ -252,6 +256,7 @@ impl PerfPowerPredictor {
             cache: PredictionCache::new(),
             generation: AtomicU64::new(0),
             tables: Mutex::new(None),
+            table_builds: AtomicU64::new(0),
         })
     }
 
@@ -368,7 +373,14 @@ impl PerfPowerPredictor {
             },
         ));
         *slot = Some(Arc::clone(&built));
+        self.table_builds.fetch_add(1, Ordering::Relaxed);
         built
+    }
+
+    /// How many times table construction actually ran (as opposed to
+    /// being served from the per-(generation, spec) cache).
+    pub fn table_builds(&self) -> u64 {
+        self.table_builds.load(Ordering::Relaxed)
     }
 
     /// Does `<cores, freq, ways>` meet the LS QoS target at `qps`?

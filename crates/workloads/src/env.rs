@@ -36,6 +36,26 @@ pub struct Observation {
     pub interference: f64,
 }
 
+/// The parts of one [`CoLocationEnv::step`] that depend only on
+/// `(config, qps)` and the workload models — not on the node's private
+/// interference state. A homogeneous shard whose nodes share one
+/// configuration and load computes these once per interval and replays
+/// them into every node via [`CoLocationEnv::step_with`]; the result is
+/// bit-identical to calling [`CoLocationEnv::step`] on each node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepInvariants {
+    /// BE memory traffic feeding the interference model.
+    pub be_traffic: f64,
+    /// LS share of LLC ways in `[0, 1]`.
+    pub ls_ways_fraction: f64,
+    /// Ground-truth package power (W) — interference-free by definition.
+    pub power_w: f64,
+    /// BE throughput normalized to its whole-node solo run.
+    pub be_throughput_norm: f64,
+    /// BE IPC proxy.
+    pub be_ipc: f64,
+}
+
 /// A co-location of one LS service and one BE app on one node.
 #[derive(Debug, Clone)]
 pub struct CoLocationEnv {
@@ -165,19 +185,51 @@ impl CoLocationEnv {
 
     /// Simulates one monitoring interval (1 s) under `config` at `qps`.
     pub fn step(&mut self, config: &PairConfig, qps: f64) -> Observation {
+        let invariants = self.step_invariants(config, qps);
+        self.step_with(config, qps, &invariants)
+    }
+
+    /// Evaluates the interference-free parts of one interval — a pure
+    /// function of `(config, qps)` shareable across every node of a
+    /// homogeneous shard running the same configuration and load.
+    pub fn step_invariants(&self, config: &PairConfig, qps: f64) -> StepInvariants {
+        let be_f = config.be.freq_ghz(&self.spec);
+        StepInvariants {
+            be_traffic: self
+                .be
+                .memory_traffic(config.be.cores, be_f, config.be.llc_ways),
+            ls_ways_fraction: config.ls.llc_ways as f64 / self.spec.total_llc_ways as f64,
+            power_w: self.total_power(config, qps),
+            be_throughput_norm: self.be.normalized_throughput(
+                config.be.cores,
+                be_f,
+                config.be.llc_ways,
+            ),
+            be_ipc: self.be.ipc(config.be.cores, be_f, config.be.llc_ways),
+        }
+    }
+
+    /// Simulates one interval replaying precomputed
+    /// [`StepInvariants`] and advancing only this node's private
+    /// interference process. `step(config, qps)` is exactly
+    /// `step_with(config, qps, &step_invariants(config, qps))`.
+    pub fn step_with(
+        &mut self,
+        config: &PairConfig,
+        qps: f64,
+        invariants: &StepInvariants,
+    ) -> Observation {
         debug_assert!(config.validate(&self.spec).is_ok(), "invalid config");
+        debug_assert_eq!(*invariants, self.step_invariants(config, qps));
         self.t_s += 1.0;
         let ls_f = config.ls.freq_ghz(&self.spec);
-        let be_f = config.be.freq_ghz(&self.spec);
 
         // Interference from the BE co-runner plus OS jitter.
-        let be_traffic = self
-            .be
-            .memory_traffic(config.be.cores, be_f, config.be.llc_ways);
-        let ls_ways_fraction = config.ls.llc_ways as f64 / self.spec.total_llc_ways as f64;
-        let disturbance =
-            self.interference
-                .step(be_traffic, ls_ways_fraction, self.ls.params.bw_sensitivity);
+        let disturbance = self.interference.step(
+            invariants.be_traffic,
+            invariants.ls_ways_fraction,
+            self.ls.params.bw_sensitivity,
+        );
 
         let lat = self.ls.latency_disturbed(
             config.ls.cores,
@@ -188,21 +240,15 @@ impl CoLocationEnv {
             disturbance.additive_ms,
         );
 
-        let power_w = self.total_power(config, qps);
-        let be_tput = self
-            .be
-            .normalized_throughput(config.be.cores, be_f, config.be.llc_ways);
-        let be_ipc = self.be.ipc(config.be.cores, be_f, config.be.llc_ways);
-
         Observation {
             t_s: self.t_s,
             qps,
             p95_ms: lat.p95_ms,
             in_target_fraction: lat.in_target_fraction,
             ls_utilization: lat.utilization,
-            power_w,
-            be_throughput_norm: be_tput,
-            be_ipc,
+            power_w: invariants.power_w,
+            be_throughput_norm: invariants.be_throughput_norm,
+            be_ipc: invariants.be_ipc,
             interference: disturbance.multiplier,
         }
     }

@@ -71,6 +71,51 @@ pub enum LoadProfile {
         /// Spacing between samples in seconds.
         dt_s: f64,
     },
+    /// A flash crowd layered on a base profile: the load multiplier
+    /// ramps from 1 to `magnitude` over `ramp_s`, holds for `hold_s`,
+    /// then decays back to 1 over `decay_s` (the trace shape of a viral
+    /// event or a retry storm). The product is still clamped to `[0, 1]`
+    /// of peak.
+    FlashCrowd {
+        /// The everyday load underneath the event.
+        base: Box<LoadProfile>,
+        /// Event start time (s).
+        at_s: f64,
+        /// Seconds from onset to full magnitude.
+        ramp_s: f64,
+        /// Seconds held at full magnitude.
+        hold_s: f64,
+        /// Seconds to decay back to the base load.
+        decay_s: f64,
+        /// Peak load multiplier (≥ 1 to model a surge).
+        magnitude: f64,
+    },
+    /// A regional failover layered on a base profile. The `Failing`
+    /// role's load drops to zero for `outage_s` seconds starting at
+    /// `at_s`; the `Survivor` role absorbs the spill, serving
+    /// `base × (1 + takeover)` for the same window.
+    Failover {
+        /// The steady-state regional load.
+        base: Box<LoadProfile>,
+        /// Outage start time (s).
+        at_s: f64,
+        /// Outage duration (s).
+        outage_s: f64,
+        /// Extra load fraction shifted onto each surviving region
+        /// during the outage.
+        takeover: f64,
+        /// Which side of the failover this region plays.
+        role: FailoverRole,
+    },
+}
+
+/// Which side of a [`LoadProfile::Failover`] a region plays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailoverRole {
+    /// The region that goes dark during the outage window.
+    Failing,
+    /// A region that absorbs the failed region's traffic.
+    Survivor,
 }
 
 impl LoadProfile {
@@ -117,6 +162,8 @@ impl LoadProfile {
             LoadProfile::Diurnal { .. } => "diurnal",
             LoadProfile::Step { .. } => "step",
             LoadProfile::Trace { .. } => "trace",
+            LoadProfile::FlashCrowd { .. } => "flash_crowd",
+            LoadProfile::Failover { .. } => "failover",
         }
     }
 
@@ -186,6 +233,44 @@ impl LoadProfile {
                         let frac = pos - i as f64;
                         samples[i] * (1.0 - frac) + samples[i + 1] * frac
                     }
+                }
+            }
+            LoadProfile::FlashCrowd {
+                base,
+                at_s,
+                ramp_s,
+                hold_s,
+                decay_s,
+                magnitude,
+            } => {
+                let since = t - at_s;
+                let surge = magnitude - 1.0;
+                let mult = if since < 0.0 {
+                    1.0
+                } else if since < *ramp_s {
+                    1.0 + surge * (since / ramp_s)
+                } else if since < ramp_s + hold_s {
+                    *magnitude
+                } else if since < ramp_s + hold_s + decay_s {
+                    let into_decay = since - ramp_s - hold_s;
+                    *magnitude - surge * (into_decay / decay_s)
+                } else {
+                    1.0
+                };
+                base.fraction_at(t) * mult
+            }
+            LoadProfile::Failover {
+                base,
+                at_s,
+                outage_s,
+                takeover,
+                role,
+            } => {
+                let in_outage = t >= *at_s && t < at_s + outage_s;
+                match (role, in_outage) {
+                    (FailoverRole::Failing, true) => 0.0,
+                    (FailoverRole::Survivor, true) => base.fraction_at(t) * (1.0 + takeover),
+                    (_, false) => base.fraction_at(t),
                 }
             }
         };
@@ -310,5 +395,62 @@ mod tests {
             period_s: 0.0,
         };
         assert_eq!(p.fraction_at(5.0), 0.3);
+    }
+
+    #[test]
+    fn flash_crowd_ramps_holds_and_decays() {
+        let p = LoadProfile::FlashCrowd {
+            base: Box::new(LoadProfile::Constant { fraction: 0.3 }),
+            at_s: 100.0,
+            ramp_s: 10.0,
+            hold_s: 20.0,
+            decay_s: 10.0,
+            magnitude: 2.0,
+        };
+        assert!((p.fraction_at(0.0) - 0.3).abs() < 1e-12, "before the event");
+        assert!((p.fraction_at(105.0) - 0.45).abs() < 1e-12, "mid-ramp");
+        assert!((p.fraction_at(120.0) - 0.6).abs() < 1e-12, "held at 2x");
+        assert!((p.fraction_at(135.0) - 0.45).abs() < 1e-12, "mid-decay");
+        assert!((p.fraction_at(200.0) - 0.3).abs() < 1e-12, "after decay");
+        assert_eq!(p.name(), "flash_crowd");
+        // A surge past peak saturates instead of overflowing.
+        let hot = LoadProfile::FlashCrowd {
+            base: Box::new(LoadProfile::Constant { fraction: 0.8 }),
+            at_s: 0.0,
+            ramp_s: 1.0,
+            hold_s: 10.0,
+            decay_s: 1.0,
+            magnitude: 3.0,
+        };
+        assert_eq!(hot.fraction_at(5.0), 1.0);
+    }
+
+    #[test]
+    fn failover_roles_mirror_each_other() {
+        let base = Box::new(LoadProfile::Constant { fraction: 0.4 });
+        let failing = LoadProfile::Failover {
+            base: base.clone(),
+            at_s: 50.0,
+            outage_s: 30.0,
+            takeover: 0.5,
+            role: FailoverRole::Failing,
+        };
+        let survivor = LoadProfile::Failover {
+            base,
+            at_s: 50.0,
+            outage_s: 30.0,
+            takeover: 0.5,
+            role: FailoverRole::Survivor,
+        };
+        // Before and after the outage both serve the base load.
+        for t in [0.0, 49.9, 80.0, 200.0] {
+            assert!((failing.fraction_at(t) - 0.4).abs() < 1e-12, "t={t}");
+            assert!((survivor.fraction_at(t) - 0.4).abs() < 1e-12, "t={t}");
+        }
+        // During the outage the failing region goes dark and the
+        // survivor serves base × 1.5.
+        assert_eq!(failing.fraction_at(60.0), 0.0);
+        assert!((survivor.fraction_at(60.0) - 0.6).abs() < 1e-12);
+        assert_eq!(failing.name(), "failover");
     }
 }

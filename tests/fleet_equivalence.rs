@@ -1,0 +1,155 @@
+//! Pinned-seed equivalence between the fleet-scale control plane and
+//! the reference [`Cluster`]: a [`Fleet`] built with one node per shard
+//! in [`TrainingMode::PerNode`] runs the same per-node training, the
+//! same dispatch arithmetic and the same controller trajectory as
+//! today's `Cluster`, so every aggregate must match **bit for bit** —
+//! not approximately. This is the contract that lets the sharded /
+//! shared-artifact fast paths be trusted: they are refactorings of a
+//! loop whose semantics are pinned here.
+
+use sturgeon::cluster::{Cluster, ClusterResult};
+use sturgeon::dispatch::DispatchPolicy;
+use sturgeon::fleet::{Fleet, FleetParams, FleetResult, TrainingMode};
+use sturgeon_workloads::catalog::{BeAppId, LsServiceId};
+use sturgeon_workloads::loadgen::LoadProfile;
+
+fn pair() -> sturgeon::experiment::ColocationPair {
+    sturgeon::experiment::ColocationPair::new(LsServiceId::Xapian, BeAppId::Swaptions)
+}
+
+fn assert_bit_identical(cluster: &ClusterResult, fleet: &FleetResult) {
+    assert_eq!(cluster.nodes.len(), fleet.nodes.len());
+    for (c, f) in cluster.nodes.iter().zip(&fleet.nodes) {
+        assert_eq!(c.node, f.node);
+        assert_eq!(
+            c.qos_rate.to_bits(),
+            f.qos_rate.to_bits(),
+            "node {} qos: {} vs {}",
+            c.node,
+            c.qos_rate,
+            f.qos_rate
+        );
+        assert_eq!(
+            c.mean_be_throughput.to_bits(),
+            f.mean_be_throughput.to_bits(),
+            "node {} throughput: {} vs {}",
+            c.node,
+            c.mean_be_throughput,
+            f.mean_be_throughput
+        );
+        assert_eq!(
+            c.overload_fraction.to_bits(),
+            f.overload_fraction.to_bits(),
+            "node {} overload",
+            c.node
+        );
+        assert_eq!(
+            c.mean_power_w.to_bits(),
+            f.mean_power_w.to_bits(),
+            "node {} power: {} vs {}",
+            c.node,
+            c.mean_power_w,
+            f.mean_power_w
+        );
+    }
+    assert_eq!(
+        cluster.qos_rate.to_bits(),
+        fleet.qos_rate.to_bits(),
+        "fleet qos: {} vs {}",
+        cluster.qos_rate,
+        fleet.qos_rate
+    );
+    assert_eq!(
+        cluster.total_be_throughput.to_bits(),
+        fleet.total_be_throughput.to_bits()
+    );
+    assert_eq!(
+        cluster.mean_cluster_power_w.to_bits(),
+        fleet.mean_fleet_power_w.to_bits()
+    );
+    assert_eq!(
+        cluster.cluster_budget_w.to_bits(),
+        fleet.fleet_budget_w.to_bits()
+    );
+    assert_eq!(
+        cluster.fault_counters.stale_intervals,
+        fleet.fault_counters.stale_intervals
+    );
+    assert_eq!(
+        cluster.fault_counters.safe_mode_entries,
+        fleet.fault_counters.safe_mode_entries
+    );
+    assert_eq!(
+        cluster.fault_counters.balancer_retry_rounds,
+        fleet.fault_counters.balancer_retry_rounds
+    );
+}
+
+fn fleet_params(n: usize, policy: DispatchPolicy) -> FleetParams {
+    FleetParams {
+        shards: n, // one node per shard: the Cluster control loop exactly
+        training: TrainingMode::PerNode,
+        policy,
+        ..FleetParams::default()
+    }
+}
+
+#[test]
+fn per_node_fleet_matches_cluster_even_dispatch() {
+    const SEED: u64 = 42;
+    const NODES: usize = 2;
+    let profile = LoadProfile::paper_fluctuating(60.0);
+    let mut cluster = Cluster::new(pair(), NODES, DispatchPolicy::Even, SEED);
+    let cr = cluster.run(profile.clone(), 50);
+    let mut fleet = Fleet::new(
+        pair(),
+        NODES,
+        fleet_params(NODES, DispatchPolicy::Even),
+        SEED,
+    );
+    let fr = fleet.run(profile, 50);
+    assert_eq!(fr.trainings, NODES as u64, "per-node mode trains per shard");
+    assert_bit_identical(&cr, &fr);
+}
+
+#[test]
+fn per_node_fleet_matches_cluster_latency_aware_dispatch() {
+    const SEED: u64 = 7;
+    const NODES: usize = 3;
+    // LatencyAware couples the nodes through the dispatcher's EWMA
+    // state, so this also pins the Fleet's shard-summary plumbing
+    // (shard mean of one node == the node) bit for bit.
+    let profile = LoadProfile::paper_fluctuating(80.0);
+    let mut cluster = Cluster::new(pair(), NODES, DispatchPolicy::LatencyAware, SEED);
+    let cr = cluster.run(profile.clone(), 60);
+    let mut fleet = Fleet::new(
+        pair(),
+        NODES,
+        fleet_params(NODES, DispatchPolicy::LatencyAware),
+        SEED,
+    );
+    let fr = fleet.run(profile, 60);
+    assert_bit_identical(&cr, &fr);
+}
+
+#[test]
+fn shared_training_stays_on_the_same_trajectory() {
+    // Shared training is bit-identical to per-node training because the
+    // profiler runs interference-free with its own seed: the predictor
+    // a node trains is independent of the node seed. A shared-predictor
+    // fleet must therefore match the Cluster too.
+    const SEED: u64 = 11;
+    const NODES: usize = 2;
+    let profile = LoadProfile::Constant { fraction: 0.5 };
+    let mut cluster = Cluster::new(pair(), NODES, DispatchPolicy::Even, SEED);
+    let cr = cluster.run(profile.clone(), 40);
+    let params = FleetParams {
+        shards: NODES,
+        training: TrainingMode::Shared,
+        ..FleetParams::default()
+    };
+    let mut fleet = Fleet::new(pair(), NODES, params, SEED);
+    let fr = fleet.run(profile, 40);
+    assert_eq!(fr.trainings, 1, "shared mode trains once");
+    assert_bit_identical(&cr, &fr);
+}
