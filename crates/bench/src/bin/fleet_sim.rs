@@ -1,7 +1,8 @@
 //! `fleet_sim` — the fleet-scale control-plane benchmark driver.
 //!
 //! ```text
-//! fleet_sim [--nodes 10000] [--intervals 1000] [--shards 0] [--regions 1]
+//! fleet_sim [--manifest scenario.toml]
+//!           [--nodes 10000] [--intervals 1000] [--shards 0] [--regions 1]
 //!           [--ls memcached] [--be raytrace]
 //!           [--profile diurnal|triangle|constant|flash|failover]
 //!           [--fraction 0.3] [--policy even|latency] [--search heuristic|pruned]
@@ -9,25 +10,30 @@
 //!           [--trace PATH.jsonl] [--json PATH.json]
 //! ```
 //!
-//! Runs one fleet sweep and prints the paper's QoS/throughput metrics
-//! together with the control-plane accounting this benchmark exists to
-//! demonstrate: wall-clock, peak RSS (from `/proc/self/status`, so the
-//! streaming-aggregation memory claim is checkable), and how many
-//! predictor trainings / `ModelTables` builds the whole fleet paid.
-//! `--json` writes the measurements as one machine-readable row —
-//! `BENCH_fleet.json` is an array of such rows; CI replays the 1k-node
-//! smoke row and asserts against it. `--trace` streams shard 0's
-//! decision trace as JSON Lines (validated by `trace_validate`).
+//! Both entry points lower onto the same [`sturgeon::scenario`] code:
+//! `--manifest` loads a TOML fleet scenario, while the ad-hoc flags
+//! build the equivalent [`Scenario`] in memory — so the two paths
+//! cannot drift. Runs one fleet sweep and prints the paper's
+//! QoS/throughput metrics together with the control-plane accounting
+//! this benchmark exists to demonstrate: wall-clock, peak RSS (from
+//! `/proc/self/status`, so the streaming-aggregation memory claim is
+//! checkable), and how many predictor trainings / `ModelTables` builds
+//! the whole fleet paid. `--json` writes the measurements as one
+//! machine-readable row — `BENCH_fleet.json` is an array of such rows;
+//! CI replays the 1k-node smoke row and gates it with `stats`.
+//! `--trace` streams shard 0's decision trace as JSON Lines (validated
+//! by `trace_validate`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
-use sturgeon::fleet::{Fleet, FleetParams, TrainingMode};
+use sturgeon::fleet::Fleet;
 use sturgeon::prelude::*;
-use sturgeon::search::{SearchParams, SearchStrategy};
+use sturgeon::scenario;
 
 #[derive(Debug)]
 struct Args {
+    manifest: Option<PathBuf>,
     nodes: usize,
     intervals: u32,
     shards: usize,
@@ -43,11 +49,15 @@ struct Args {
     seed: u64,
     trace: Option<PathBuf>,
     json: Option<PathBuf>,
+    /// Ad-hoc configuration flags the user passed explicitly (they
+    /// conflict with `--manifest`, which owns the configuration).
+    explicit: Vec<&'static str>,
 }
 
 impl Default for Args {
     fn default() -> Self {
         Self {
+            manifest: None,
             nodes: 10_000,
             intervals: 1000,
             shards: 0,
@@ -63,6 +73,7 @@ impl Default for Args {
             seed: 42,
             trace: None,
             json: None,
+            explicit: Vec::new(),
         }
     }
 }
@@ -79,52 +90,82 @@ fn parse_args() -> Result<Args, String> {
         let value = argv
             .get(i + 1)
             .ok_or_else(|| format!("missing value for {flag}"))?;
+        let mut explicit = |name: &'static str| args.explicit.push(name);
         match flag {
-            "--nodes" => args.nodes = value.parse().map_err(|_| format!("bad nodes {value}"))?,
+            "--manifest" => args.manifest = Some(PathBuf::from(value)),
+            "--nodes" => {
+                args.nodes = value.parse().map_err(|_| format!("bad nodes {value}"))?;
+                explicit("--nodes");
+            }
             "--intervals" => {
                 args.intervals = value
                     .parse()
-                    .map_err(|_| format!("bad intervals {value}"))?
+                    .map_err(|_| format!("bad intervals {value}"))?;
+                explicit("--intervals");
             }
-            "--shards" => args.shards = value.parse().map_err(|_| format!("bad shards {value}"))?,
+            "--shards" => {
+                args.shards = value.parse().map_err(|_| format!("bad shards {value}"))?;
+                explicit("--shards");
+            }
             "--regions" => {
-                args.regions = value.parse().map_err(|_| format!("bad regions {value}"))?
+                args.regions = value.parse().map_err(|_| format!("bad regions {value}"))?;
+                explicit("--regions");
             }
             "--ls" => {
-                args.ls = LsServiceId::all()
-                    .into_iter()
-                    .find(|id| id.name() == value)
-                    .ok_or(format!("unknown LS service {value}"))?
+                args.ls = scenario::parse_ls(value).ok_or(format!("unknown LS service {value}"))?;
+                explicit("--ls");
             }
             "--be" => {
-                args.be = BeAppId::all()
-                    .into_iter()
-                    .find(|id| id.name() == value || id.abbrev() == value)
-                    .ok_or(format!("unknown BE app {value}"))?
+                args.be = scenario::parse_be(value).ok_or(format!("unknown BE app {value}"))?;
+                explicit("--be");
             }
-            "--profile" => args.profile = value.clone(),
+            "--profile" => {
+                args.profile = value.clone();
+                explicit("--profile");
+            }
             "--fraction" => {
-                args.fraction = value.parse().map_err(|_| format!("bad fraction {value}"))?
+                args.fraction = value.parse().map_err(|_| format!("bad fraction {value}"))?;
+                explicit("--fraction");
             }
-            "--policy" => args.policy = value.clone(),
-            "--search" => args.search = value.clone(),
-            "--training" => args.training = value.clone(),
+            "--policy" => {
+                args.policy = value.clone();
+                explicit("--policy");
+            }
+            "--search" => {
+                args.search = value.clone();
+                explicit("--search");
+            }
+            "--training" => {
+                args.training = value.clone();
+                explicit("--training");
+            }
             "--sampled" => {
-                args.sampled = value.parse().map_err(|_| format!("bad sampled {value}"))?
+                args.sampled = value.parse().map_err(|_| format!("bad sampled {value}"))?;
+                explicit("--sampled");
             }
-            "--seed" => args.seed = value.parse().map_err(|_| format!("bad seed {value}"))?,
+            "--seed" => {
+                args.seed = value.parse().map_err(|_| format!("bad seed {value}"))?;
+                explicit("--seed");
+            }
             "--trace" => args.trace = Some(PathBuf::from(value)),
             "--json" => args.json = Some(PathBuf::from(value)),
             other => return Err(format!("unknown flag {other}")),
         }
         i += 2;
     }
+    if args.manifest.is_some() && !args.explicit.is_empty() {
+        return Err(format!(
+            "--manifest owns the run configuration; drop {}",
+            args.explicit.join(", ")
+        ));
+    }
     Ok(args)
 }
 
 fn usage() {
     eprintln!(
-        "usage: fleet_sim [--nodes N] [--intervals N] [--shards N|0=auto] [--regions N] \\
+        "usage: fleet_sim [--manifest scenario.toml] \\
+                 [--nodes N] [--intervals N] [--shards N|0=auto] [--regions N] \\
                  [--ls memcached|xapian|img-dnn] [--be raytrace|...] \\
                  [--profile diurnal|triangle|constant|flash|failover] [--fraction F] \\
                  [--policy even|latency] [--search heuristic|pruned] \\
@@ -142,57 +183,52 @@ fn peak_rss_mib() -> Option<f64> {
     Some(kb / 1024.0)
 }
 
-/// The per-region load profiles for a named scenario. Every scenario is
-/// built from the composable [`LoadProfile`] algebra; `failover` needs
-/// at least two regions (region 0 fails, the rest absorb its traffic).
-fn profiles(name: &str, fraction: f64, intervals: u32, regions: usize) -> Option<Vec<LoadProfile>> {
-    let day = intervals as f64;
-    let base = match name {
-        "constant" => LoadProfile::Constant { fraction },
-        "triangle" => LoadProfile::paper_fluctuating(day),
-        "diurnal" => LoadProfile::Diurnal {
-            low: 0.2,
-            high: 0.8,
-            day_s: day,
+/// Builds the fleet scenario the legacy ad-hoc flags describe — the
+/// same profile algebra and controller composition the CLI has always
+/// used, now expressed through the shared lowering code.
+fn scenario_from_flags(args: &Args) -> Result<Scenario, String> {
+    let strategy = scenario::parse_search_strategy(&args.search)
+        .ok_or_else(|| format!("unknown search strategy {}", args.search))?;
+    let training = scenario::parse_training(&args.training)
+        .ok_or_else(|| format!("unknown training mode {}", args.training))?;
+    let dispatch = FleetDispatch::parse(&args.policy)
+        .ok_or_else(|| format!("unknown policy {}", args.policy))?;
+    let region_loads =
+        scenario::regional_profiles(&args.profile, args.fraction, args.intervals, args.regions)
+            .ok_or_else(|| {
+                format!(
+                    "unknown profile {} (failover needs --regions >= 2)",
+                    args.profile
+                )
+            })?;
+    let load = region_loads[0].clone();
+    let s = Scenario {
+        name: "cli".into(),
+        kind: ScenarioKind::Fleet,
+        seed: args.seed,
+        intervals: args.intervals,
+        pair: ColocationPair::new(args.ls, args.be),
+        controller: ControllerSpec {
+            kind: scenario::ControllerKind::Sturgeon,
+            strategy,
+            hardened: false,
         },
-        "flash" => LoadProfile::FlashCrowd {
-            base: Box::new(LoadProfile::Diurnal {
-                low: 0.2,
-                high: 0.6,
-                day_s: day,
-            }),
-            at_s: day * 0.25,
-            ramp_s: day * 0.05,
-            hold_s: day * 0.10,
-            decay_s: day * 0.10,
-            magnitude: 1.8,
-        },
-        "failover" => {
-            if regions < 2 {
-                return None;
-            }
-            let steady = LoadProfile::Constant { fraction: 0.4 };
-            let mut out = vec![LoadProfile::Failover {
-                base: Box::new(steady.clone()),
-                at_s: day * 0.3,
-                outage_s: day * 0.3,
-                takeover: 1.0 / (regions - 1) as f64,
-                role: sturgeon_workloads::loadgen::FailoverRole::Failing,
-            }];
-            for _ in 1..regions {
-                out.push(LoadProfile::Failover {
-                    base: Box::new(steady.clone()),
-                    at_s: day * 0.3,
-                    outage_s: day * 0.3,
-                    takeover: 1.0 / (regions - 1) as f64,
-                    role: sturgeon_workloads::loadgen::FailoverRole::Survivor,
-                });
-            }
-            return Some(out);
-        }
-        _ => return None,
+        load,
+        region_loads,
+        faults: FaultPlan::none(args.seed),
+        policy: ActuationPolicy::hardened(),
+        fleet: Some(FleetSpec {
+            nodes: args.nodes,
+            shards: args.shards,
+            regions: args.regions,
+            training,
+            dispatch,
+            sampled_nodes: args.sampled,
+        }),
+        probe: None,
     };
-    Some(vec![base; regions])
+    s.validate().map_err(|e| e.to_string())?;
+    Ok(s)
 }
 
 fn main() -> ExitCode {
@@ -207,62 +243,41 @@ fn main() -> ExitCode {
         }
     };
 
-    let training = match args.training.as_str() {
-        "shared" => TrainingMode::Shared,
-        "per-node" => TrainingMode::PerNode,
-        other => {
-            eprintln!("error: unknown training mode {other}");
-            usage();
-            return ExitCode::FAILURE;
-        }
-    };
-    let policy = match args.policy.as_str() {
-        "even" => DispatchPolicy::Even,
-        "latency" => DispatchPolicy::LatencyAware,
-        other => {
-            eprintln!("error: unknown policy {other}");
-            usage();
-            return ExitCode::FAILURE;
-        }
-    };
-    let strategy = match args.search.as_str() {
-        "heuristic" => SearchStrategy::Heuristic,
-        "pruned" => SearchStrategy::FrontierPruned,
-        other => {
-            eprintln!("error: unknown search strategy {other}");
-            usage();
-            return ExitCode::FAILURE;
-        }
-    };
-    let Some(profiles) = profiles(&args.profile, args.fraction, args.intervals, args.regions)
-    else {
-        eprintln!(
-            "error: unknown profile {} (failover needs --regions >= 2)",
-            args.profile
-        );
-        usage();
-        return ExitCode::FAILURE;
-    };
-
-    let pair = ColocationPair::new(args.ls, args.be);
-    let params = FleetParams {
-        shards: args.shards,
-        regions: args.regions,
-        training,
-        policy,
-        controller: ControllerParams {
-            search: SearchParams {
-                strategy,
-                ..SearchParams::default()
-            },
-            ..ControllerParams::default()
+    let scenario = match &args.manifest {
+        Some(path) => match Scenario::load(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         },
-        sampled_nodes: args.sampled,
-        traced_shard: args.trace.as_ref().map(|_| 0),
+        None => match scenario_from_flags(&args) {
+            Ok(s) => s,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        },
     };
+    if scenario.kind != ScenarioKind::Fleet {
+        eprintln!("error: node scenarios run under `sturgeon_sim --manifest`");
+        return ExitCode::FAILURE;
+    }
+    let spec = scenario.fleet.expect("validated fleet scenario");
+    let profiles = scenario.fleet_profiles();
+    let profile_label = profiles[0].name().to_string();
+    let mut params = match scenario.fleet_params() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    params.traced_shard = args.trace.as_ref().map(|_| 0);
 
     let build_start = Instant::now();
-    let mut fleet = match Fleet::try_new(pair, args.nodes, params, args.seed) {
+    let mut fleet = match Fleet::try_new(scenario.pair, spec.nodes, params, scenario.seed) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}");
@@ -271,13 +286,12 @@ fn main() -> ExitCode {
     };
     let build_s = build_start.elapsed().as_secs_f64();
     eprintln!(
-        "fleet: {} nodes, {} shards, {} regions ({}+{}, {} training) built in {:.2}s",
+        "fleet: {} nodes, {} shards, {} regions ({}, {} training) built in {:.2}s",
         fleet.len(),
         fleet.shard_count(),
         fleet.region_count(),
-        args.ls.name(),
-        args.be.name(),
-        args.training,
+        scenario.pair.label(),
+        scenario::training_name(spec.training),
         build_s
     );
 
@@ -293,14 +307,14 @@ fn main() -> ExitCode {
         // Tracing only supports a single fleet-wide profile; region 0's
         // profile drives everyone (scenarios that differ per region are
         // benchmarked untraced).
-        let r = fleet.run_traced(profiles[0].clone(), args.intervals, &mut sink);
+        let r = fleet.run_traced(profiles[0].clone(), scenario.intervals, &mut sink);
         if let Err(e) = sink.flush() {
             eprintln!("error: cannot flush trace file: {e}");
             return ExitCode::FAILURE;
         }
         r
     } else {
-        match fleet.run_regional(&profiles, args.intervals) {
+        match fleet.run_regional(&profiles, scenario.intervals) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -310,11 +324,13 @@ fn main() -> ExitCode {
     };
     let run_s = run_start.elapsed().as_secs_f64();
     let peak_rss = peak_rss_mib().unwrap_or(-1.0);
-    let node_intervals = args.nodes as f64 * args.intervals as f64;
+    let node_intervals = spec.nodes as f64 * scenario.intervals as f64;
+    let policy_label = spec.dispatch.name();
+    let search_label = scenario::search_strategy_name(scenario.controller.strategy);
 
     println!(
         "profile {}  policy {}  search {}  seed {}",
-        args.profile, args.policy, args.search, args.seed
+        profile_label, policy_label, search_label, scenario.seed
     );
     println!(
         "QoS guarantee rate: {:.4}   total BE throughput: {:.1} machines   mean power: {:.0} W / budget {:.0} W",
@@ -340,15 +356,15 @@ fn main() -> ExitCode {
     if let Some(path) = &args.json {
         let row = format!(
             "{{\n  \"nodes\": {},\n  \"intervals\": {},\n  \"shards\": {},\n  \"regions\": {},\n  \"profile\": \"{}\",\n  \"policy\": \"{}\",\n  \"search\": \"{}\",\n  \"training\": \"{}\",\n  \"seed\": {},\n  \"build_s\": {:.3},\n  \"run_s\": {:.3},\n  \"node_intervals_per_s\": {:.0},\n  \"peak_rss_mib\": {:.1},\n  \"qos_rate\": {:.6},\n  \"total_be_throughput\": {:.3},\n  \"mean_power_w\": {:.1},\n  \"budget_w\": {:.1},\n  \"trainings\": {},\n  \"table_builds\": {},\n  \"searches\": {}\n}}",
-            args.nodes,
-            args.intervals,
+            spec.nodes,
+            scenario.intervals,
             fleet.shard_count(),
             fleet.region_count(),
-            args.profile,
-            args.policy,
-            args.search,
-            args.training,
-            args.seed,
+            profile_label,
+            policy_label,
+            search_label,
+            scenario::training_name(spec.training),
+            scenario.seed,
             build_s,
             run_s,
             node_intervals / run_s,

@@ -1,0 +1,125 @@
+//! `scenario_run` — executes scenario manifests and emits the canonical
+//! metrics JSON the `stats` gate consumes.
+//!
+//! ```text
+//! scenario_run MANIFEST.toml [MANIFEST.toml ...] [--out PATH.json]
+//! ```
+//!
+//! Each manifest is lowered through `sturgeon::scenario` (the same code
+//! path as `sturgeon_sim --manifest` / `fleet_sim --manifest`), run to
+//! completion, and distilled into one metrics row: QoS rate and
+//! latency percentiles, mean/peak power, BE throughput, fault and
+//! safe-mode counters, optional search-latency percentiles, and
+//! wall-clock. The batch is written as a pretty JSON array to stdout
+//! (or `--out`), with a one-line human summary per scenario on stderr.
+//! Typical loop:
+//!
+//! ```text
+//! scenario_run scenarios/smoke_node.toml --out current.json
+//! stats baselines/smoke.json current.json
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use sturgeon::prelude::*;
+use sturgeon::scenario::metrics_json;
+
+struct Args {
+    manifests: Vec<PathBuf>,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut manifests = Vec::new();
+    let mut out = None;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--out" => {
+                let value = argv.get(i + 1).ok_or("missing value for --out")?;
+                out = Some(PathBuf::from(value));
+                i += 2;
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            path => {
+                manifests.push(PathBuf::from(path));
+                i += 1;
+            }
+        }
+    }
+    if manifests.is_empty() {
+        return Err("no manifests given".into());
+    }
+    Ok(Args { manifests, out })
+}
+
+fn usage() {
+    eprintln!("usage: scenario_run MANIFEST.toml [MANIFEST.toml ...] [--out PATH.json]");
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut rows = Vec::new();
+    for path in &args.manifests {
+        let scenario = match Scenario::load(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!(
+            "running `{}` ({}, {} under {}, {} intervals, seed {})...",
+            scenario.name,
+            scenario.kind.name(),
+            scenario.pair.label(),
+            scenario.controller.kind.name(),
+            scenario.intervals,
+            scenario.seed
+        );
+        let outcome = match scenario.run() {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error: scenario `{}` failed: {e}", scenario.name);
+                return ExitCode::FAILURE;
+            }
+        };
+        let m = &outcome.metrics;
+        eprintln!(
+            "  QoS {:.2}% (p95 {:.2} ms, p99 {:.2} ms) | BE {:.3} | power {:.0}/{:.0} W | {:.2}s",
+            m.qos_rate * 100.0,
+            m.qos_p95_ms,
+            m.qos_p99_ms,
+            m.be_throughput,
+            m.mean_power_w,
+            m.budget_w,
+            m.wall_s
+        );
+        rows.push(outcome.metrics);
+    }
+
+    let json = metrics_json(&rows);
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {} rows to {}", rows.len(), path.display());
+        }
+        None => println!("{json}"),
+    }
+    ExitCode::SUCCESS
+}

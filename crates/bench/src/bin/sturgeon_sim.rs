@@ -2,7 +2,8 @@
 //! experiments.
 //!
 //! ```text
-//! sturgeon_sim [--ls memcached] [--be raytrace] [--controller sturgeon]
+//! sturgeon_sim [--manifest scenario.toml]
+//!              [--ls memcached] [--be raytrace] [--controller sturgeon]
 //!              [--load triangle|constant|ramp|diurnal] [--fraction 0.3]
 //!              [--duration 600] [--seed 42] [--export PATH_STEM]
 //!              [--trace PATH.jsonl] [--metrics PATH.json]
@@ -10,6 +11,9 @@
 //!              [--search heuristic|pruned]
 //! ```
 //!
+//! Both entry points lower onto the same [`sturgeon::scenario`] code:
+//! `--manifest` loads a TOML scenario, while the ad-hoc flags build the
+//! equivalent [`Scenario`] in memory — so the two paths cannot drift.
 //! Runs one experiment and prints the paper's three metrics; `--export`
 //! additionally writes `<stem>.json` (summary) and `<stem>.csv`
 //! (per-interval telemetry) via `sturgeon::report`. `--trace` streams
@@ -19,13 +23,13 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use sturgeon::baselines::{PartiesController, PartiesParams, StaticReservationController};
-use sturgeon::heracles::{HeraclesController, HeraclesParams};
 use sturgeon::prelude::*;
 use sturgeon::report;
+use sturgeon::scenario;
 
 #[derive(Debug)]
 struct Args {
+    manifest: Option<PathBuf>,
     ls: LsServiceId,
     be: BeAppId,
     controller: String,
@@ -38,11 +42,15 @@ struct Args {
     metrics: Option<PathBuf>,
     faults: String,
     search: String,
+    /// Ad-hoc configuration flags the user passed explicitly (they
+    /// conflict with `--manifest`, which owns the configuration).
+    explicit: Vec<&'static str>,
 }
 
 impl Default for Args {
     fn default() -> Self {
         Self {
+            manifest: None,
             ls: LsServiceId::Memcached,
             be: BeAppId::Raytrace,
             controller: "sturgeon".into(),
@@ -55,18 +63,9 @@ impl Default for Args {
             metrics: None,
             faults: "none".into(),
             search: "heuristic".into(),
+            explicit: Vec::new(),
         }
     }
-}
-
-fn parse_ls(s: &str) -> Option<LsServiceId> {
-    LsServiceId::all().into_iter().find(|id| id.name() == s)
-}
-
-fn parse_be(s: &str) -> Option<BeAppId> {
-    BeAppId::all()
-        .into_iter()
-        .find(|id| id.name() == s || id.abbrev() == s)
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -82,32 +81,63 @@ fn parse_args() -> Result<Args, String> {
             .get(i + 1)
             .ok_or_else(|| format!("missing value for {flag}"))?;
         match flag {
-            "--ls" => args.ls = parse_ls(value).ok_or(format!("unknown LS service {value}"))?,
-            "--be" => args.be = parse_be(value).ok_or(format!("unknown BE app {value}"))?,
-            "--controller" => args.controller = value.clone(),
-            "--load" => args.load = value.clone(),
+            "--manifest" => args.manifest = Some(PathBuf::from(value)),
+            "--ls" => {
+                args.ls = scenario::parse_ls(value).ok_or(format!("unknown LS service {value}"))?;
+                args.explicit.push("--ls");
+            }
+            "--be" => {
+                args.be = scenario::parse_be(value).ok_or(format!("unknown BE app {value}"))?;
+                args.explicit.push("--be");
+            }
+            "--controller" => {
+                args.controller = value.clone();
+                args.explicit.push("--controller");
+            }
+            "--load" => {
+                args.load = value.clone();
+                args.explicit.push("--load");
+            }
             "--fraction" => {
-                args.fraction = value.parse().map_err(|_| format!("bad fraction {value}"))?
+                args.fraction = value.parse().map_err(|_| format!("bad fraction {value}"))?;
+                args.explicit.push("--fraction");
             }
             "--duration" => {
-                args.duration = value.parse().map_err(|_| format!("bad duration {value}"))?
+                args.duration = value.parse().map_err(|_| format!("bad duration {value}"))?;
+                args.explicit.push("--duration");
             }
-            "--seed" => args.seed = value.parse().map_err(|_| format!("bad seed {value}"))?,
+            "--seed" => {
+                args.seed = value.parse().map_err(|_| format!("bad seed {value}"))?;
+                args.explicit.push("--seed");
+            }
             "--export" => args.export = Some(PathBuf::from(value)),
             "--trace" => args.trace = Some(PathBuf::from(value)),
             "--metrics" => args.metrics = Some(PathBuf::from(value)),
-            "--faults" => args.faults = value.clone(),
-            "--search" => args.search = value.clone(),
+            "--faults" => {
+                args.faults = value.clone();
+                args.explicit.push("--faults");
+            }
+            "--search" => {
+                args.search = value.clone();
+                args.explicit.push("--search");
+            }
             other => return Err(format!("unknown flag {other}")),
         }
         i += 2;
+    }
+    if args.manifest.is_some() && !args.explicit.is_empty() {
+        return Err(format!(
+            "--manifest owns the run configuration; drop {}",
+            args.explicit.join(", ")
+        ));
     }
     Ok(args)
 }
 
 fn usage() {
     eprintln!(
-        "usage: sturgeon_sim [--ls memcached|xapian|img-dnn] \\
+        "usage: sturgeon_sim [--manifest scenario.toml] \\
+                    [--ls memcached|xapian|img-dnn] \\
                     [--be blackscholes|facesim|ferret|raytrace|swaptions|fluidanimate] \\
                     [--controller sturgeon|sturgeon-nob|parties|parties-orig|heracles|reserved] \\
                     [--load triangle|constant|ramp|diurnal] [--fraction F] \\
@@ -118,30 +148,36 @@ fn usage() {
     );
 }
 
-/// Builds and executes one run through the builder, attaching whatever
-/// observability the CLI asked for.
-fn run_one(
-    setup: &ExperimentSetup,
-    controller: impl ResourceController,
-    load: LoadProfile,
-    duration: u32,
-    plan: FaultPlan,
-    sink: Option<&mut dyn TraceSink>,
-    metrics: Option<&MetricsRegistry>,
-) -> Result<RunResult, SturgeonError> {
-    let mut run = setup
-        .runner()
-        .controller(controller)
-        .load(load)
-        .intervals(duration)
-        .faults(plan);
-    if let Some(sink) = sink {
-        run = run.trace(sink);
-    }
-    if let Some(registry) = metrics {
-        run = run.metrics(registry);
-    }
-    run.go()
+/// Builds the scenario the legacy ad-hoc flags describe — the same
+/// profiles, fault presets and controller composition the CLI has
+/// always used, now expressed through the shared lowering code.
+fn scenario_from_flags(args: &Args) -> Result<Scenario, String> {
+    let kind = scenario::ControllerKind::parse(&args.controller)
+        .ok_or_else(|| format!("unknown controller {}", args.controller))?;
+    let strategy = scenario::parse_search_strategy(&args.search)
+        .ok_or_else(|| format!("unknown search strategy {}", args.search))?;
+    let load = scenario::cli_load_profile(&args.load, args.fraction, args.duration)
+        .ok_or_else(|| format!("unknown load profile {}", args.load))?;
+    let faults = scenario::cli_fault_plan(&args.faults, args.seed)
+        .ok_or_else(|| format!("unknown fault plan {}", args.faults))?;
+    Ok(Scenario {
+        name: "cli".into(),
+        kind: ScenarioKind::Node,
+        seed: args.seed,
+        intervals: args.duration,
+        pair: ColocationPair::new(args.ls, args.be),
+        controller: ControllerSpec {
+            kind,
+            strategy,
+            hardened: false,
+        },
+        load,
+        region_loads: Vec::new(),
+        faults,
+        policy: ActuationPolicy::hardened(),
+        fleet: None,
+        probe: None,
+    })
 }
 
 fn main() -> ExitCode {
@@ -156,61 +192,39 @@ fn main() -> ExitCode {
         }
     };
 
-    let pair = ColocationPair::new(args.ls, args.be);
-    let setup = ExperimentSetup::new(pair, args.seed);
-    let load = match args.load.as_str() {
-        "triangle" => LoadProfile::paper_fluctuating(args.duration as f64),
-        "constant" => LoadProfile::Constant {
-            fraction: args.fraction,
+    let scenario = match &args.manifest {
+        Some(path) => match Scenario::load(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         },
-        "ramp" => LoadProfile::Ramp {
-            from: 0.2,
-            to: args.fraction.max(0.2),
-            duration_s: args.duration as f64,
+        None => match scenario_from_flags(&args) {
+            Ok(s) => s,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                usage();
+                return ExitCode::FAILURE;
+            }
         },
-        "diurnal" => LoadProfile::Diurnal {
-            low: 0.15,
-            high: args.fraction.max(0.2),
-            day_s: args.duration as f64,
-        },
-        other => {
-            eprintln!("error: unknown load profile {other}");
-            usage();
-            return ExitCode::FAILURE;
-        }
     };
+    if scenario.kind != ScenarioKind::Node {
+        eprintln!("error: fleet scenarios run under `fleet_sim --manifest`");
+        return ExitCode::FAILURE;
+    }
 
     eprintln!(
         "running {} under `{}` for {}s (load {}, seed {})...",
-        pair.label(),
-        args.controller,
-        args.duration,
-        args.load,
-        args.seed
+        scenario.pair.label(),
+        scenario.controller.kind.name(),
+        scenario.intervals,
+        scenario.load.name(),
+        scenario.seed
     );
-
-    let plan = match args.faults.as_str() {
-        "none" => FaultPlan::none(args.seed),
-        "telemetry" => FaultPlan::telemetry_dropout(args.seed, 0.1),
-        "actuation" => FaultPlan::actuation_faults(args.seed, 0.2),
-        "shocks" => FaultPlan::shocks(args.seed, 0.1),
-        "everything" => FaultPlan::everything(args.seed),
-        other => {
-            eprintln!("error: unknown fault plan {other}");
-            usage();
-            return ExitCode::FAILURE;
-        }
-    };
-
-    let strategy = match args.search.as_str() {
-        "heuristic" => SearchStrategy::Heuristic,
-        "pruned" => SearchStrategy::FrontierPruned,
-        other => {
-            eprintln!("error: unknown search strategy {other}");
-            usage();
-            return ExitCode::FAILURE;
-        }
-    };
+    if scenario.controller.kind.is_sturgeon() {
+        eprintln!("offline phase: profiling + training the predictor...");
+    }
 
     let registry = MetricsRegistry::new();
     let metrics_ref = args.metrics.as_ref().map(|_| &registry);
@@ -226,87 +240,7 @@ fn main() -> ExitCode {
     };
     let sink_ref = trace_sink.as_mut().map(|sink| sink as &mut dyn TraceSink);
 
-    let run = match args.controller.as_str() {
-        "sturgeon" | "sturgeon-nob" => {
-            eprintln!("offline phase: profiling + training the predictor...");
-            let predictor = setup.train_default_predictor();
-            let controller = SturgeonController::new(
-                predictor,
-                setup.spec().clone(),
-                setup.budget_w(),
-                setup.qos_target_ms(),
-                ControllerParams {
-                    balancer_enabled: args.controller == "sturgeon",
-                    search: SearchParams {
-                        strategy,
-                        ..SearchParams::default()
-                    },
-                    ..ControllerParams::default()
-                },
-            );
-            run_one(
-                &setup,
-                controller,
-                load,
-                args.duration,
-                plan,
-                sink_ref,
-                metrics_ref,
-            )
-        }
-        "parties" | "parties-orig" => {
-            let controller = PartiesController::new(
-                setup.spec().clone(),
-                setup.budget_w(),
-                setup.qos_target_ms(),
-                PartiesParams {
-                    power_aware: args.controller == "parties",
-                    ..PartiesParams::default()
-                },
-            );
-            run_one(
-                &setup,
-                controller,
-                load,
-                args.duration,
-                plan,
-                sink_ref,
-                metrics_ref,
-            )
-        }
-        "heracles" => {
-            let controller = HeraclesController::new(
-                setup.spec().clone(),
-                setup.budget_w(),
-                setup.qos_target_ms(),
-                HeraclesParams::default(),
-            );
-            run_one(
-                &setup,
-                controller,
-                load,
-                args.duration,
-                plan,
-                sink_ref,
-                metrics_ref,
-            )
-        }
-        "reserved" => run_one(
-            &setup,
-            StaticReservationController,
-            load,
-            args.duration,
-            plan,
-            sink_ref,
-            metrics_ref,
-        ),
-        other => {
-            eprintln!("error: unknown controller {other}");
-            usage();
-            return ExitCode::FAILURE;
-        }
-    };
-    let result = match run {
+    let result = match scenario.run_node_observed(sink_ref, metrics_ref) {
         Ok(result) => result,
         Err(e) => {
             eprintln!("error: run failed: {e}");

@@ -52,6 +52,7 @@ pub mod placement;
 pub mod predictor;
 pub mod profiler;
 pub mod report;
+pub mod scenario;
 pub mod search;
 pub mod tables;
 
@@ -83,6 +84,10 @@ pub mod prelude {
     pub use crate::placement::{BePlacer, PlacementDecision};
     pub use crate::predictor::{ModelKind, PerfPowerPredictor, PredictorConfig};
     pub use crate::profiler::{ProfileDatasets, Profiler, ProfilerConfig};
+    pub use crate::scenario::{
+        ControllerKind, ControllerSpec, FleetDispatch, FleetSpec, Scenario, ScenarioKind,
+        ScenarioMetrics, ScenarioOutcome, SearchProbe,
+    };
     pub use crate::search::{
         ConfigSearch, SearchOutcome, SearchParams, SearchStats, SearchStrategy,
     };

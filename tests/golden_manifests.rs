@@ -1,0 +1,147 @@
+//! Golden-manifest coverage: every committed manifest under `scenarios/`
+//! must parse, validate, and roundtrip through the canonical writer; and
+//! the golden manifests must reproduce the figures committed under
+//! `reports/` and the metrics committed under `baselines/golden.json`.
+//! This pins the legacy figure bins and the manifest path to the same
+//! numbers — neither can drift without this suite noticing.
+
+use serde_json::Value;
+use sturgeon::prelude::*;
+use sturgeon::scenario::gate::{compare, default_rules};
+use sturgeon::scenario::metrics_json;
+
+fn repo_path(rel: &str) -> String {
+    format!("{}/../../{rel}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn load_scenario(rel: &str) -> Scenario {
+    Scenario::load(repo_path(rel)).unwrap_or_else(|e| panic!("{rel}: {e}"))
+}
+
+#[test]
+fn every_committed_manifest_parses_validates_and_roundtrips() {
+    let dir = repo_path("scenarios");
+    let mut seen = 0usize;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("scenarios/ directory is committed")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.display().to_string();
+        let text = std::fs::read_to_string(&path).expect("manifest readable");
+        let scenario = Scenario::from_toml_str(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        scenario
+            .validate()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let reparsed = Scenario::from_toml_str(&scenario.to_toml_string())
+            .unwrap_or_else(|e| panic!("{name} (canonical form): {e}"));
+        assert_eq!(reparsed, scenario, "{name}: canonical writer drifted");
+        seen += 1;
+    }
+    assert!(
+        seen >= 5,
+        "expected the committed smoke + golden manifests, found {seen}"
+    );
+}
+
+#[test]
+fn smoke_manifests_cover_node_robustness_and_fleet() {
+    let node = load_scenario("scenarios/smoke_node.toml");
+    assert_eq!(node.kind, ScenarioKind::Node);
+    assert!(node.probe.is_some(), "smoke-node carries the search probe");
+    let robustness = load_scenario("scenarios/smoke_robustness.toml");
+    assert!(robustness.controller.hardened);
+    assert!(robustness.faults.actuation_stuck_rate > 0.0);
+    let fleet = load_scenario("scenarios/smoke_fleet.toml");
+    assert_eq!(fleet.kind, ScenarioKind::Fleet);
+    assert_eq!(fleet.fleet.as_ref().map(|f| f.nodes), Some(1000));
+}
+
+/// Parse a percentage like `98.58%` out of a whitespace-split report
+/// column. Returns the value in percent.
+fn pct(token: &str) -> f64 {
+    token
+        .trim_end_matches('%')
+        .parse::<f64>()
+        .unwrap_or_else(|e| panic!("bad percentage token {token:?}: {e}"))
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full 600-interval runs; run with --release"
+)]
+fn golden_fig9_matches_committed_report_and_baseline() {
+    let scenario = load_scenario("scenarios/golden_fig9.toml");
+    let outcome = scenario.run().expect("golden fig9 run");
+
+    // 1. The manifest run reproduces the committed fig9 sturgeon column
+    //    for memcached+rt (the flagship pair).
+    let report = std::fs::read_to_string(repo_path("reports/fig9.txt"))
+        .expect("reports/fig9.txt is committed");
+    let row = report
+        .lines()
+        .find(|l| l.trim_start().starts_with("memcached+rt"))
+        .expect("fig9 report has a memcached+rt row");
+    let sturgeon_pct = pct(row.split_whitespace().nth(1).expect("sturgeon column"));
+    assert!(
+        (outcome.metrics.qos_rate * 100.0 - sturgeon_pct).abs() < 0.005,
+        "manifest QoS {:.4}% drifted from reports/fig9.txt {:.2}%",
+        outcome.metrics.qos_rate * 100.0,
+        sturgeon_pct
+    );
+
+    // 2. The full metrics row gates against the committed golden baseline.
+    gate_against_golden(&[outcome.metrics]);
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full 600-interval runs; run with --release"
+)]
+fn golden_robustness_matches_committed_report_and_baseline() {
+    let scenario = load_scenario("scenarios/golden_robustness.toml");
+    let outcome = scenario.run().expect("golden robustness run");
+    assert!(outcome.metrics.faults_seen > 0, "fault plan must fire");
+
+    // The hardened actuator-fault row of reports/tab_robustness.txt.
+    let report = std::fs::read_to_string(repo_path("reports/tab_robustness.txt"))
+        .expect("reports/tab_robustness.txt is committed");
+    let row = report
+        .lines()
+        .find(|l| l.contains("hardened") && l.contains("actuator") && !l.contains("un"))
+        .expect("robustness report has a hardened actuator-fault row");
+    // First bare-numeric token after the label (the label's "10%" does
+    // not parse as f64, so the qos% column is the first hit).
+    let qos_col = row
+        .split_whitespace()
+        .find_map(|tok| tok.parse::<f64>().ok())
+        .expect("hardened row carries a QoS percentage");
+    assert!(
+        (outcome.metrics.qos_rate * 100.0 - qos_col).abs() < 0.005,
+        "manifest QoS {:.4}% drifted from reports/tab_robustness.txt {:.2}%",
+        outcome.metrics.qos_rate * 100.0,
+        qos_col
+    );
+
+    gate_against_golden(&[outcome.metrics]);
+}
+
+/// Gate freshly produced metrics rows against `baselines/golden.json`
+/// in subset mode (each test produces one of the two committed rows).
+fn gate_against_golden(rows: &[ScenarioMetrics]) {
+    let baseline_text = std::fs::read_to_string(repo_path("baselines/golden.json"))
+        .expect("baselines/golden.json is committed");
+    let baseline: Value = serde_json::from_str(&baseline_text).expect("golden baseline parses");
+    let current: Value =
+        serde_json::from_str(&metrics_json(rows)).expect("fresh metrics serialize");
+    let report = compare(&baseline, &current, &default_rules(), true);
+    assert!(
+        report.passed(),
+        "golden baseline regression:\n{}",
+        report.table()
+    );
+}

@@ -1,0 +1,209 @@
+//! Regression-gate semantics: the `stats` comparison must pass on an
+//! unmodified run, fail with a readable per-metric diff when a
+//! determinism-pinned metric drifts, and stay quiet when wall-clock
+//! timings jitter inside their tolerance band. These tests exercise the
+//! gate library directly against the *committed* baselines so the CI
+//! `regression-gate` job and this suite can never disagree about what
+//! counts as a regression.
+
+use serde_json::Value;
+use sturgeon::scenario::gate::{compare, default_rules, parse_tolerance_overrides, Tolerance};
+
+fn committed_smoke_baseline() -> Value {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../baselines/smoke.json");
+    let text = std::fs::read_to_string(path).expect("baselines/smoke.json is committed");
+    serde_json::from_str(&text).expect("baseline parses")
+}
+
+/// Mutate `field` of the row whose "scenario" is `row_key`.
+fn perturb(doc: &mut Value, row_key: &str, field: &str, f: impl Fn(f64) -> f64) {
+    let Value::Array(rows) = doc else {
+        panic!("baseline is a row array")
+    };
+    for row in rows.iter_mut() {
+        let Value::Object(fields) = row else { continue };
+        let is_target = fields
+            .iter()
+            .any(|(k, v)| k == "scenario" && v.as_str() == Some(row_key));
+        if !is_target {
+            continue;
+        }
+        for (k, v) in fields.iter_mut() {
+            if k == field {
+                let old = v.as_f64().expect("numeric field");
+                *v = Value::Number(f(old));
+                return;
+            }
+        }
+        panic!("row {row_key} has no field {field}");
+    }
+    panic!("no row named {row_key}");
+}
+
+fn drop_row(doc: &mut Value, row_key: &str) {
+    let Value::Array(rows) = doc else {
+        panic!("baseline is a row array")
+    };
+    rows.retain(|row| {
+        let Value::Object(fields) = row else {
+            return true;
+        };
+        !fields
+            .iter()
+            .any(|(k, v)| k == "scenario" && v.as_str() == Some(row_key))
+    });
+}
+
+#[test]
+fn self_comparison_passes() {
+    let baseline = committed_smoke_baseline();
+    let report = compare(&baseline, &baseline, &default_rules(), false);
+    assert!(
+        report.passed(),
+        "self-compare must pass:\n{}",
+        report.table()
+    );
+    assert!(report.checks > 0);
+}
+
+#[test]
+fn pinned_metric_drift_fails_with_named_violation() {
+    let baseline = committed_smoke_baseline();
+    let mut current = baseline.clone();
+    perturb(&mut current, "smoke-node", "qos_rate", |q| q - 0.01);
+    let report = compare(&baseline, &current, &default_rules(), false);
+    assert!(!report.passed(), "1-point QoS drift must be a regression");
+    let v = &report.violations[0];
+    assert!(
+        v.path.contains("smoke-node") && v.path.contains("qos_rate"),
+        "violation names the row and metric: {}",
+        v.path
+    );
+    // The diff table is the user-facing artifact; it must carry the
+    // offending metric and both values.
+    let table = report.table();
+    assert!(table.contains("qos_rate"));
+    assert!(table.contains("FAIL") || report.violations.len() == 1);
+}
+
+#[test]
+fn exact_counters_tolerate_no_drift_at_all() {
+    let baseline = committed_smoke_baseline();
+    let mut current = baseline.clone();
+    perturb(&mut current, "smoke-robustness", "retries", |r| r + 1.0);
+    let report = compare(&baseline, &current, &default_rules(), false);
+    assert!(!report.passed(), "retry-count drift must fail the gate");
+    assert!(report.violations.iter().any(|v| v.path.contains("retries")));
+}
+
+#[test]
+fn wall_clock_jitter_inside_band_is_ignored() {
+    let baseline = committed_smoke_baseline();
+    let mut current = baseline.clone();
+    // 4x slower than baseline: inside the 16x ceiling band.
+    perturb(&mut current, "smoke-fleet", "wall_s", |w| w * 4.0);
+    let report = compare(&baseline, &current, &default_rules(), false);
+    assert!(
+        report.passed(),
+        "wall-clock jitter inside the band must not gate:\n{}",
+        report.table()
+    );
+}
+
+#[test]
+fn wall_clock_blowup_beyond_band_fails() {
+    // Synthetic baseline with a wall time large enough that the +5 s
+    // absolute slack (which exists so sub-second runs can't flake) is
+    // not the deciding term.
+    let baseline = serde_json::from_str(r#"[{"scenario": "t", "wall_s": 10.0}]"#).unwrap();
+    let mut current = baseline.clone();
+    perturb(&mut current, "t", "wall_s", |w| w * 100.0);
+    let report = compare(&baseline, &current, &default_rules(), false);
+    assert!(!report.passed(), "100x wall-clock blowup must gate");
+    let slightly_slow: Value =
+        serde_json::from_str(r#"[{"scenario": "t", "wall_s": 40.0}]"#).unwrap();
+    let report = compare(&baseline, &slightly_slow, &default_rules(), false);
+    assert!(
+        report.passed(),
+        "4x on a 10 s baseline stays inside the band"
+    );
+}
+
+#[test]
+fn throughput_floor_gates_slowdowns_not_speedups() {
+    let baseline: Value =
+        serde_json::from_str(r#"[{"scenario": "t", "node_intervals_per_s": 1000.0}]"#).unwrap();
+    let faster: Value =
+        serde_json::from_str(r#"[{"scenario": "t", "node_intervals_per_s": 90000.0}]"#).unwrap();
+    let slower: Value =
+        serde_json::from_str(r#"[{"scenario": "t", "node_intervals_per_s": 10.0}]"#).unwrap();
+    let rules = default_rules();
+    assert!(compare(&baseline, &faster, &rules, false).passed());
+    assert!(!compare(&baseline, &slower, &rules, false).passed());
+}
+
+#[test]
+fn missing_row_needs_subset_mode() {
+    let baseline = committed_smoke_baseline();
+    let mut current = baseline.clone();
+    drop_row(&mut current, "smoke-fleet");
+    let rules = default_rules();
+    let strict = compare(&baseline, &current, &rules, false);
+    assert!(!strict.passed(), "a vanished baseline row is a regression");
+    let subset = compare(&baseline, &current, &rules, true);
+    assert!(subset.passed(), "subset mode allows current ⊂ baseline");
+    assert!(!subset.notes.is_empty(), "the skipped row is still noted");
+}
+
+#[test]
+fn unknown_current_row_fails_even_in_subset_mode() {
+    let baseline = committed_smoke_baseline();
+    let mut current = baseline.clone();
+    if let Value::Array(rows) = &mut current {
+        rows.push(serde_json::from_str(r#"{"scenario": "rogue", "qos_rate": 1.0}"#).unwrap());
+    }
+    let report = compare(&baseline, &current, &default_rules(), true);
+    assert!(
+        !report.passed(),
+        "an unbaselined row must force a re-baseline, not slip through"
+    );
+}
+
+#[test]
+fn tolerance_overrides_relax_named_metrics() {
+    let baseline = committed_smoke_baseline();
+    let mut current = baseline.clone();
+    perturb(&mut current, "smoke-node", "qos_rate", |q| q - 0.01);
+    let overrides = parse_tolerance_overrides(
+        r#"
+[tolerances]
+qos_rate = { rel = 0.05 }
+"#,
+    )
+    .expect("override file parses");
+    let mut rules = overrides;
+    rules.extend(default_rules());
+    let report = compare(&baseline, &current, &rules, false);
+    assert!(
+        report.passed(),
+        "an explicit 5% band on qos_rate accepts the 1-point drift:\n{}",
+        report.table()
+    );
+
+    let ignore_all = parse_tolerance_overrides("[tolerances]\n\"*\" = \"ignore\"\n").unwrap();
+    assert!(matches!(ignore_all[0].1, Tolerance::Ignore));
+}
+
+#[test]
+fn committed_bench_snapshots_self_gate() {
+    // The converted snapshot baselines (BENCH_search.json / BENCH_fleet.json)
+    // must be valid gate inputs: self-comparison passes with row matching.
+    for name in ["BENCH_search.json", "BENCH_fleet.json"] {
+        let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let doc: Value = serde_json::from_str(&text).unwrap_or_else(|e| panic!("{name}: {e:?}"));
+        let report = compare(&doc, &doc, &default_rules(), false);
+        assert!(report.passed(), "{name} self-gate:\n{}", report.table());
+        assert!(report.checks > 0, "{name} produced no checks");
+    }
+}
