@@ -225,6 +225,8 @@ fn scenario_from_flags(args: &Args) -> Result<Scenario, String> {
             dispatch,
             sampled_nodes: args.sampled,
         }),
+        budget: None,
+        placement: None,
         probe: None,
     };
     s.validate().map_err(|e| e.to_string())?;
@@ -304,10 +306,13 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        // Tracing only supports a single fleet-wide profile; region 0's
-        // profile drives everyone (scenarios that differ per region are
-        // benchmarked untraced).
-        let r = fleet.run_traced(profiles[0].clone(), scenario.intervals, &mut sink);
+        let r = match fleet.run_regional_traced(&profiles, scenario.intervals, &mut sink) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         if let Err(e) = sink.flush() {
             eprintln!("error: cannot flush trace file: {e}");
             return ExitCode::FAILURE;
@@ -352,10 +357,27 @@ fn main() -> ExitCode {
         result.fault_counters.safe_mode_entries,
         result.fault_counters.balancer_retry_rounds
     );
+    if scenario.budget.is_some() || scenario.placement.is_some() {
+        println!(
+            "placement: {} reclaims, {} migrations, {} evictions, {} assignments",
+            result.budget_reclaims, result.migrations, result.evictions, result.assignments
+        );
+    }
 
     if let Some(path) = &args.json {
+        // Budget/placement counters only appear when those subsystems
+        // are configured, so rows from plain runs keep their legacy key
+        // set and stay comparable against committed baselines.
+        let extra = if scenario.budget.is_some() || scenario.placement.is_some() {
+            format!(
+                ",\n  \"budget_reclaims\": {},\n  \"migrations\": {},\n  \"evictions\": {},\n  \"assignments\": {}",
+                result.budget_reclaims, result.migrations, result.evictions, result.assignments
+            )
+        } else {
+            String::new()
+        };
         let row = format!(
-            "{{\n  \"nodes\": {},\n  \"intervals\": {},\n  \"shards\": {},\n  \"regions\": {},\n  \"profile\": \"{}\",\n  \"policy\": \"{}\",\n  \"search\": \"{}\",\n  \"training\": \"{}\",\n  \"seed\": {},\n  \"build_s\": {:.3},\n  \"run_s\": {:.3},\n  \"node_intervals_per_s\": {:.0},\n  \"peak_rss_mib\": {:.1},\n  \"qos_rate\": {:.6},\n  \"total_be_throughput\": {:.3},\n  \"mean_power_w\": {:.1},\n  \"budget_w\": {:.1},\n  \"trainings\": {},\n  \"table_builds\": {},\n  \"searches\": {}\n}}",
+            "{{\n  \"nodes\": {},\n  \"intervals\": {},\n  \"shards\": {},\n  \"regions\": {},\n  \"profile\": \"{}\",\n  \"policy\": \"{}\",\n  \"search\": \"{}\",\n  \"training\": \"{}\",\n  \"seed\": {},\n  \"build_s\": {:.3},\n  \"run_s\": {:.3},\n  \"node_intervals_per_s\": {:.0},\n  \"peak_rss_mib\": {:.1},\n  \"qos_rate\": {:.6},\n  \"total_be_throughput\": {:.3},\n  \"mean_power_w\": {:.1},\n  \"budget_w\": {:.1},\n  \"trainings\": {},\n  \"table_builds\": {},\n  \"searches\": {}{extra}\n}}",
             spec.nodes,
             scenario.intervals,
             fleet.shard_count(),

@@ -176,6 +176,8 @@ fn scenario_from_flags(args: &Args) -> Result<Scenario, String> {
         faults,
         policy: ActuationPolicy::hardened(),
         fleet: None,
+        budget: None,
+        placement: None,
         probe: None,
     })
 }

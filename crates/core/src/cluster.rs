@@ -50,6 +50,11 @@ pub struct NodeResult {
     pub overload_fraction: f64,
     /// Mean node power (W).
     pub mean_power_w: f64,
+    /// Safe-mode entries observed by this node's controller (in a
+    /// sharded fleet every node of a shard reports its shard
+    /// controller's count) — the per-node signal the placement layer's
+    /// migration trigger and the degradation tests key on.
+    pub safe_mode_entries: u64,
 }
 
 /// Cluster-wide results.
@@ -312,6 +317,7 @@ impl Cluster {
                 mean_be_throughput: tput,
                 overload_fraction: node.log.overload_fraction(node_budget),
                 mean_power_w: mean_power,
+                safe_mode_entries: c.safe_mode_entries,
             });
         }
         ClusterResult {

@@ -198,6 +198,10 @@ pub struct SturgeonController {
     pruned_candidates_total: u64,
     pruned_subspaces_total: u64,
     frontier_reuses_total: u64,
+    /// True while the placement layer has parked the BE side (no job
+    /// assigned): the controller holds the power-feasible all-LS safe
+    /// configuration instead of optimizing a throughput nobody counts.
+    be_idle: bool,
 }
 
 impl SturgeonController {
@@ -252,7 +256,72 @@ impl SturgeonController {
             pruned_candidates_total: 0,
             pruned_subspaces_total: 0,
             frontier_reuses_total: 0,
+            be_idle: false,
         }
+    }
+
+    /// The per-node power budget (W) currently in force.
+    pub fn budget_w(&self) -> f64 {
+        self.budget_w
+    }
+
+    /// Installs a new power cap — the budget-cut (or relaxation)
+    /// observation delivered by hierarchical reclamation
+    /// ([`crate::budget::BudgetTree`]). When the cap actually changes,
+    /// every plan anchored to the old budget is invalid: warm hints,
+    /// the last search result and the rejected-config memory are
+    /// dropped, so the next observation forces a fresh search under the
+    /// new cap. Returns whether the cap changed.
+    pub fn set_budget_w(&mut self, budget_w: f64) -> bool {
+        if budget_w == self.budget_w {
+            return false;
+        }
+        self.budget_w = budget_w;
+        self.warm_hint = None;
+        self.last_search_qps = None;
+        self.last_search_config = None;
+        self.rejected.clear();
+        true
+    }
+
+    /// Parks or reactivates the BE side. While parked (the placement
+    /// engine moved this unit's job elsewhere), [`decide`] holds the
+    /// safe configuration: all resources to the LS service at a
+    /// power-feasible frequency, leaving the freed watts for the budget
+    /// tree to reclaim. Reactivation forces a fresh search.
+    ///
+    /// Parking also resets the robustness state: a parked controller
+    /// makes no model-based decisions, so a safe-mode flag or stale
+    /// streak frozen at park time is dead information — without the
+    /// reset, a unit parked *while* in safe mode would report safe mode
+    /// forever (the idle path never re-runs the staleness check) and
+    /// the placement engine could never hand it a job again.
+    ///
+    /// [`decide`]: ResourceController::decide
+    pub fn set_be_idle(&mut self, idle: bool) {
+        if idle == self.be_idle {
+            return;
+        }
+        self.be_idle = idle;
+        self.safe_mode = false;
+        self.stale_streak = 0;
+        self.last_obs_sig = None;
+        self.warm_hint = None;
+        self.last_search_qps = None;
+        self.last_search_config = None;
+        self.rejected.clear();
+    }
+
+    /// True while the BE side is parked by the placement layer.
+    pub fn is_be_idle(&self) -> bool {
+        self.be_idle
+    }
+
+    /// True when the balancer has run out of harvest moves while QoS
+    /// keeps violating — the placement layer's second migration trigger
+    /// besides safe mode.
+    pub fn balancer_exhausted(&self) -> bool {
+        self.balancer.is_exhausted()
     }
 
     /// Enables online adaptation (the "Sturgeon-OA" variant): live
@@ -508,6 +577,13 @@ impl ResourceController for SturgeonController {
     }
 
     fn decide(&mut self, obs: &Observation, current: PairConfig) -> PairConfig {
+        // A parked BE side has nothing to optimize: hold the safe
+        // configuration (all-LS at a power-feasible frequency) until the
+        // placement engine assigns a job again.
+        if self.be_idle {
+            return self.safe_config(obs.qps);
+        }
+
         // Stale-telemetry detection: a frozen collector replays the
         // previous sample verbatim, so the measured channels repeat
         // bit-for-bit. Decisions made on frozen data are decisions made

@@ -290,46 +290,6 @@ impl ExperimentSetup {
         RunBuilder { setup: self }
     }
 
-    /// Runs one controller against a fresh clone of the environment for
-    /// `duration_s` one-second intervals under the load profile.
-    #[deprecated(note = "use the builder: setup.runner().controller(c).load(p).intervals(n).go()")]
-    pub fn run(
-        &self,
-        controller: impl ResourceController,
-        profile: LoadProfile,
-        duration_s: u32,
-    ) -> RunResult {
-        self.runner()
-            .controller(controller)
-            .load(profile)
-            .intervals(duration_s)
-            .go()
-            .expect("run failed")
-    }
-
-    /// Like `run`, but with deterministic fault injection and an explicit
-    /// actuation policy.
-    #[deprecated(
-        note = "use the builder: setup.runner().controller(c).load(p).intervals(n).faults(plan).policy(policy).go()"
-    )]
-    pub fn run_with_faults(
-        &self,
-        controller: impl ResourceController,
-        profile: LoadProfile,
-        duration_s: u32,
-        plan: &FaultPlan,
-        policy: ActuationPolicy,
-    ) -> RunResult {
-        self.runner()
-            .controller(controller)
-            .load(profile)
-            .intervals(duration_s)
-            .faults(*plan)
-            .policy(policy)
-            .go()
-            .expect("run failed")
-    }
-
     /// The single run engine behind the builder. A zero [`FaultPlan`]
     /// (the builder default) makes the trajectory bit-identical to a
     /// fault-free run — the injected faults, not the harness, are the
@@ -787,47 +747,6 @@ mod tests {
         assert_eq!(clean.overload_fraction, faulted.overload_fraction);
         assert_eq!(clean.audit.entries(), faulted.audit.entries());
         assert_eq!(faulted.faults, FaultReport::default());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_delegate_to_builder() {
-        let pair = ColocationPair::new(LsServiceId::Xapian, BeAppId::Ferret);
-        let setup = ExperimentSetup::new(pair, 7);
-        let wrapped = setup.run(
-            StaticReservationController,
-            LoadProfile::paper_fluctuating(60.0),
-            60,
-        );
-        let built = setup
-            .runner()
-            .controller(StaticReservationController)
-            .load(LoadProfile::paper_fluctuating(60.0))
-            .intervals(60)
-            .go()
-            .unwrap();
-        assert_eq!(wrapped.log.samples(), built.log.samples());
-        assert_eq!(wrapped.audit.entries(), built.audit.entries());
-
-        let plan = FaultPlan::everything(9);
-        let wrapped = setup.run_with_faults(
-            StaticReservationController,
-            LoadProfile::paper_fluctuating(60.0),
-            60,
-            &plan,
-            ActuationPolicy::unhardened(),
-        );
-        let built = setup
-            .runner()
-            .controller(StaticReservationController)
-            .load(LoadProfile::paper_fluctuating(60.0))
-            .intervals(60)
-            .faults(plan)
-            .policy(ActuationPolicy::unhardened())
-            .go()
-            .unwrap();
-        assert_eq!(wrapped.log.samples(), built.log.samples());
-        assert_eq!(wrapped.faults, built.faults);
     }
 
     #[test]

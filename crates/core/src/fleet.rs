@@ -35,6 +35,7 @@
 //! regional-failover composition drives part of the fleet to zero while
 //! the survivors absorb the traffic.
 
+use crate::budget::{even_split, BudgetEvent, BudgetTree};
 use crate::cluster::NodeResult;
 use crate::controller::{
     ControllerFaultCounters, ControllerParams, ResourceController, SturgeonController,
@@ -45,10 +46,15 @@ use crate::experiment::{ColocationPair, ExperimentSetup};
 use crate::obs::{
     Histogram, MetricsRegistry, RunningStats, TraceEvent, TraceSink, DEFAULT_BUCKETS,
 };
+use crate::placement::{
+    co_runner_score, FleetView, PlacementAction, PlacementEngine, PlacementParams,
+    ScoredPlacementEngine, UnitView,
+};
 use crate::predictor::PerfPowerPredictor;
 use rayon::prelude::*;
 use std::sync::Arc;
 use sturgeon_simnode::{IntervalSample, NodeSpec, PairConfig, TelemetryLog};
+use sturgeon_workloads::catalog::BeAppId;
 use sturgeon_workloads::env::CoLocationEnv;
 use sturgeon_workloads::env::Observation;
 use sturgeon_workloads::loadgen::LoadProfile;
@@ -69,6 +75,30 @@ pub enum TrainingMode {
     /// with one node per shard this is bit-identical to
     /// [`crate::cluster::Cluster`]'s per-node training.
     PerNode,
+}
+
+/// Hierarchical budget configuration for a fleet: the tree's leaves are
+/// the fleet's shards, its racks are the fleet's regions, `rows` groups
+/// the racks, and a single datacenter root spans everything. `events`
+/// schedules cap changes; each one is applied at its interval boundary
+/// followed by a headroom-proportional reclamation pass that lands the
+/// new per-node caps on every shard controller as a budget-cut
+/// observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetBudget {
+    /// Row count grouping the racks/regions (0 or 1 = one row).
+    pub rows: usize,
+    /// Scheduled cap changes, applied in `at_s` order.
+    pub events: Vec<BudgetEvent>,
+}
+
+impl Default for FleetBudget {
+    fn default() -> Self {
+        Self {
+            rows: 1,
+            events: Vec::new(),
+        }
+    }
 }
 
 /// Fleet construction knobs.
@@ -94,6 +124,14 @@ pub struct FleetParams {
     /// controller's events) through the sink passed to
     /// [`Fleet::run_traced`].
     pub traced_shard: Option<usize>,
+    /// Hierarchical power budgets over the shard/region geometry.
+    /// `None` keeps the flat per-node caps (bit-identical to earlier
+    /// fleets).
+    pub budget: Option<FleetBudget>,
+    /// BE job placement/migration at shard-interval boundaries. `None`
+    /// pins one always-on job per shard (the earlier static
+    /// assignment).
+    pub placement: Option<PlacementParams>,
 }
 
 impl Default for FleetParams {
@@ -106,6 +144,8 @@ impl Default for FleetParams {
             controller: ControllerParams::default(),
             sampled_nodes: 0,
             traced_shard: None,
+            budget: None,
+            placement: None,
         }
     }
 }
@@ -215,6 +255,13 @@ struct Shard {
     next_qps_per_node: f64,
     /// Sampled nodes (local index, full log) for debugging.
     sampled: Vec<(usize, TelemetryLog)>,
+    /// BE jobs multiplexed on this shard's BE partition (1 without a
+    /// placement engine — the static assignment).
+    be_jobs: u32,
+    /// Counted-throughput factor for the current job count: the
+    /// co-runner interference score (exactly 1.0 for one job, 0.0 for a
+    /// parked partition).
+    job_factor: f64,
     /// Trace buffer drained by the run loop each interval (traced shard
     /// only; stays empty otherwise).
     traced: bool,
@@ -240,6 +287,7 @@ impl Shard {
             tput_hist,
             p95_run,
             sampled,
+            job_factor,
             traced,
             trace,
             ..
@@ -251,21 +299,26 @@ impl Shard {
         let mut sums = ObsSums::default();
         for (i, env) in envs.iter_mut().enumerate() {
             let obs = env.step_with(config, qps, &invariants);
+            // Counted BE throughput: the measured partition throughput
+            // times the co-runner score for the jobs multiplexed on it.
+            // With the default single pinned job the factor is exactly
+            // 1.0 and the product is bit-identical to the raw value.
+            let counted_tput = obs.be_throughput_norm * *job_factor;
             slab.qps[i] = obs.qps;
             slab.p95_ms[i] = obs.p95_ms;
             slab.in_target[i] = obs.in_target_fraction;
             slab.power_w[i] = obs.power_w;
-            slab.be_tput[i] = obs.be_throughput_norm;
+            slab.be_tput[i] = counted_tput;
             slab.sum_qps[i] += obs.qps;
             slab.sum_in_target_qps[i] += obs.qps * obs.in_target_fraction;
-            slab.sum_be_tput[i] += obs.be_throughput_norm;
+            slab.sum_be_tput[i] += counted_tput;
             slab.sum_power_w[i] += obs.power_w;
             if obs.power_w > *budget_w {
                 slab.overload_intervals[i] += 1;
             }
             p95_hist.observe(obs.p95_ms);
             power_hist.observe(obs.power_w);
-            tput_hist.observe(obs.be_throughput_norm);
+            tput_hist.observe(counted_tput);
             p95_run.observe(obs.p95_ms);
             sums.add(&obs);
         }
@@ -347,6 +400,25 @@ pub struct FleetResult {
     pub table_builds: u64,
     /// Configuration searches run across all shard controllers.
     pub searches: u64,
+    /// Budget reclamation passes that changed at least one leaf cap.
+    pub budget_reclaims: u64,
+    /// BE jobs the placement engine moved between shards.
+    pub migrations: u64,
+    /// BE jobs evicted back to the batch queue.
+    pub evictions: u64,
+    /// Queued BE jobs (re)assigned to a shard.
+    pub assignments: u64,
+}
+
+/// BE-placement runtime state: the engine, its cadence, and the queue
+/// of evicted jobs awaiting reassignment.
+struct PlacementRuntime {
+    engine: Box<dyn PlacementEngine + Send>,
+    params: PlacementParams,
+    queued_jobs: u32,
+    migrations: u64,
+    evictions: u64,
+    assignments: u64,
 }
 
 /// A homogeneous fleet of Sturgeon nodes stepped in shards.
@@ -360,6 +432,16 @@ pub struct Fleet {
     peak_qps_per_node: f64,
     node_count: usize,
     trainings: u64,
+    /// The BE application whose jobs the placement engine moves.
+    be: BeAppId,
+    /// The power-delivery tree (leaves = shards); `None` keeps flat
+    /// per-node caps.
+    budget: Option<BudgetTree>,
+    /// Cap events sorted by `at_s`, with the cursor of the next one due.
+    budget_events: Vec<BudgetEvent>,
+    events_applied: usize,
+    budget_reclaims: u64,
+    placement: Option<PlacementRuntime>,
 }
 
 impl Fleet {
@@ -478,6 +560,8 @@ impl Fleet {
                 last_mean_p95: 0.0,
                 next_qps_per_node: 0.0,
                 sampled,
+                be_jobs: 1,
+                job_factor: 1.0,
                 traced,
                 trace: Vec::new(),
             });
@@ -507,6 +591,74 @@ impl Fleet {
             TrainingMode::Shared => 1,
             TrainingMode::PerNode => shard_count as u64,
         };
+
+        // Budget tree: leaves are the shards (leaf cap = per-node budget
+        // times the shard's node count), racks are the regions, rows
+        // group the racks, one datacenter root. Events are validated
+        // against the geometry here so a bad manifest fails at
+        // construction, not mid-run.
+        let (budget, budget_events) = match &params.budget {
+            Some(spec) => {
+                let leaf_caps: Vec<f64> =
+                    shards.iter().map(|s| budget_w * s.len() as f64).collect();
+                let rack_sizes: Vec<usize> = regions.iter().map(|r| r.hi - r.lo).collect();
+                let rows = spec.rows.max(1);
+                let row_sizes = even_split(rack_sizes.len(), rows).map_err(|_| {
+                    SturgeonError::setup(format!(
+                        "budget rows must be in 1..={}, got {rows}",
+                        rack_sizes.len()
+                    ))
+                })?;
+                let tree = BudgetTree::new(&leaf_caps, &rack_sizes, &row_sizes)?;
+                let mut events = spec.events.clone();
+                for e in &events {
+                    if e.index >= tree.len(e.level) {
+                        return Err(SturgeonError::setup(format!(
+                            "budget event targets {} {} but the tree has {}",
+                            e.level.as_str(),
+                            e.index,
+                            tree.len(e.level)
+                        )));
+                    }
+                    if !e.at_s.is_finite() || e.at_s < 0.0 {
+                        return Err(SturgeonError::setup("budget event at_s must be >= 0"));
+                    }
+                }
+                events.sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
+                (Some(tree), events)
+            }
+            None => (None, Vec::new()),
+        };
+
+        let placement = match params.placement {
+            Some(p) => {
+                if p.interval_s == 0 {
+                    return Err(SturgeonError::setup("placement interval_s must be >= 1"));
+                }
+                if p.be_slots == 0 {
+                    return Err(SturgeonError::setup("placement be_slots must be >= 1"));
+                }
+                if !(0.0..=1.0).contains(&p.sigma) {
+                    return Err(SturgeonError::setup("placement sigma must be in [0, 1]"));
+                }
+                let engine = ScoredPlacementEngine::new(
+                    shards[0].controller.predictor_handle(),
+                    spec.clone(),
+                    params.controller.search,
+                    p,
+                );
+                Some(PlacementRuntime {
+                    engine: Box::new(engine),
+                    params: p,
+                    queued_jobs: 0,
+                    migrations: 0,
+                    evictions: 0,
+                    assignments: 0,
+                })
+            }
+            None => None,
+        };
+
         Ok(Self {
             shards,
             regions,
@@ -515,6 +667,12 @@ impl Fleet {
             peak_qps_per_node: peak,
             node_count: nodes,
             trainings,
+            be: pair.be,
+            budget,
+            budget_events,
+            events_applied: 0,
+            budget_reclaims: 0,
+            placement,
         })
     }
 
@@ -593,6 +751,19 @@ impl Fleet {
             .expect("region count matches by construction")
     }
 
+    /// Like [`Fleet::run_regional`], but streams the traced shard's
+    /// decision trace into `sink` — the tracing twin of a per-region
+    /// run, so tracing a regional scenario does not collapse every
+    /// region onto one profile.
+    pub fn run_regional_traced(
+        &mut self,
+        profiles: &[LoadProfile],
+        duration_s: u32,
+        sink: &mut dyn TraceSink,
+    ) -> Result<FleetResult, SturgeonError> {
+        self.run_impl(profiles, duration_s, Some(sink))
+    }
+
     fn run_impl(
         &mut self,
         profiles: &[LoadProfile],
@@ -603,6 +774,10 @@ impl Fleet {
             return Err(SturgeonError::setup("one load profile per region"));
         }
         for t in 0..duration_s {
+            // Budget events due at or before this interval tighten (or
+            // relax) tree caps and push the reclaimed per-node budgets
+            // into the shard controllers before load is dispatched.
+            self.apply_budget_events(t as f64, &mut sink);
             // Dispatch: per region, split the offered load across shards
             // from last-interval shard summaries, then stage per-node
             // shares. Cheap and serial; the stepping below is the work.
@@ -631,8 +806,200 @@ impl Fleet {
                     }
                 }
             }
+            // Placement boundary: consult the engine on fresh telemetry,
+            // apply its plan, and re-apportion the budget so watts follow
+            // the jobs.
+            let due = self
+                .placement
+                .as_ref()
+                .is_some_and(|rt| (t + 1) % rt.params.interval_s == 0);
+            if due {
+                self.run_placement((t + 1) as f64, &mut sink);
+            }
         }
         Ok(self.result())
+    }
+
+    /// Applies every budget event due at or before `t_s`, then
+    /// re-apportions the tree against the latest measured per-shard
+    /// power demand and pushes the resulting per-node caps into the
+    /// shard controllers as budget-cut observations.
+    fn apply_budget_events(&mut self, t_s: f64, sink: &mut Option<&mut dyn TraceSink>) {
+        let Some(tree) = self.budget.as_mut() else {
+            return;
+        };
+        let mut applied = Vec::new();
+        while let Some(event) = self.budget_events.get(self.events_applied) {
+            if event.at_s > t_s {
+                break;
+            }
+            // Index and cap were validated at construction.
+            if let Ok(cap_w) = tree.set_cap(event.level, event.index, event.cap) {
+                applied.push((event.level, event.index, cap_w));
+            }
+            self.events_applied += 1;
+        }
+        if applied.is_empty() {
+            return;
+        }
+        // Demand: last-interval measured power per shard (zero before the
+        // first step, which degrades to pro-rata on nominal caps).
+        let demands: Vec<f64> = self
+            .shards
+            .iter()
+            .map(|s| s.slab.power_w.iter().sum())
+            .collect();
+        tree.reclaim(Some(&demands));
+        let mut changed = false;
+        for (shard, leaf_eff) in self.shards.iter_mut().zip(tree.leaf_caps_w()) {
+            let per_node = leaf_eff / shard.len() as f64;
+            if shard.controller.set_budget_w(per_node) {
+                shard.budget_w = per_node;
+                changed = true;
+            }
+        }
+        if changed {
+            self.budget_reclaims += 1;
+        }
+        if let Some(sink) = sink.as_deref_mut() {
+            let reclaimed_w = tree.reclaimed_w();
+            for (level, index, cap_w) in applied {
+                sink.record(&TraceEvent::BudgetReclaimed {
+                    t_s,
+                    level: level.as_str(),
+                    index,
+                    cap_w,
+                    reclaimed_w,
+                });
+            }
+        }
+    }
+
+    /// One placement round: snapshot the fleet, let the engine plan,
+    /// apply the valid actions, then refresh each shard's co-runner
+    /// factor / idle flag and re-apportion the budget so reclaimed watts
+    /// follow the jobs.
+    fn run_placement(&mut self, t_s: f64, sink: &mut Option<&mut dyn TraceSink>) {
+        let Some(mut rt) = self.placement.take() else {
+            return;
+        };
+        let view = FleetView {
+            t_s,
+            be: self.be,
+            units: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| UnitView {
+                    unit: i,
+                    first_node: s.first_node,
+                    nodes: s.len(),
+                    qps_per_node: s.next_qps_per_node,
+                    cap_w: s.budget_w,
+                    safe_mode: s.controller.in_safe_mode(),
+                    exhausted: s.controller.balancer_exhausted(),
+                    be_jobs: s.be_jobs,
+                    be_slots: rt.params.be_slots,
+                    last_be_tput: s.slab.be_tput.iter().sum(),
+                })
+                .collect(),
+            queued_jobs: rt.queued_jobs,
+        };
+        let plan = rt.engine.plan(&view);
+        for action in &plan.actions {
+            match *action {
+                PlacementAction::Assign { unit, .. } => {
+                    let Some(shard) = self.shards.get_mut(unit) else {
+                        continue;
+                    };
+                    if rt.queued_jobs == 0 || shard.be_jobs >= rt.params.be_slots {
+                        continue;
+                    }
+                    rt.queued_jobs -= 1;
+                    shard.be_jobs += 1;
+                    rt.assignments += 1;
+                    if let Some(sink) = sink.as_deref_mut() {
+                        sink.record(&TraceEvent::BeMigrated {
+                            t_s,
+                            action: "assign",
+                            from: None,
+                            to: Some(unit),
+                            be: self.be.name(),
+                        });
+                    }
+                }
+                PlacementAction::Migrate { from, to, .. } => {
+                    if from == to || from >= self.shards.len() || to >= self.shards.len() {
+                        continue;
+                    }
+                    if self.shards[from].be_jobs == 0
+                        || self.shards[to].be_jobs >= rt.params.be_slots
+                    {
+                        continue;
+                    }
+                    self.shards[from].be_jobs -= 1;
+                    self.shards[to].be_jobs += 1;
+                    rt.migrations += 1;
+                    if let Some(sink) = sink.as_deref_mut() {
+                        sink.record(&TraceEvent::BeMigrated {
+                            t_s,
+                            action: "migrate",
+                            from: Some(from),
+                            to: Some(to),
+                            be: self.be.name(),
+                        });
+                    }
+                }
+                PlacementAction::Evict { unit, .. } => {
+                    let Some(shard) = self.shards.get_mut(unit) else {
+                        continue;
+                    };
+                    if shard.be_jobs == 0 {
+                        continue;
+                    }
+                    shard.be_jobs -= 1;
+                    rt.queued_jobs += 1;
+                    rt.evictions += 1;
+                    if let Some(sink) = sink.as_deref_mut() {
+                        sink.record(&TraceEvent::BeMigrated {
+                            t_s,
+                            action: "evict",
+                            from: Some(unit),
+                            to: None,
+                            be: self.be.name(),
+                        });
+                    }
+                }
+            }
+        }
+        // Refresh counted-throughput factors and park/unpark partitions.
+        for shard in &mut self.shards {
+            shard.job_factor = co_runner_score(shard.be_jobs, rt.params.sigma);
+            shard.controller.set_be_idle(shard.be_jobs == 0);
+        }
+        self.placement = Some(rt);
+        // Watts follow the jobs: parked partitions stop drawing BE power,
+        // so a fresh demand-aware apportionment shifts their headroom to
+        // job-holding shards (never above nominal per-node caps).
+        if let Some(tree) = self.budget.as_mut() {
+            let demands: Vec<f64> = self
+                .shards
+                .iter()
+                .map(|s| s.slab.power_w.iter().sum())
+                .collect();
+            tree.reclaim(Some(&demands));
+            let mut changed = false;
+            for (shard, leaf_eff) in self.shards.iter_mut().zip(tree.leaf_caps_w()) {
+                let per_node = leaf_eff / shard.len() as f64;
+                if shard.controller.set_budget_w(per_node) {
+                    shard.budget_w = per_node;
+                    changed = true;
+                }
+            }
+            if changed {
+                self.budget_reclaims += 1;
+            }
+        }
     }
 
     /// Like [`Fleet::run`], but folds the fleet's streaming aggregates
@@ -691,6 +1058,10 @@ impl Fleet {
         registry.add("fleet.trainings", result.trainings);
         registry.add("fleet.table_builds", result.table_builds);
         registry.add("search.runs", result.searches);
+        registry.add("budget.reclaims", result.budget_reclaims);
+        registry.add("placement.migrations", result.migrations);
+        registry.add("placement.evictions", result.evictions);
+        registry.add("placement.assignments", result.assignments);
         registry.set_gauge("fleet.qos_rate", result.qos_rate);
         registry.set_gauge("fleet.total_be_throughput", result.total_be_throughput);
         registry.set_gauge("fleet.mean_power_w", result.mean_fleet_power_w);
@@ -746,6 +1117,7 @@ impl Fleet {
                     mean_be_throughput: tput,
                     overload_fraction: overload,
                     mean_power_w: mean_power,
+                    safe_mode_entries: c.safe_mode_entries,
                 });
             }
         }
@@ -763,6 +1135,10 @@ impl Fleet {
             trainings: self.trainings,
             table_builds: self.predictors.iter().map(|p| p.table_builds()).sum(),
             searches,
+            budget_reclaims: self.budget_reclaims,
+            migrations: self.placement.as_ref().map_or(0, |rt| rt.migrations),
+            evictions: self.placement.as_ref().map_or(0, |rt| rt.evictions),
+            assignments: self.placement.as_ref().map_or(0, |rt| rt.assignments),
         }
     }
 }

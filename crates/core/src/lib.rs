@@ -37,6 +37,7 @@
 
 pub mod balancer;
 pub mod baselines;
+pub mod budget;
 pub mod cache;
 pub mod cluster;
 pub mod controller;
@@ -60,6 +61,7 @@ pub mod tables;
 pub mod prelude {
     pub use crate::balancer::{BalancerAction, BalancerParams, HarvestTarget, ResourceBalancer};
     pub use crate::baselines::{PartiesController, StaticReservationController};
+    pub use crate::budget::{BudgetCap, BudgetEvent, BudgetLevel, BudgetTree};
     pub use crate::cache::{FrontierCache, PredictionCache};
     pub use crate::cluster::{Cluster, ClusterResult};
     pub use crate::controller::{
@@ -72,7 +74,7 @@ pub mod prelude {
         ActuationPolicy, ColocationPair, ConfiguredRun, ExperimentSetup, FaultReport, RunBuilder,
         RunResult,
     };
-    pub use crate::fleet::{Fleet, FleetParams, FleetResult, TrainingMode};
+    pub use crate::fleet::{Fleet, FleetBudget, FleetParams, FleetResult, TrainingMode};
     pub use crate::heracles::{HeraclesController, HeraclesParams};
     pub use crate::multi::{
         MultiProfiler, MultiProfilerConfig, MultiSearch, MultiSturgeonController,
@@ -81,12 +83,15 @@ pub mod prelude {
         JsonlSink, MetricsRegistry, NullSink, RingSink, SearchReason, TraceEvent, TraceSink,
     };
     pub use crate::online::{OnlineAdaptor, OnlineAdaptorConfig, OnlineSample};
-    pub use crate::placement::{BePlacer, PlacementDecision};
+    pub use crate::placement::{
+        co_runner_score, BePlacer, FleetView, PlacementAction, PlacementDecision, PlacementEngine,
+        PlacementParams, PlacementPlan, ScoredPlacementEngine, UnitView,
+    };
     pub use crate::predictor::{ModelKind, PerfPowerPredictor, PredictorConfig};
     pub use crate::profiler::{ProfileDatasets, Profiler, ProfilerConfig};
     pub use crate::scenario::{
         ControllerKind, ControllerSpec, FleetDispatch, FleetSpec, Scenario, ScenarioKind,
-        ScenarioMetrics, ScenarioOutcome, SearchProbe,
+        ScenarioMetrics, ScenarioOutcome, SearchProbe, Tolerance,
     };
     pub use crate::search::{
         ConfigSearch, SearchOutcome, SearchParams, SearchStats, SearchStrategy,

@@ -447,6 +447,15 @@ impl MetricsRegistry {
                 self.set_gauge("predictor.cache_hit_total", *hits as f64);
                 self.set_gauge("predictor.cache_miss_total", *misses as f64);
             }
+            TraceEvent::BudgetReclaimed { reclaimed_w, .. } => {
+                self.inc("budget.reclaims");
+                self.set_gauge("budget.reclaimed_w", *reclaimed_w);
+            }
+            TraceEvent::BeMigrated { action, .. } => match *action {
+                "assign" => self.inc("placement.assignments"),
+                "evict" => self.inc("placement.evictions"),
+                _ => self.inc("placement.migrations"),
+            },
         }
     }
 

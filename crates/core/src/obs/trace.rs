@@ -146,6 +146,34 @@ pub enum TraceEvent {
         /// Lifetime cache misses.
         misses: u64,
     },
+    /// A budget-tree cap changed and the reclaimed apportionment was
+    /// pushed into the node controllers.
+    BudgetReclaimed {
+        /// Interval timestamp (s).
+        t_s: f64,
+        /// Tree level the cap event targeted (see
+        /// [`crate::budget::BudgetLevel::as_str`]).
+        level: &'static str,
+        /// Index within the level.
+        index: usize,
+        /// The new cap at that level (W, resolved).
+        cap_w: f64,
+        /// Watts currently withheld from the leaves fleet-wide.
+        reclaimed_w: f64,
+    },
+    /// The placement engine moved a best-effort job.
+    BeMigrated {
+        /// Interval timestamp (s).
+        t_s: f64,
+        /// `"assign"`, `"migrate"`, or `"evict"`.
+        action: &'static str,
+        /// Source unit (`None` for an assignment from the queue).
+        from: Option<usize>,
+        /// Target unit (`None` for an eviction to the queue).
+        to: Option<usize>,
+        /// The job's application.
+        be: &'static str,
+    },
 }
 
 impl TraceEvent {
@@ -162,11 +190,13 @@ impl TraceEvent {
             TraceEvent::FaultInjected { .. } => "FaultInjected",
             TraceEvent::SearchPruned { .. } => "SearchPruned",
             TraceEvent::CacheSnapshot { .. } => "CacheSnapshot",
+            TraceEvent::BudgetReclaimed { .. } => "BudgetReclaimed",
+            TraceEvent::BeMigrated { .. } => "BeMigrated",
         }
     }
 
     /// Every variant name, in a stable order (the validator's schema).
-    pub fn kinds() -> [&'static str; 10] {
+    pub fn kinds() -> [&'static str; 12] {
         [
             "TelemetrySample",
             "SearchRan",
@@ -178,6 +208,8 @@ impl TraceEvent {
             "FaultInjected",
             "SearchPruned",
             "CacheSnapshot",
+            "BudgetReclaimed",
+            "BeMigrated",
         ]
     }
 
@@ -193,7 +225,9 @@ impl TraceEvent {
             | TraceEvent::ConfigApplied { t_s, .. }
             | TraceEvent::FaultInjected { t_s, .. }
             | TraceEvent::SearchPruned { t_s, .. }
-            | TraceEvent::CacheSnapshot { t_s, .. } => *t_s,
+            | TraceEvent::CacheSnapshot { t_s, .. }
+            | TraceEvent::BudgetReclaimed { t_s, .. }
+            | TraceEvent::BeMigrated { t_s, .. } => *t_s,
         }
     }
 }
@@ -409,6 +443,6 @@ mod tests {
     #[test]
     fn every_kind_is_listed() {
         assert!(TraceEvent::kinds().contains(&sample(0.0).kind()));
-        assert_eq!(TraceEvent::kinds().len(), 10);
+        assert_eq!(TraceEvent::kinds().len(), 12);
     }
 }

@@ -1,20 +1,446 @@
-//! BE placement: which best-effort application should co-locate with a
-//! given LS service right now?
+//! BE placement: which best-effort job runs where, fleet-wide.
 //!
 //! The paper's cluster scheduler (Fig. 4) dispatches queries; something
-//! must also decide which batch job lands on which node. Sturgeon's
-//! predictor answers that for free: for every candidate BE application,
-//! run the §V-B search at the node's current load and compare the
-//! predicted normalized throughput of the best feasible configuration.
-//! The candidate recovering the largest fraction of a dedicated machine
-//! wins — preference-awareness applied at placement time rather than
-//! after the fact.
+//! must also decide which batch job lands on which node — and, once
+//! upstream power caps start moving ([`crate::budget::BudgetTree`]),
+//! *keep* deciding: a node that falls into safe mode or loses its cap
+//! produces no BE throughput, so its job should run somewhere else.
+//!
+//! The [`PlacementEngine`] trait is that fleet-level optimizer: it is
+//! handed a [`FleetView`] (one [`UnitView`] per serving unit — a fleet
+//! shard) and returns a [`PlacementPlan`] of assign/migrate/evict
+//! actions. Candidates are scored with the same machinery the per-node
+//! controller trusts — the §V-B search over the predictor (table-backed
+//! under [`SearchStrategy::FrontierPruned`], where the `ModelTables`
+//! lattices drive the pruning) — times a **co-runner interference
+//! score** ([`co_runner_score`]): jobs multiplexed onto one BE
+//! partition contribute diminishing throughput, the scoring-mechanism
+//! template from the large-cluster interference literature.
+//!
+//! Two implementations live here:
+//!
+//! * [`ScoredPlacementEngine`] — the fleet engine
+//!   [`crate::fleet::Fleet`] consults at shard-interval boundaries:
+//!   greedy marginal-gain moves away from safe-mode/exhausted units,
+//!   never targeting a unit in safe mode or without a free slot.
+//! * [`BePlacer`] — the original per-node candidate ranker, now an
+//!   adapter implementing the same trait over empty units (its
+//!   `rank`/`choose` entry points are deprecated shims).
 
 use crate::experiment::{ColocationPair, ExperimentSetup};
 use crate::predictor::PerfPowerPredictor;
-use crate::search::{ConfigSearch, SearchParams};
+use crate::search::{ConfigSearch, SearchParams, SearchStrategy};
+use std::sync::Arc;
 use sturgeon_simnode::{NodeSpec, PairConfig};
 use sturgeon_workloads::catalog::{BeAppId, LsServiceId};
+
+/// Everything the placement engine may know about one serving unit (a
+/// fleet shard: a contiguous node range under one controller).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitView {
+    /// Unit index within the fleet (shard index).
+    pub unit: usize,
+    /// Global index of the unit's first node.
+    pub first_node: usize,
+    /// Physical nodes in the unit.
+    pub nodes: usize,
+    /// Offered load per node (QPS) in the most recent interval.
+    pub qps_per_node: f64,
+    /// Effective per-node power cap (W) after budget reclamation.
+    pub cap_w: f64,
+    /// True while the unit's controller holds the safe configuration —
+    /// a migration *source*, never a target.
+    pub safe_mode: bool,
+    /// True when the unit's balancer ran out of harvest moves while QoS
+    /// kept violating — the second migration trigger.
+    pub exhausted: bool,
+    /// BE jobs currently multiplexed on the unit's BE partition.
+    pub be_jobs: u32,
+    /// Job capacity of the unit's BE partition.
+    pub be_slots: u32,
+    /// Measured per-node normalized BE throughput, last interval.
+    pub last_be_tput: f64,
+}
+
+/// The fleet snapshot handed to [`PlacementEngine::plan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetView {
+    /// Interval timestamp (s).
+    pub t_s: f64,
+    /// The BE application whose jobs are being placed (homogeneous
+    /// fleet).
+    pub be: BeAppId,
+    /// One view per serving unit, in unit order.
+    pub units: Vec<UnitView>,
+    /// Evicted jobs waiting in the batch queue for a free slot.
+    pub queued_jobs: u32,
+}
+
+/// One step of a placement plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementAction {
+    /// Take one queued job and start it on `unit`.
+    Assign {
+        /// Target unit.
+        unit: usize,
+        /// The job's application.
+        be: BeAppId,
+    },
+    /// Move one job from `from` to `to`.
+    Migrate {
+        /// Source unit (loses one job).
+        from: usize,
+        /// Target unit (gains one job).
+        to: usize,
+        /// The job's application.
+        be: BeAppId,
+    },
+    /// Stop one job on `unit` and return it to the batch queue.
+    Evict {
+        /// Source unit.
+        unit: usize,
+        /// The job's application.
+        be: BeAppId,
+    },
+}
+
+/// An ordered list of actions; the fleet applies them in order, skipping
+/// any that became invalid (stale view, concurrent cap change).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlacementPlan {
+    /// Actions in application order.
+    pub actions: Vec<PlacementAction>,
+}
+
+impl PlacementPlan {
+    /// True when the plan changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+}
+
+/// A fleet-aware placement policy: look at every serving unit, return
+/// the job moves worth making.
+pub trait PlacementEngine {
+    /// Display name used in reports and traces.
+    fn name(&self) -> &'static str;
+
+    /// Computes the actions to apply at this boundary.
+    fn plan(&mut self, view: &FleetView) -> PlacementPlan;
+}
+
+/// Normalized total throughput of `jobs` identical jobs multiplexed on
+/// one BE partition, in units of a single dedicated job: `k / (1 + σ·(k
+/// − 1))`. One job scores exactly 1; every additional co-runner adds a
+/// diminishing share, with `sigma` the pairwise interference
+/// coefficient (0 = perfect scaling, 1 = pure time-sharing). This is
+/// the per-candidate co-runner score the plan ranks target units with.
+pub fn co_runner_score(jobs: u32, sigma: f64) -> f64 {
+    if jobs == 0 {
+        return 0.0;
+    }
+    let k = jobs as f64;
+    k / (1.0 + sigma * (k - 1.0))
+}
+
+/// Tunables for [`ScoredPlacementEngine`] (and the fleet's placement
+/// boundary cadence).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacementParams {
+    /// Run the engine every `interval_s` stepped intervals.
+    pub interval_s: u32,
+    /// Job capacity per unit's BE partition.
+    pub be_slots: u32,
+    /// Most actions per plan (bounds churn per boundary).
+    pub max_moves: usize,
+    /// Pairwise co-runner interference coefficient (see
+    /// [`co_runner_score`]).
+    pub sigma: f64,
+}
+
+impl Default for PlacementParams {
+    fn default() -> Self {
+        Self {
+            interval_s: 30,
+            be_slots: 2,
+            max_moves: 8,
+            sigma: 0.25,
+        }
+    }
+}
+
+/// The fleet placement engine: scores every unit's per-job value with
+/// the predictor-backed search at the unit's own load and cap, applies
+/// the co-runner interference score for multiplexing, and greedily
+/// takes the largest positive marginal gains — which is exactly what
+/// turns a safe-mode entry from a dead-end counter into a migration:
+/// a parked unit's jobs are worth zero where they are and their full
+/// marginal value anywhere healthy.
+///
+/// The model alone is not enough: a unit thrashing in and out of safe
+/// mode can look clean at the instant a boundary samples it, and its
+/// predicted throughput is exactly the number its own balancer just
+/// proved wrong. The engine therefore keeps a per-unit **health EWMA**
+/// across boundaries: units hosting jobs are scored by how much of
+/// their modeled throughput they actually delivered last interval,
+/// idle units by their control-state flags. A unit only regains full
+/// trust by delivering, which is what stops jobs sloshing back onto an
+/// overloaded unit the moment it momentarily exits safe mode.
+pub struct ScoredPlacementEngine {
+    predictor: Arc<PerfPowerPredictor>,
+    spec: NodeSpec,
+    search: SearchParams,
+    params: PlacementParams,
+    /// Per-unit trust in the model's value estimate (EWMA across
+    /// boundaries, 0 = never delivers, 1 = delivers as modeled).
+    health: Vec<f64>,
+    /// Scratch: per-unit per-job base value, refilled every plan.
+    base: Vec<f64>,
+    /// Scratch: per-unit job counts as the plan is built.
+    jobs: Vec<u32>,
+}
+
+impl std::fmt::Debug for ScoredPlacementEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScoredPlacementEngine")
+            .field("params", &self.params)
+            .finish()
+    }
+}
+
+/// Marginal gain below which a move is churn, not progress.
+const MIN_GAIN: f64 = 1e-6;
+
+/// Per-boundary smoothing of the health EWMA: each boundary keeps half
+/// the prior trust and folds in half of the fresh evidence, so a unit
+/// recovers (or decays) over a few placement intervals rather than
+/// flapping with the instantaneous safe-mode flag.
+const HEALTH_ALPHA: f64 = 0.5;
+
+/// Smoothing for units that produced *no* evidence this boundary (idle,
+/// no flags raised). Absence of evidence is not good evidence: an idle
+/// unit drifts back toward full trust only slowly, so a freshly vacated
+/// unit cannot out-score the units actually delivering jobs a boundary
+/// later and pull its job straight back (placement ping-pong).
+const IDLE_ALPHA: f64 = 0.1;
+
+/// A migration must beat the value it destroys at the source by this
+/// relative margin (on top of [`MIN_GAIN`]). Delivery ratios carry a
+/// few percent of measurement noise; a move that wins by less than the
+/// noise floor is churn with a migration cost and no expected payoff.
+const MOVE_MARGIN: f64 = 0.1;
+
+impl ScoredPlacementEngine {
+    /// Builds the engine around a (typically shared) predictor artifact.
+    pub fn new(
+        predictor: Arc<PerfPowerPredictor>,
+        spec: NodeSpec,
+        search: SearchParams,
+        params: PlacementParams,
+    ) -> Self {
+        Self {
+            predictor,
+            spec,
+            search,
+            params,
+            health: Vec::new(),
+            base: Vec::new(),
+            jobs: Vec::new(),
+        }
+    }
+
+    /// The engine's tunables.
+    pub fn params(&self) -> &PlacementParams {
+        &self.params
+    }
+
+    /// Modeled per-job value of running on `unit`: the search's
+    /// predicted best feasible BE throughput at the unit's load under
+    /// its *current effective cap*, per node, times the node count.
+    fn modeled_value(&self, unit: &UnitView) -> f64 {
+        let search = ConfigSearch::new(&self.predictor, self.spec.clone(), unit.cap_w, self.search);
+        let outcome = match self.search.strategy {
+            SearchStrategy::Heuristic => search.best_config(unit.qps_per_node),
+            SearchStrategy::FrontierPruned => search.pruned(unit.qps_per_node),
+        };
+        outcome.predicted_throughput * unit.nodes as f64
+    }
+
+    /// Fresh health evidence for one unit this boundary, as `(target,
+    /// alpha)` for the EWMA update. A unit hosting jobs is judged on
+    /// delivery — the fraction of its expected throughput (modeled base
+    /// times the co-runner score of its job count) it actually produced
+    /// last interval — because an overloaded unit's model is precisely
+    /// the number its balancer keeps failing to realize. An idle unit
+    /// can only be judged on its control state: safe mode is worth
+    /// nothing, an exhausted balancer means the model overpromises
+    /// (half trust), and a clean idle unit yields no evidence at all —
+    /// it drifts back toward full trust at the slow [`IDLE_ALPHA`]
+    /// rate.
+    fn health_target(&self, unit: &UnitView, modeled: f64) -> (f64, f64) {
+        if unit.safe_mode {
+            return (0.0, HEALTH_ALPHA);
+        }
+        let flag_cap = if unit.exhausted { 0.5 } else { 1.0 };
+        let expected = modeled * co_runner_score(unit.be_jobs, self.params.sigma);
+        if unit.be_jobs > 0 && expected > f64::EPSILON {
+            (
+                (unit.last_be_tput / expected).clamp(0.0, flag_cap),
+                HEALTH_ALPHA,
+            )
+        } else if unit.exhausted {
+            (flag_cap, HEALTH_ALPHA)
+        } else {
+            (flag_cap, IDLE_ALPHA)
+        }
+    }
+
+    /// Total value of `jobs` jobs on unit `i`.
+    fn value(&self, i: usize, jobs: u32) -> f64 {
+        self.base[i] * co_runner_score(jobs, self.params.sigma)
+    }
+
+    /// Marginal value of adding one job to unit `i` holding `jobs`.
+    fn gain_add(&self, i: usize, jobs: u32) -> f64 {
+        self.value(i, jobs + 1) - self.value(i, jobs)
+    }
+
+    /// Value lost by removing one job from unit `i` holding `jobs`.
+    fn loss_remove(&self, i: usize, jobs: u32) -> f64 {
+        debug_assert!(jobs > 0);
+        self.value(i, jobs) - self.value(i, jobs - 1)
+    }
+}
+
+impl PlacementEngine for ScoredPlacementEngine {
+    fn name(&self) -> &'static str {
+        "scored"
+    }
+
+    fn plan(&mut self, view: &FleetView) -> PlacementPlan {
+        let n = view.units.len();
+        self.health.resize(n, 1.0);
+        self.base.clear();
+        self.jobs.clear();
+        let debug = std::env::var_os("STURGEON_PLACEMENT_DEBUG").is_some();
+        for (i, u) in view.units.iter().enumerate() {
+            let modeled = self.modeled_value(u);
+            let (target, alpha) = self.health_target(u, modeled);
+            self.health[i] = (1.0 - alpha) * self.health[i] + alpha * target;
+            // Safe mode is a hard zero regardless of history: the
+            // partition is parked *right now*.
+            let base = if u.safe_mode {
+                0.0
+            } else {
+                modeled * self.health[i]
+            };
+            if debug {
+                eprintln!(
+                    "placement t={:>5.0} unit {i}: qps/node={:>7.0} cap={:>5.1}W safe={} exh={} \
+                     jobs={} tput={:.3} modeled={:.3} health={:.3} base={:.3}",
+                    view.t_s,
+                    u.qps_per_node,
+                    u.cap_w,
+                    u.safe_mode as u8,
+                    u.exhausted as u8,
+                    u.be_jobs,
+                    u.last_be_tput,
+                    modeled,
+                    self.health[i],
+                    base
+                );
+            }
+            self.base.push(base);
+        }
+        self.jobs.extend(view.units.iter().map(|u| u.be_jobs));
+        let mut queued = view.queued_jobs;
+        let mut plan = PlacementPlan::default();
+
+        // A unit may receive a job only when healthy and not full.
+        let can_host = |units: &[UnitView], jobs: &[u32], i: usize| -> bool {
+            !units[i].safe_mode && jobs[i] < units[i].be_slots
+        };
+
+        while plan.actions.len() < self.params.max_moves {
+            // Best assignment of a queued job (no source cost).
+            let mut best_assign: Option<(usize, f64)> = None;
+            if queued > 0 {
+                for i in 0..n {
+                    if !can_host(&view.units, &self.jobs, i) {
+                        continue;
+                    }
+                    let g = self.gain_add(i, self.jobs[i]);
+                    if g > best_assign.map_or(MIN_GAIN, |(_, bg)| bg) {
+                        best_assign = Some((i, g));
+                    }
+                }
+            }
+            // Best migration: max over (source with jobs, healthy
+            // target) of marginal gain minus source loss. The gain must
+            // clear a relative margin over the destroyed source value —
+            // a move that wins by less than the evidence noise floor is
+            // churn, not progress.
+            let mut best_move: Option<(usize, usize, f64)> = None;
+            for from in 0..n {
+                if self.jobs[from] == 0 {
+                    continue;
+                }
+                let loss = self.loss_remove(from, self.jobs[from]);
+                let threshold = MIN_GAIN.max(MOVE_MARGIN * loss);
+                for to in 0..n {
+                    if to == from || !can_host(&view.units, &self.jobs, to) {
+                        continue;
+                    }
+                    let g = self.gain_add(to, self.jobs[to]) - loss;
+                    if g > threshold && g > best_move.map_or(f64::NEG_INFINITY, |(_, _, bg)| bg) {
+                        best_move = Some((from, to, g));
+                    }
+                }
+            }
+            match (best_assign, best_move) {
+                (Some((i, ga)), m) if m.is_none_or(|(_, _, gm)| ga >= gm) => {
+                    self.jobs[i] += 1;
+                    queued -= 1;
+                    plan.actions.push(PlacementAction::Assign {
+                        unit: i,
+                        be: view.be,
+                    });
+                }
+                (_, Some((from, to, _))) => {
+                    self.jobs[from] -= 1;
+                    self.jobs[to] += 1;
+                    plan.actions.push(PlacementAction::Migrate {
+                        from,
+                        to,
+                        be: view.be,
+                    });
+                }
+                _ => break,
+            }
+        }
+
+        // Jobs stranded on safe-mode units with nowhere to go return to
+        // the queue — a later plan re-assigns them once capacity
+        // recovers, instead of leaving them pinned to a parked
+        // partition.
+        for i in 0..n {
+            if plan.actions.len() >= self.params.max_moves {
+                break;
+            }
+            while view.units[i].safe_mode
+                && self.jobs[i] > 0
+                && plan.actions.len() < self.params.max_moves
+            {
+                self.jobs[i] -= 1;
+                plan.actions.push(PlacementAction::Evict {
+                    unit: i,
+                    be: view.be,
+                });
+            }
+        }
+        plan
+    }
+}
 
 /// The outcome of evaluating one candidate at one load.
 #[derive(Debug, Clone)]
@@ -31,8 +457,11 @@ pub struct PlacementDecision {
 /// A placement engine for one LS service over a fixed candidate set.
 ///
 /// Construction runs the offline phase (profiling + training) once per
-/// candidate; [`BePlacer::rank`] and [`BePlacer::choose`] are then cheap
-/// enough to run at scheduling time.
+/// candidate; [`BePlacer::evaluate`] and [`BePlacer::select`] are then
+/// cheap enough to run at scheduling time, and the [`PlacementEngine`]
+/// impl adapts the same ranking to the fleet API: each empty, healthy
+/// unit is assigned the best-scoring feasible candidate at that unit's
+/// own load and cap.
 pub struct BePlacer {
     spec: NodeSpec,
     budget_w: f64,
@@ -81,18 +510,20 @@ impl BePlacer {
         self.candidates.len()
     }
 
-    /// Evaluates every candidate at the given LS load, best first.
-    pub fn rank(&self, qps: f64) -> Vec<PlacementDecision> {
+    /// The per-node power budget the candidates were profiled under.
+    pub fn budget_w(&self) -> f64 {
+        self.budget_w
+    }
+
+    /// Evaluates every candidate at the given LS load under the given
+    /// per-node power cap, best first.
+    pub fn evaluate(&self, qps: f64, cap_w: f64) -> Vec<PlacementDecision> {
         let mut out: Vec<PlacementDecision> = self
             .candidates
             .iter()
             .map(|(be, predictor)| {
-                let search = ConfigSearch::new(
-                    predictor,
-                    self.spec.clone(),
-                    self.budget_w,
-                    SearchParams::default(),
-                );
+                let search =
+                    ConfigSearch::new(predictor, self.spec.clone(), cap_w, SearchParams::default());
                 let outcome = search.best_config(qps);
                 PlacementDecision {
                     be: *be,
@@ -105,10 +536,60 @@ impl BePlacer {
         out
     }
 
+    /// The single best candidate at the given load and cap (`None` when
+    /// no candidate has any feasible configuration).
+    pub fn select(&self, qps: f64, cap_w: f64) -> Option<PlacementDecision> {
+        self.evaluate(qps, cap_w)
+            .into_iter()
+            .find(|d| d.config.is_some())
+    }
+
+    /// Evaluates every candidate at the given LS load, best first.
+    #[deprecated(
+        note = "use PlacementEngine::plan for fleet views, or BePlacer::evaluate(qps, cap_w)"
+    )]
+    pub fn rank(&self, qps: f64) -> Vec<PlacementDecision> {
+        self.evaluate(qps, self.budget_w)
+    }
+
     /// The single best candidate at the given load (`None` when no
     /// candidate has any feasible configuration).
+    #[deprecated(
+        note = "use PlacementEngine::plan for fleet views, or BePlacer::select(qps, cap_w)"
+    )]
     pub fn choose(&self, qps: f64) -> Option<PlacementDecision> {
-        self.rank(qps).into_iter().find(|d| d.config.is_some())
+        self.select(qps, self.budget_w)
+    }
+}
+
+impl PlacementEngine for BePlacer {
+    fn name(&self) -> &'static str {
+        "be-placer"
+    }
+
+    /// Assigns the best feasible candidate to every empty, healthy
+    /// unit, at that unit's own load and effective cap. Units already
+    /// hosting jobs, in safe mode, or without a free slot are left
+    /// alone — this adapter places, it does not migrate.
+    fn plan(&mut self, view: &FleetView) -> PlacementPlan {
+        let mut plan = PlacementPlan::default();
+        for unit in &view.units {
+            if unit.be_jobs > 0 || unit.safe_mode || unit.be_slots == 0 {
+                continue;
+            }
+            let cap = if unit.cap_w > 0.0 {
+                unit.cap_w
+            } else {
+                self.budget_w
+            };
+            if let Some(d) = self.select(unit.qps_per_node, cap) {
+                plan.actions.push(PlacementAction::Assign {
+                    unit: unit.unit,
+                    be: d.be,
+                });
+            }
+        }
+        plan
     }
 }
 
@@ -128,10 +609,25 @@ mod tests {
         )
     }
 
+    fn unit(i: usize, jobs: u32, safe: bool) -> UnitView {
+        UnitView {
+            unit: i,
+            first_node: i * 4,
+            nodes: 4,
+            qps_per_node: 0.3 * 60_000.0,
+            cap_w: 0.0,
+            safe_mode: safe,
+            exhausted: false,
+            be_jobs: jobs,
+            be_slots: 2,
+            last_be_tput: 0.5,
+        }
+    }
+
     #[test]
     fn ranks_all_candidates_descending() {
         let p = placer();
-        let ranked = p.rank(0.3 * 60_000.0);
+        let ranked = p.evaluate(0.3 * 60_000.0, p.budget_w());
         assert_eq!(ranked.len(), 3);
         for w in ranked.windows(2) {
             assert!(w[0].predicted_throughput >= w[1].predicted_throughput);
@@ -141,7 +637,9 @@ mod tests {
     #[test]
     fn chooses_a_feasible_candidate() {
         let p = placer();
-        let d = p.choose(0.25 * 60_000.0).expect("feasible at low load");
+        let d = p
+            .select(0.25 * 60_000.0, p.budget_w())
+            .expect("feasible at low load");
         let cfg = d.config.expect("config present");
         assert!(cfg.validate(&NodeSpec::xeon_e5_2630_v4()).is_ok());
         assert!(d.predicted_throughput > 0.0);
@@ -150,7 +648,7 @@ mod tests {
     #[test]
     fn no_candidate_at_impossible_load() {
         let p = placer();
-        assert!(p.choose(10.0 * 60_000.0).is_none());
+        assert!(p.select(10.0 * 60_000.0, p.budget_w()).is_none());
     }
 
     #[test]
@@ -159,8 +657,57 @@ mod tests {
         // on what the LS service leaves behind. We only assert the
         // evaluation runs and returns sane numbers at both points.
         let p = placer();
-        let low = p.rank(0.2 * 60_000.0);
-        let high = p.rank(0.7 * 60_000.0);
+        let low = p.evaluate(0.2 * 60_000.0, p.budget_w());
+        let high = p.evaluate(0.7 * 60_000.0, p.budget_w());
         assert!(low[0].predicted_throughput >= high[0].predicted_throughput);
+    }
+
+    #[test]
+    fn deprecated_wrappers_still_delegate() {
+        let p = placer();
+        #[allow(deprecated)]
+        let old = p.rank(0.3 * 60_000.0);
+        let new = p.evaluate(0.3 * 60_000.0, p.budget_w());
+        assert_eq!(old.len(), new.len());
+        assert_eq!(old[0].be, new[0].be);
+        #[allow(deprecated)]
+        let chosen = p.choose(0.25 * 60_000.0);
+        assert_eq!(
+            chosen.map(|d| d.be),
+            p.select(0.25 * 60_000.0, p.budget_w()).map(|d| d.be)
+        );
+    }
+
+    #[test]
+    fn adapter_assigns_only_empty_healthy_units() {
+        let mut p = placer();
+        let view = FleetView {
+            t_s: 0.0,
+            be: BeAppId::Ferret,
+            units: vec![unit(0, 0, false), unit(1, 1, false), unit(2, 0, true)],
+            queued_jobs: 0,
+        };
+        let plan = p.plan(&view);
+        assert_eq!(plan.actions.len(), 1);
+        assert!(matches!(
+            plan.actions[0],
+            PlacementAction::Assign { unit: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn co_runner_score_diminishes() {
+        assert_eq!(co_runner_score(0, 0.25), 0.0);
+        assert_eq!(co_runner_score(1, 0.25), 1.0);
+        let two = co_runner_score(2, 0.25);
+        assert!(two > 1.0 && two < 2.0, "{two}");
+        // Pure time-sharing: no gain from co-running.
+        assert!((co_runner_score(3, 1.0) - 1.0).abs() < 1e-12);
+        // Perfect scaling: linear.
+        assert_eq!(co_runner_score(3, 0.0), 3.0);
+        // Monotone in k for sub-unity sigma.
+        for k in 1..8 {
+            assert!(co_runner_score(k + 1, 0.4) > co_runner_score(k, 0.4));
+        }
     }
 }

@@ -107,6 +107,10 @@ pub fn default_rules() -> Vec<Rule> {
         "stale_intervals",
         "safe_mode_entries",
         "balancer_retry_rounds",
+        "budget_reclaims",
+        "migrations",
+        "evictions",
+        "assignments",
         "prediction_count",
         "candidates",
         "probe_model_calls",

@@ -40,14 +40,18 @@
 pub mod gate;
 pub mod toml;
 
+pub use gate::Tolerance;
+
 use crate::baselines::{PartiesController, PartiesParams, StaticReservationController};
+use crate::budget::{BudgetCap, BudgetEvent, BudgetLevel};
 use crate::controller::{ControllerParams, ResourceController, SturgeonController};
 use crate::dispatch::DispatchPolicy;
 use crate::error::SturgeonError;
 use crate::experiment::{ActuationPolicy, ColocationPair, ExperimentSetup, RunResult};
-use crate::fleet::{Fleet, FleetParams, FleetResult, TrainingMode};
+use crate::fleet::{Fleet, FleetBudget, FleetParams, FleetResult, TrainingMode};
 use crate::heracles::{HeraclesController, HeraclesParams};
 use crate::obs::{MetricsRegistry, TraceSink};
+use crate::placement::PlacementParams;
 use crate::predictor::PerfPowerPredictor;
 use crate::search::{ConfigSearch, SearchParams, SearchStrategy};
 use serde::Value;
@@ -252,6 +256,10 @@ pub struct Scenario {
     pub policy: ActuationPolicy,
     /// Fleet geometry (fleet kind only).
     pub fleet: Option<FleetSpec>,
+    /// Power-delivery budget tree and scheduled cap events (fleet only).
+    pub budget: Option<FleetBudget>,
+    /// Fleet-aware BE placement engine knobs (fleet only).
+    pub placement: Option<PlacementParams>,
     /// Optional search-overhead probe (node Sturgeon kinds only).
     pub probe: Option<SearchProbe>,
 }
@@ -325,6 +333,17 @@ pub struct ScenarioMetrics {
     pub table_builds: Option<u64>,
     /// Fleet: configuration searches run across shard controllers.
     pub searches: Option<u64>,
+    /// Fleet: budget reclamation passes that changed at least one leaf
+    /// cap (present only when the scenario has a `[budget]` table, so
+    /// pre-budget baselines stay comparable).
+    pub budget_reclaims: Option<u64>,
+    /// Fleet: jobs moved between units by the placement engine (present
+    /// only with a `[placement]` table).
+    pub migrations: Option<u64>,
+    /// Fleet: jobs evicted back to the batch queue.
+    pub evictions: Option<u64>,
+    /// Fleet: queued jobs assigned to a unit.
+    pub assignments: Option<u64>,
     /// Probe: median search latency (µs).
     pub search_p50_us: Option<f64>,
     /// Probe: 95th-percentile search latency (µs).
@@ -380,6 +399,10 @@ impl ScenarioMetrics {
             ("trainings", self.trainings),
             ("table_builds", self.table_builds),
             ("searches", self.searches),
+            ("budget_reclaims", self.budget_reclaims),
+            ("migrations", self.migrations),
+            ("evictions", self.evictions),
+            ("assignments", self.assignments),
             ("probe_model_calls", self.probe_model_calls),
             ("probe_candidates", self.probe_candidates),
         ];
@@ -621,6 +644,73 @@ fn bool_key(v: &Value, key: &str, ctx: &str) -> Result<Option<bool>, SturgeonErr
             .map(Some)
             .ok_or_else(|| bad(format!("`{ctx}.{key}` must be a boolean"))),
     }
+}
+
+/// Parses one `[[budget.event]]` table: `at_s`, `level`, `index`, and
+/// exactly one of `cap_w` (absolute watts) or `cap_frac` (fraction of
+/// the element's nominal cap).
+fn budget_event_from_value(v: &Value) -> Result<BudgetEvent, SturgeonError> {
+    check_keys(
+        v,
+        &["at_s", "level", "index", "cap_w", "cap_frac"],
+        "budget.event",
+    )?;
+    let at_s = f64_key(v, "at_s", "budget.event")?
+        .ok_or_else(|| bad("`budget.event` needs an `at_s` timestamp"))?;
+    if !at_s.is_finite() || at_s < 0.0 {
+        return Err(bad("`budget.event.at_s` must be >= 0"));
+    }
+    let level = match str_key(v, "level", "budget.event")? {
+        None => BudgetLevel::Datacenter,
+        Some(l) => BudgetLevel::parse(l).ok_or_else(|| {
+            bad(format!(
+                "unknown budget level `{l}` (node/rack/row/datacenter)"
+            ))
+        })?,
+    };
+    let index = u64_key(v, "index", "budget.event")?.unwrap_or(0) as usize;
+    let cap = match (
+        f64_key(v, "cap_w", "budget.event")?,
+        f64_key(v, "cap_frac", "budget.event")?,
+    ) {
+        (Some(w), None) => {
+            if !w.is_finite() || w < 0.0 {
+                return Err(bad("`budget.event.cap_w` must be >= 0"));
+            }
+            BudgetCap::Watts(w)
+        }
+        (None, Some(frac)) => {
+            if !frac.is_finite() || frac < 0.0 {
+                return Err(bad("`budget.event.cap_frac` must be >= 0"));
+            }
+            BudgetCap::FractionOfNominal(frac)
+        }
+        (None, None) => return Err(bad("`budget.event` needs `cap_w` or `cap_frac`")),
+        (Some(_), Some(_)) => {
+            return Err(bad("`budget.event` takes `cap_w` or `cap_frac`, not both"))
+        }
+    };
+    Ok(BudgetEvent {
+        at_s,
+        level,
+        index,
+        cap,
+    })
+}
+
+/// The canonical `[[budget.event]]` table (inverse of
+/// [`budget_event_from_value`]).
+fn budget_event_to_value(e: &BudgetEvent) -> Value {
+    let mut f: Vec<(String, Value)> = vec![
+        ("at_s".into(), Value::Number(e.at_s)),
+        ("level".into(), Value::String(e.level.as_str().to_string())),
+        ("index".into(), Value::Number(e.index as f64)),
+    ];
+    match e.cap {
+        BudgetCap::Watts(w) => f.push(("cap_w".into(), Value::Number(w))),
+        BudgetCap::FractionOfNominal(frac) => f.push(("cap_frac".into(), Value::Number(frac))),
+    }
+    Value::Object(f)
 }
 
 /// Converts a load profile into its manifest table.
@@ -940,6 +1030,8 @@ impl Scenario {
                 "faults",
                 "policy",
                 "fleet",
+                "budget",
+                "placement",
                 "search_probe",
             ],
             "manifest",
@@ -1063,6 +1155,59 @@ impl Scenario {
             }
         };
 
+        let budget = match v.get("budget") {
+            None => None,
+            Some(b) => {
+                check_keys(b, &["rows", "event"], "budget")?;
+                let rows = u64_key(b, "rows", "budget")?.unwrap_or(1) as usize;
+                if rows == 0 {
+                    return Err(bad("`budget.rows` must be at least 1"));
+                }
+                let events = match b.get("event") {
+                    None => Vec::new(),
+                    Some(Value::Array(items)) => items
+                        .iter()
+                        .map(budget_event_from_value)
+                        .collect::<Result<Vec<_>, _>>()?,
+                    Some(_) => return Err(bad("`budget.event` must be an array of tables")),
+                };
+                Some(FleetBudget { rows, events })
+            }
+        };
+
+        let placement = match v.get("placement") {
+            None => None,
+            Some(p) => {
+                check_keys(
+                    p,
+                    &["interval_s", "be_slots", "max_moves", "sigma"],
+                    "placement",
+                )?;
+                let defaults = PlacementParams::default();
+                let params = PlacementParams {
+                    interval_s: u64_key(p, "interval_s", "placement")?
+                        .unwrap_or(defaults.interval_s as u64)
+                        as u32,
+                    be_slots: u64_key(p, "be_slots", "placement")?
+                        .unwrap_or(defaults.be_slots as u64) as u32,
+                    max_moves: u64_key(p, "max_moves", "placement")?
+                        .unwrap_or(defaults.max_moves as u64)
+                        as usize,
+                    sigma: f64_key(p, "sigma", "placement")?.unwrap_or(defaults.sigma),
+                };
+                if params.interval_s == 0 {
+                    return Err(bad("`placement.interval_s` must be at least 1"));
+                }
+                if params.be_slots == 0 {
+                    return Err(bad("`placement.be_slots` must be at least 1"));
+                }
+                if !(0.0..=1.0).contains(&params.sigma) {
+                    return Err(bad("`placement.sigma` must be in [0, 1]"));
+                }
+                Some(params)
+            }
+        };
+
         let kind = match str_key(v, "kind", "manifest")? {
             None => {
                 if fleet.is_some() {
@@ -1113,6 +1258,8 @@ impl Scenario {
             faults,
             policy,
             fleet,
+            budget,
+            placement,
             probe,
         };
         scenario.validate()?;
@@ -1128,6 +1275,12 @@ impl Scenario {
                 }
                 if !self.region_loads.is_empty() {
                     return Err(bad("`region_load` is only valid for fleet scenarios"));
+                }
+                if self.budget.is_some() {
+                    return Err(bad("`[budget]` is only valid for fleet scenarios"));
+                }
+                if self.placement.is_some() {
+                    return Err(bad("`[placement]` is only valid for fleet scenarios"));
                 }
             }
             ScenarioKind::Fleet => {
@@ -1239,6 +1392,29 @@ impl Scenario {
                 Value::Array(self.region_loads.iter().map(load_to_value).collect()),
             ));
         }
+        if let Some(budget) = &self.budget {
+            f.push((
+                "budget".into(),
+                Value::Object(vec![
+                    ("rows".into(), Value::Number(budget.rows as f64)),
+                    (
+                        "event".into(),
+                        Value::Array(budget.events.iter().map(budget_event_to_value).collect()),
+                    ),
+                ]),
+            ));
+        }
+        if let Some(p) = &self.placement {
+            f.push((
+                "placement".into(),
+                Value::Object(vec![
+                    ("interval_s".into(), Value::Number(p.interval_s as f64)),
+                    ("be_slots".into(), Value::Number(p.be_slots as f64)),
+                    ("max_moves".into(), Value::Number(p.max_moves as f64)),
+                    ("sigma".into(), Value::Number(p.sigma)),
+                ]),
+            ));
+        }
         if let Some(probe) = &self.probe {
             f.push((
                 "search_probe".into(),
@@ -1308,6 +1484,8 @@ impl Scenario {
             controller: self.controller_params(),
             sampled_nodes: fleet.sampled_nodes,
             traced_shard: None,
+            budget: self.budget.clone(),
+            placement: self.placement,
         })
     }
 
@@ -1457,6 +1635,10 @@ impl Scenario {
             trainings: None,
             table_builds: None,
             searches: None,
+            budget_reclaims: None,
+            migrations: None,
+            evictions: None,
+            assignments: None,
             search_p50_us: None,
             search_p95_us: None,
             search_p99_us: None,
@@ -1562,6 +1744,10 @@ impl Scenario {
             trainings: Some(result.trainings),
             table_builds: Some(result.table_builds),
             searches: Some(result.searches),
+            budget_reclaims: self.budget.as_ref().map(|_| result.budget_reclaims),
+            migrations: self.placement.map(|_| result.migrations),
+            evictions: self.placement.map(|_| result.evictions),
+            assignments: self.placement.map(|_| result.assignments),
             search_p50_us: None,
             search_p95_us: None,
             search_p99_us: None,
@@ -1834,6 +2020,10 @@ day_s = 100
             trainings: None,
             table_builds: None,
             searches: None,
+            budget_reclaims: None,
+            migrations: None,
+            evictions: None,
+            assignments: None,
             search_p50_us: Some(10.0),
             search_p95_us: Some(20.0),
             search_p99_us: Some(30.0),

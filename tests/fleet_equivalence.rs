@@ -9,7 +9,7 @@
 
 use sturgeon::cluster::{Cluster, ClusterResult};
 use sturgeon::dispatch::DispatchPolicy;
-use sturgeon::fleet::{Fleet, FleetParams, FleetResult, TrainingMode};
+use sturgeon::fleet::{Fleet, FleetBudget, FleetParams, FleetResult, TrainingMode};
 use sturgeon_workloads::catalog::{BeAppId, LsServiceId};
 use sturgeon_workloads::loadgen::LoadProfile;
 
@@ -152,4 +152,52 @@ fn shared_training_stays_on_the_same_trajectory() {
     let fr = fleet.run(profile, 40);
     assert_eq!(fr.trainings, 1, "shared mode trains once");
     assert_bit_identical(&cr, &fr);
+}
+
+#[test]
+fn event_free_budget_tree_is_inert() {
+    // A budget tree with no cap events never binds: every reclamation
+    // input stays at nominal, so the per-node budgets the controllers
+    // see are untouched and the trajectory is bit-identical to a fleet
+    // built without a tree. This is the contract that lets `[budget]`
+    // default into manifests without perturbing committed baselines.
+    const SEED: u64 = 23;
+    const NODES: usize = 2;
+    let profile = LoadProfile::paper_fluctuating(60.0);
+    let mut cluster = Cluster::new(pair(), NODES, DispatchPolicy::Even, SEED);
+    let cr = cluster.run(profile.clone(), 50);
+    let params = FleetParams {
+        budget: Some(FleetBudget::default()),
+        ..fleet_params(NODES, DispatchPolicy::Even)
+    };
+    let mut fleet = Fleet::new(pair(), NODES, params, SEED);
+    let fr = fleet.run(profile, 50);
+    assert_eq!(fr.budget_reclaims, 0, "no events, no reclamation");
+    assert_bit_identical(&cr, &fr);
+}
+
+#[test]
+fn per_node_safe_mode_entries_are_surfaced() {
+    // Fleet node rows must carry their shard controller's safe-mode
+    // count, matching both the Cluster rows and the aggregate counter.
+    const SEED: u64 = 42;
+    const NODES: usize = 2;
+    let profile = LoadProfile::paper_fluctuating(60.0);
+    let mut cluster = Cluster::new(pair(), NODES, DispatchPolicy::Even, SEED);
+    let cr = cluster.run(profile.clone(), 50);
+    let mut fleet = Fleet::new(
+        pair(),
+        NODES,
+        fleet_params(NODES, DispatchPolicy::Even),
+        SEED,
+    );
+    let fr = fleet.run(profile, 50);
+    for (c, f) in cr.nodes.iter().zip(&fr.nodes) {
+        assert_eq!(c.safe_mode_entries, f.safe_mode_entries, "node {}", c.node);
+    }
+    assert_eq!(
+        fr.nodes.iter().map(|n| n.safe_mode_entries).sum::<u64>(),
+        fr.fault_counters.safe_mode_entries,
+        "one node per shard: per-node counts sum to the aggregate"
+    );
 }

@@ -41,7 +41,7 @@ fn every_committed_manifest_parses_validates_and_roundtrips() {
         seen += 1;
     }
     assert!(
-        seen >= 5,
+        seen >= 6,
         "expected the committed smoke + golden manifests, found {seen}"
     );
 }
@@ -126,6 +126,63 @@ fn golden_robustness_matches_committed_report_and_baseline() {
         outcome.metrics.qos_rate * 100.0,
         qos_col
     );
+
+    gate_against_golden(&[outcome.metrics]);
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "two full 240-interval fleet runs; run with --release"
+)]
+fn golden_budget_cut_migration_beats_static_pinning() {
+    let scenario = load_scenario("scenarios/golden_budget_cut.toml");
+    assert!(scenario.budget.is_some(), "manifest configures [budget]");
+    assert!(
+        scenario.placement.is_some(),
+        "manifest configures [placement]"
+    );
+    let outcome = scenario.run().expect("golden budget-cut run");
+
+    // The same run with the placement engine disabled: jobs stay pinned
+    // to their initial shard through the crowd and the budget cut.
+    let mut pinned = scenario.clone();
+    pinned.placement = None;
+    let static_outcome = pinned.run().expect("pinned twin run");
+
+    let m = &outcome.metrics;
+    let p = &static_outcome.metrics;
+    assert!(
+        m.migrations.unwrap_or(0) > 0,
+        "the budget cut must trigger migrations"
+    );
+    assert!(
+        m.be_throughput > p.be_throughput,
+        "migration must strictly beat static pinning: {} vs {}",
+        m.be_throughput,
+        p.be_throughput
+    );
+    assert!(
+        m.qos_rate >= p.qos_rate - 0.005,
+        "migration must not sacrifice QoS: {} vs {}",
+        m.qos_rate,
+        p.qos_rate
+    );
+
+    // Per-node power caps hold: no node's mean power exceeds the
+    // nominal per-node cap the pair was profiled under (the budget tree
+    // only ever tightens below nominal, never grants above it).
+    let nominal_w = ExperimentSetup::new(scenario.pair, scenario.seed).budget_w();
+    let fleet = outcome.fleet.as_ref().expect("fleet outcome");
+    for node in &fleet.nodes {
+        assert!(
+            node.mean_power_w <= nominal_w + 1e-6,
+            "node {} mean power {:.2} W above nominal cap {:.2} W",
+            node.node,
+            node.mean_power_w,
+            nominal_w
+        );
+    }
 
     gate_against_golden(&[outcome.metrics]);
 }

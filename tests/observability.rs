@@ -113,13 +113,6 @@ fn null_sink_run_is_bit_identical_to_unobserved_run() {
     assert_eq!(plain.overload_fraction, nulled.overload_fraction);
     assert_eq!(plain.peak_power_w, nulled.peak_power_w);
     assert_eq!(plain.faults, nulled.faults);
-
-    // And both must match the pre-redesign positional API exactly.
-    #[allow(deprecated)]
-    let legacy = setup.run(sturgeon_for(&setup), load, 120);
-    assert_eq!(plain.log.samples(), legacy.log.samples());
-    assert_eq!(plain.audit.entries(), legacy.audit.entries());
-    assert_eq!(plain.qos_rate, legacy.qos_rate);
 }
 
 #[test]

@@ -145,6 +145,8 @@ fn any_node_scenario() -> impl Strategy<Value = Scenario> {
                         ActuationPolicy::unhardened()
                     },
                     fleet: None,
+                    budget: None,
+                    placement: None,
                     probe,
                 }
             },
@@ -353,6 +355,8 @@ dispatch = "{dispatch}"
         },
         sampled_nodes: 0,
         traced_shard: None,
+        budget: None,
+        placement: None,
     };
     let mut fleet = Fleet::try_new(pair, 12, params, 11).expect("fleet");
     let profiles = vec![
@@ -402,6 +406,8 @@ fn cli_flags_and_manifest_agree() {
         faults: scenario::cli_fault_plan("telemetry", 5).expect("faults"),
         policy: ActuationPolicy::hardened(),
         fleet: None,
+        budget: None,
+        placement: None,
         probe: None,
     };
     let manifest = r#"
