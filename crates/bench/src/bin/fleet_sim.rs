@@ -227,6 +227,7 @@ fn scenario_from_flags(args: &Args) -> Result<Scenario, String> {
         }),
         budget: None,
         placement: None,
+        scoring: None,
         probe: None,
     };
     s.validate().map_err(|e| e.to_string())?;

@@ -178,6 +178,7 @@ fn scenario_from_flags(args: &Args) -> Result<Scenario, String> {
         fleet: None,
         budget: None,
         placement: None,
+        scoring: None,
         probe: None,
     })
 }

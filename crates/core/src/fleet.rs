@@ -48,9 +48,12 @@ use crate::obs::{
 };
 use crate::placement::{
     co_runner_score, FleetView, PlacementAction, PlacementEngine, PlacementParams,
-    ScoredPlacementEngine, UnitView,
+    PlacementScoring, ScoredPlacementEngine, UnitView,
 };
 use crate::predictor::PerfPowerPredictor;
+use crate::scoring::{
+    train_cold_start_predictor, train_fallback_predictor, ColdStartReport, ScoringParams, SetScorer,
+};
 use rayon::prelude::*;
 use std::sync::Arc;
 use sturgeon_simnode::{IntervalSample, NodeSpec, PairConfig, TelemetryLog};
@@ -132,6 +135,12 @@ pub struct FleetParams {
     /// pins one always-on job per shard (the earlier static
     /// assignment).
     pub placement: Option<PlacementParams>,
+    /// Cold-start scoring: collaborative-filtering BE prediction for a
+    /// masked (never-profiled) app and/or the learned co-runner set
+    /// scorer. Requires [`TrainingMode::Shared`] — the CF predictor is
+    /// a shared artifact by construction. `None` keeps the legacy
+    /// closed-form scoring bit for bit.
+    pub scoring: Option<ScoringParams>,
 }
 
 impl Default for FleetParams {
@@ -146,6 +155,7 @@ impl Default for FleetParams {
             traced_shard: None,
             budget: None,
             placement: None,
+            scoring: None,
         }
     }
 }
@@ -408,6 +418,12 @@ pub struct FleetResult {
     pub evictions: u64,
     /// Queued BE jobs (re)assigned to a shard.
     pub assignments: u64,
+    /// Hidden profile-matrix cells the CF predictor filled for the
+    /// masked app (0 without cold-start scoring).
+    pub cold_start_cells: u64,
+    /// Learned set-scorer evaluations at placement boundaries (0
+    /// without the learned scorer).
+    pub set_scores: u64,
 }
 
 /// BE-placement runtime state: the engine, its cadence, and the queue
@@ -415,6 +431,9 @@ pub struct FleetResult {
 struct PlacementRuntime {
     engine: Box<dyn PlacementEngine + Send>,
     params: PlacementParams,
+    /// Scoring tier mirrored from the engine, used to refresh each
+    /// shard's counted-throughput factor (`None` = legacy global σ).
+    scoring: Option<PlacementScoring>,
     queued_jobs: u32,
     migrations: u64,
     evictions: u64,
@@ -442,6 +461,12 @@ pub struct Fleet {
     events_applied: usize,
     budget_reclaims: u64,
     placement: Option<PlacementRuntime>,
+    /// Cold-start artifacts: the masked app and its CF fit report,
+    /// surfaced as a `ColdStartPredicted` trace event and counters.
+    cold_start: Option<(String, ColdStartReport)>,
+    /// `ColdStartPredicted` already streamed to a sink this run.
+    cold_start_traced: bool,
+    set_scores: u64,
 }
 
 impl Fleet {
@@ -485,6 +510,15 @@ impl Fleet {
             }
         }
 
+        if let Some(sp) = &params.scoring {
+            sp.validate()?;
+            if params.training != TrainingMode::Shared {
+                return Err(SturgeonError::setup(
+                    "scoring requires shared training (the CF predictor is a shared artifact)",
+                ));
+            }
+        }
+
         // The fleet is homogeneous: pair-level properties come from one
         // setup; per-node environments differ only in interference seed.
         let first = ExperimentSetup::new(pair, seed);
@@ -493,8 +527,28 @@ impl Fleet {
         let budget_w = first.budget_w();
         let spec = first.spec().clone();
 
+        let mut cold_start: Option<(String, ColdStartReport)> = None;
         let shared = match params.training {
-            TrainingMode::Shared => Some(Arc::new(first.train_default_predictor())),
+            TrainingMode::Shared => {
+                let predictor = match params.scoring.as_ref().filter(|sp| sp.cold_start) {
+                    Some(sp) => {
+                        let mut sp = sp.clone();
+                        if sp.masked_app.is_none() {
+                            sp.masked_app = Some(pair.be.name().to_string());
+                        }
+                        if sp.fallback {
+                            train_fallback_predictor(&first, &sp)?
+                        } else {
+                            let outcome = train_cold_start_predictor(&first, &sp)?;
+                            cold_start =
+                                Some((sp.masked_app.clone().expect("defaulted"), outcome.report));
+                            outcome.predictor
+                        }
+                    }
+                    None => first.train_default_predictor(),
+                };
+                Some(Arc::new(predictor))
+            }
             TrainingMode::PerNode => None,
         };
         let mut predictors: Vec<Arc<PerfPowerPredictor>> = Vec::new();
@@ -630,6 +684,22 @@ impl Fleet {
             None => (None, Vec::new()),
         };
 
+        // Scoring tier for placement valuation: the learned set scorer
+        // when enabled, else the per-app catalog σ. Scoring absent (or
+        // no placement engine to consume it) keeps the legacy global-σ
+        // closed form bit for bit.
+        let placement_scoring = match &params.scoring {
+            Some(sp) if params.placement.is_some() && sp.set_scorer => {
+                Some(PlacementScoring::Learned(SetScorer::train(
+                    &spec,
+                    first.env().power_model(),
+                    sp.seed,
+                )?))
+            }
+            Some(_) if params.placement.is_some() => Some(PlacementScoring::PerAppSigma),
+            _ => None,
+        };
+
         let placement = match params.placement {
             Some(p) => {
                 if p.interval_s == 0 {
@@ -641,15 +711,19 @@ impl Fleet {
                 if !(0.0..=1.0).contains(&p.sigma) {
                     return Err(SturgeonError::setup("placement sigma must be in [0, 1]"));
                 }
-                let engine = ScoredPlacementEngine::new(
+                let mut engine = ScoredPlacementEngine::new(
                     shards[0].controller.predictor_handle(),
                     spec.clone(),
                     params.controller.search,
                     p,
                 );
+                if let Some(scoring) = placement_scoring.clone() {
+                    engine = engine.with_scoring(scoring);
+                }
                 Some(PlacementRuntime {
                     engine: Box::new(engine),
                     params: p,
+                    scoring: placement_scoring,
                     queued_jobs: 0,
                     migrations: 0,
                     evictions: 0,
@@ -673,7 +747,16 @@ impl Fleet {
             events_applied: 0,
             budget_reclaims: 0,
             placement,
+            cold_start,
+            cold_start_traced: false,
+            set_scores: 0,
         })
+    }
+
+    /// The cold-start CF fit report, when [`FleetParams::scoring`]
+    /// enabled the cold-start path: `(masked app, report)`.
+    pub fn cold_start_report(&self) -> Option<(&str, &ColdStartReport)> {
+        self.cold_start.as_ref().map(|(app, r)| (app.as_str(), r))
     }
 
     /// Number of nodes.
@@ -772,6 +855,21 @@ impl Fleet {
     ) -> Result<FleetResult, SturgeonError> {
         if profiles.len() != self.regions.len() {
             return Err(SturgeonError::setup("one load profile per region"));
+        }
+        // The cold-start prediction happened at construction; surface it
+        // once at the head of the first traced run.
+        if !self.cold_start_traced {
+            if let (Some(sink), Some((app, report))) =
+                (sink.as_deref_mut(), self.cold_start.as_ref())
+            {
+                sink.record(&TraceEvent::ColdStartPredicted {
+                    t_s: 0.0,
+                    app: app.clone(),
+                    cells: report.cold_start_cells as usize,
+                    rmse_heldout: report.rmse_heldout_tput,
+                });
+                self.cold_start_traced = true;
+            }
         }
         for t in 0..duration_s {
             // Budget events due at or before this interval tighten (or
@@ -973,9 +1071,26 @@ impl Fleet {
             }
         }
         // Refresh counted-throughput factors and park/unpark partitions.
-        for shard in &mut self.shards {
-            shard.job_factor = co_runner_score(shard.be_jobs, rt.params.sigma);
+        // The factor follows the engine's scoring tier so counted
+        // throughput and placement valuation agree on what a multiplexed
+        // partition is worth.
+        for (unit, shard) in self.shards.iter_mut().enumerate() {
+            shard.job_factor = match &rt.scoring {
+                None => co_runner_score(shard.be_jobs, rt.params.sigma),
+                Some(scoring) => scoring.factor(self.be, shard.be_jobs),
+            };
             shard.controller.set_be_idle(shard.be_jobs == 0);
+            if matches!(rt.scoring, Some(PlacementScoring::Learned(_))) && shard.be_jobs > 0 {
+                self.set_scores += 1;
+                if let Some(sink) = sink.as_deref_mut() {
+                    sink.record(&TraceEvent::SetScored {
+                        t_s,
+                        unit,
+                        k: shard.be_jobs as usize,
+                        score: shard.job_factor,
+                    });
+                }
+            }
         }
         self.placement = Some(rt);
         // Watts follow the jobs: parked partitions stop drawing BE power,
@@ -1062,6 +1177,14 @@ impl Fleet {
         registry.add("placement.migrations", result.migrations);
         registry.add("placement.evictions", result.evictions);
         registry.add("placement.assignments", result.assignments);
+        if let Some((_, report)) = &self.cold_start {
+            registry.add("scoring.cold_starts", 1);
+            registry.add("scoring.cells_observed", report.cells_observed);
+            registry.add("scoring.cells_hidden", report.cells_hidden);
+            registry.add("scoring.cold_start_cells", report.cold_start_cells);
+            registry.set_gauge("scoring.rmse_heldout", report.rmse_heldout_tput);
+        }
+        registry.add("scoring.set_scores", result.set_scores);
         registry.set_gauge("fleet.qos_rate", result.qos_rate);
         registry.set_gauge("fleet.total_be_throughput", result.total_be_throughput);
         registry.set_gauge("fleet.mean_power_w", result.mean_fleet_power_w);
@@ -1139,6 +1262,11 @@ impl Fleet {
             migrations: self.placement.as_ref().map_or(0, |rt| rt.migrations),
             evictions: self.placement.as_ref().map_or(0, |rt| rt.evictions),
             assignments: self.placement.as_ref().map_or(0, |rt| rt.assignments),
+            cold_start_cells: self
+                .cold_start
+                .as_ref()
+                .map_or(0, |(_, r)| r.cold_start_cells),
+            set_scores: self.set_scores,
         }
     }
 }

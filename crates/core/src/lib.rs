@@ -54,6 +54,7 @@ pub mod predictor;
 pub mod profiler;
 pub mod report;
 pub mod scenario;
+pub mod scoring;
 pub mod search;
 pub mod tables;
 
@@ -85,13 +86,17 @@ pub mod prelude {
     pub use crate::online::{OnlineAdaptor, OnlineAdaptorConfig, OnlineSample};
     pub use crate::placement::{
         co_runner_score, BePlacer, FleetView, PlacementAction, PlacementDecision, PlacementEngine,
-        PlacementParams, PlacementPlan, ScoredPlacementEngine, UnitView,
+        PlacementParams, PlacementPlan, PlacementScoring, ScoredPlacementEngine, UnitView,
     };
     pub use crate::predictor::{ModelKind, PerfPowerPredictor, PredictorConfig};
     pub use crate::profiler::{ProfileDatasets, Profiler, ProfilerConfig};
     pub use crate::scenario::{
         ControllerKind, ControllerSpec, FleetDispatch, FleetSpec, Scenario, ScenarioKind,
         ScenarioMetrics, ScenarioOutcome, SearchProbe, Tolerance,
+    };
+    pub use crate::scoring::{
+        train_cold_start_predictor, train_fallback_predictor, ColdStartOutcome, ColdStartPredictor,
+        ColdStartReport, ProfileMatrix, ScoreMetric, ScoringParams, SetScorer,
     };
     pub use crate::search::{
         ConfigSearch, SearchOutcome, SearchParams, SearchStats, SearchStrategy,

@@ -21,6 +21,7 @@
 
 use crate::predictor::{make_classifier, make_regressor, PredictorConfig};
 use crate::profiler::features;
+use crate::scoring::SetScorer;
 use crate::search::{greatest_satisfying, least_satisfying};
 use crate::tables::BeLattice;
 use rand::rngs::StdRng;
@@ -262,6 +263,9 @@ pub struct MultiSearch<'m> {
     be: &'m [BeModelSet],
     /// Power drift headroom, as in the pairwise search.
     power_load_headroom: f64,
+    /// Learned co-runner set scorer plus the BE app names (row order of
+    /// `be`); drives [`MultiSearch::best_admitted_config`].
+    scoring: Option<(&'m SetScorer, Vec<String>)>,
 }
 
 impl<'m> MultiSearch<'m> {
@@ -280,7 +284,17 @@ impl<'m> MultiSearch<'m> {
             ls,
             be,
             power_load_headroom: 0.08,
+            scoring: None,
         }
+    }
+
+    /// Attaches the learned set scorer; `names` must parallel the `be`
+    /// model sets. Enables subset admission in
+    /// [`MultiSearch::best_admitted_config`].
+    pub fn with_set_scorer(mut self, scorer: &'m SetScorer, names: Vec<String>) -> Self {
+        assert_eq!(names.len(), self.be.len(), "one name per BE model set");
+        self.scoring = Some((scorer, names));
+        self
     }
 
     /// Consistency-probed feasibility: genuine feasible points stay
@@ -329,7 +343,68 @@ impl<'m> MultiSearch<'m> {
     /// Runs the full multi-application search. Returns `None` when the LS
     /// services alone cannot fit on the node.
     pub fn best_config(&self, qps: &[f64]) -> Option<MultiConfig> {
+        self.config_for(qps, &vec![true; self.be.len()])
+    }
+
+    /// Subset admission: with a set scorer attached, every non-empty
+    /// subset `S` of the BE applications is searched with the others
+    /// parked on the mandatory minimal allocation, and valued
+    ///
+    /// ```text
+    /// value(S) = Σ_{i∈S} tput_i(config_S) · score(S) / |S|
+    /// ```
+    ///
+    /// — predicted partition throughputs discounted by the learned mean
+    /// per-job contention efficiency of *that mix*. Returns the best
+    /// `(config, admitted, value)`; without a scorer it degrades to the
+    /// plain all-admitted search. `None` when even the LS services don't
+    /// fit.
+    pub fn best_admitted_config(&self, qps: &[f64]) -> Option<(MultiConfig, Vec<bool>, f64)> {
+        let n = self.be.len();
+        let Some((scorer, names)) = &self.scoring else {
+            let admitted = vec![true; n];
+            let cfg = self.config_for(qps, &admitted)?;
+            let value = self.admitted_throughput(&cfg, &admitted);
+            return Some((cfg, admitted, value));
+        };
+        assert!(n <= 16, "subset admission enumerates 2^n candidate sets");
+        let mut best: Option<(MultiConfig, Vec<bool>, f64)> = None;
+        for mask in 1u32..(1u32 << n) {
+            let admitted: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+            let Some(cfg) = self.config_for(qps, &admitted) else {
+                continue;
+            };
+            let set: Vec<&str> = (0..n)
+                .filter(|&i| admitted[i])
+                .map(|i| names[i].as_str())
+                .collect();
+            let factor = scorer.score(&set) / set.len() as f64;
+            let value = self.admitted_throughput(&cfg, &admitted) * factor;
+            if best.as_ref().is_none_or(|&(_, _, v)| value > v) {
+                best = Some((cfg, admitted, value));
+            }
+        }
+        best
+    }
+
+    /// Sum of predicted partition throughputs over the admitted apps.
+    fn admitted_throughput(&self, cfg: &MultiConfig, admitted: &[bool]) -> f64 {
+        cfg.be
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| admitted[i])
+            .map(|(i, a)| self.be[i].throughput(a.cores, a.freq_ghz(&self.spec), a.llc_ways))
+            .sum()
+    }
+
+    /// The search with an admission mask: parked (non-admitted) BE apps
+    /// keep the mandatory minimal `(1 core, level 0, 1 way)` partition
+    /// and receive no spare resources or frequency steps. All-admitted
+    /// is bit-identical to the historical `best_config`.
+    fn config_for(&self, qps: &[f64], admitted: &[bool]) -> Option<MultiConfig> {
         assert_eq!(qps.len(), self.ls.len());
+        assert_eq!(admitted.len(), self.be.len());
+        debug_assert!(admitted.iter().any(|&a| a), "at least one admitted app");
         let n_be = self.be.len() as u32;
 
         // Phase 1: independent just-enough searches per LS service, each
@@ -364,7 +439,14 @@ impl<'m> MultiSearch<'m> {
         while spare_cores > 0 {
             let best = (0..self.be.len())
                 .into_par_iter()
-                .map(|i| (i, self.marginal_core_gain(i, &be_allocs[i], f_mid)))
+                .map(|i| {
+                    let g = if admitted[i] {
+                        self.marginal_core_gain(i, &be_allocs[i], f_mid)
+                    } else {
+                        f64::NEG_INFINITY
+                    };
+                    (i, g)
+                })
                 .max_by(|a, b| a.1.total_cmp(&b.1))
                 .expect("at least one BE")
                 .0;
@@ -374,7 +456,14 @@ impl<'m> MultiSearch<'m> {
         while spare_ways > 0 {
             let best = (0..self.be.len())
                 .into_par_iter()
-                .map(|i| (i, self.marginal_way_gain(i, &be_allocs[i], f_mid)))
+                .map(|i| {
+                    let g = if admitted[i] {
+                        self.marginal_way_gain(i, &be_allocs[i], f_mid)
+                    } else {
+                        f64::NEG_INFINITY
+                    };
+                    (i, g)
+                })
                 .max_by(|a, b| a.1.total_cmp(&b.1))
                 .expect("at least one BE")
                 .0;
@@ -420,7 +509,7 @@ impl<'m> MultiSearch<'m> {
                     .into_par_iter()
                     .map(|i| {
                         let a = &be_allocs[i];
-                        if a.freq_level >= top {
+                        if !admitted[i] || a.freq_level >= top {
                             return None;
                         }
                         let f_next = self.spec.freq_ghz(a.freq_level + 1);
@@ -743,6 +832,54 @@ mod tests {
                 .best_config(&qps)
                 .expect("feasible");
         assert_eq!(with_lattice, without);
+    }
+
+    #[test]
+    fn subset_admission_parks_contentious_apps() {
+        let env = env();
+        let (ls, be) = trained(&env);
+        let names = vec!["raytrace".to_string(), "swaptions".to_string()];
+        let qps = [0.3 * 3_500.0, 0.3 * 3_000.0];
+        let search = || {
+            MultiSearch::new(
+                env.spec().clone(),
+                env.budget_w(),
+                env.static_power_w(),
+                &ls,
+                &be,
+            )
+        };
+        // Pure time-sharing between any pair: admitting both halves the
+        // per-job efficiency, so the best single app must win.
+        let hostile = SetScorer::from_sigmas([("raytrace", 1.0), ("swaptions", 1.0)]);
+        let s = search().with_set_scorer(&hostile, names.clone());
+        let (cfg, admitted, value) = s.best_admitted_config(&qps).expect("feasible");
+        assert_eq!(admitted.iter().filter(|&&a| a).count(), 1, "{admitted:?}");
+        assert!(value > 0.0);
+        let parked = admitted.iter().position(|&a| !a).unwrap();
+        assert_eq!(cfg.be[parked], Allocation::new(1, 0, 1));
+        // Frictionless co-running: the full mix wins.
+        let free = SetScorer::from_sigmas([("raytrace", 0.0), ("swaptions", 0.0)]);
+        let s = search().with_set_scorer(&free, names.clone());
+        let (_, admitted, _) = s.best_admitted_config(&qps).expect("feasible");
+        assert!(admitted.iter().all(|&a| a), "{admitted:?}");
+    }
+
+    #[test]
+    fn admission_without_scorer_matches_plain_search() {
+        let env = env();
+        let (ls, be) = trained(&env);
+        let search = MultiSearch::new(
+            env.spec().clone(),
+            env.budget_w(),
+            env.static_power_w(),
+            &ls,
+            &be,
+        );
+        let qps = [0.3 * 3_500.0, 0.3 * 3_000.0];
+        let (cfg, admitted, _) = search.best_admitted_config(&qps).expect("feasible");
+        assert!(admitted.iter().all(|&a| a));
+        assert_eq!(cfg, search.best_config(&qps).expect("feasible"));
     }
 
     #[test]

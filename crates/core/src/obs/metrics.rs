@@ -456,6 +456,19 @@ impl MetricsRegistry {
                 "evict" => self.inc("placement.evictions"),
                 _ => self.inc("placement.migrations"),
             },
+            TraceEvent::ColdStartPredicted {
+                cells,
+                rmse_heldout,
+                ..
+            } => {
+                self.inc("scoring.cold_starts");
+                self.add("scoring.cold_start_cells", *cells as u64);
+                self.set_gauge("scoring.rmse_heldout", *rmse_heldout);
+            }
+            TraceEvent::SetScored { score, .. } => {
+                self.inc("scoring.set_scores");
+                self.set_gauge("scoring.last_set_score", *score);
+            }
         }
     }
 

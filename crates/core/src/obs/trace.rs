@@ -174,6 +174,29 @@ pub enum TraceEvent {
         /// The job's application.
         be: &'static str,
     },
+    /// Collaborative filtering synthesized a cold-start row: the fleet
+    /// admitted an app whose profile matrix row was never measured.
+    ColdStartPredicted {
+        /// Interval timestamp (s; 0 for offline training-time events).
+        t_s: f64,
+        /// The unprofiled application.
+        app: String,
+        /// Cells synthesized for its row.
+        cells: usize,
+        /// Held-out reconstruction RMSE of the throughput plane.
+        rmse_heldout: f64,
+    },
+    /// The learned set scorer valued a co-runner candidate set.
+    SetScored {
+        /// Interval timestamp (s).
+        t_s: f64,
+        /// Placement unit the set was evaluated on.
+        unit: usize,
+        /// Candidate set cardinality.
+        k: usize,
+        /// The learned `score(S)` value.
+        score: f64,
+    },
 }
 
 impl TraceEvent {
@@ -192,11 +215,13 @@ impl TraceEvent {
             TraceEvent::CacheSnapshot { .. } => "CacheSnapshot",
             TraceEvent::BudgetReclaimed { .. } => "BudgetReclaimed",
             TraceEvent::BeMigrated { .. } => "BeMigrated",
+            TraceEvent::ColdStartPredicted { .. } => "ColdStartPredicted",
+            TraceEvent::SetScored { .. } => "SetScored",
         }
     }
 
     /// Every variant name, in a stable order (the validator's schema).
-    pub fn kinds() -> [&'static str; 12] {
+    pub fn kinds() -> [&'static str; 14] {
         [
             "TelemetrySample",
             "SearchRan",
@@ -210,6 +235,8 @@ impl TraceEvent {
             "CacheSnapshot",
             "BudgetReclaimed",
             "BeMigrated",
+            "ColdStartPredicted",
+            "SetScored",
         ]
     }
 
@@ -227,7 +254,9 @@ impl TraceEvent {
             | TraceEvent::SearchPruned { t_s, .. }
             | TraceEvent::CacheSnapshot { t_s, .. }
             | TraceEvent::BudgetReclaimed { t_s, .. }
-            | TraceEvent::BeMigrated { t_s, .. } => *t_s,
+            | TraceEvent::BeMigrated { t_s, .. }
+            | TraceEvent::ColdStartPredicted { t_s, .. }
+            | TraceEvent::SetScored { t_s, .. } => *t_s,
         }
     }
 }
@@ -443,6 +472,6 @@ mod tests {
     #[test]
     fn every_kind_is_listed() {
         assert!(TraceEvent::kinds().contains(&sample(0.0).kind()));
-        assert_eq!(TraceEvent::kinds().len(), 12);
+        assert_eq!(TraceEvent::kinds().len(), 14);
     }
 }

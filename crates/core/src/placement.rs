@@ -24,11 +24,16 @@
 //!   greedy marginal-gain moves away from safe-mode/exhausted units,
 //!   never targeting a unit in safe mode or without a free slot.
 //! * [`BePlacer`] — the original per-node candidate ranker, now an
-//!   adapter implementing the same trait over empty units (its
-//!   `rank`/`choose` entry points are deprecated shims).
+//!   adapter implementing the same trait over empty units.
+//!
+//! When the `[scoring]` subsystem is active, the closed-form
+//! [`co_runner_score`] gives way to per-app coefficients or the learned
+//! [`SetScorer`] (see [`PlacementScoring`]): a candidate *set* of jobs
+//! is valued by which applications it mixes, not just how many.
 
 use crate::experiment::{ColocationPair, ExperimentSetup};
 use crate::predictor::PerfPowerPredictor;
+use crate::scoring::{catalog_sigma, SetScorer};
 use crate::search::{ConfigSearch, SearchParams, SearchStrategy};
 use std::sync::Arc;
 use sturgeon_simnode::{NodeSpec, PairConfig};
@@ -169,6 +174,35 @@ impl Default for PlacementParams {
     }
 }
 
+/// How [`ScoredPlacementEngine`] values a set of jobs multiplexed on one
+/// BE partition. Absent (the legacy default), the closed-form
+/// [`co_runner_score`] with the global `[placement].sigma` applies —
+/// bit-identical to pre-scoring runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlacementScoring {
+    /// Closed-form score, but with the app's *own* catalog contention
+    /// coefficient ([`sturgeon_workloads::be::BeAppParams::contention_sigma`])
+    /// instead of the global `[placement].sigma` knob.
+    PerAppSigma,
+    /// The learned co-runner set scorer: `score(S)` over the actual
+    /// candidate set.
+    Learned(SetScorer),
+}
+
+impl PlacementScoring {
+    /// Normalized total-throughput score of `jobs` jobs of `be` sharing
+    /// one BE partition under this scoring mode.
+    pub fn factor(&self, be: BeAppId, jobs: u32) -> f64 {
+        match self {
+            Self::PerAppSigma => co_runner_score(jobs, catalog_sigma(be.name())),
+            Self::Learned(scorer) => {
+                let set = vec![be.name(); jobs as usize];
+                scorer.score(&set)
+            }
+        }
+    }
+}
+
 /// The fleet placement engine: scores every unit's per-job value with
 /// the predictor-backed search at the unit's own load and cap, applies
 /// the co-runner interference score for multiplexing, and greedily
@@ -191,6 +225,7 @@ pub struct ScoredPlacementEngine {
     spec: NodeSpec,
     search: SearchParams,
     params: PlacementParams,
+    scoring: Option<PlacementScoring>,
     /// Per-unit trust in the model's value estimate (EWMA across
     /// boundaries, 0 = never delivers, 1 = delivers as modeled).
     health: Vec<f64>,
@@ -198,6 +233,9 @@ pub struct ScoredPlacementEngine {
     base: Vec<f64>,
     /// Scratch: per-unit job counts as the plan is built.
     jobs: Vec<u32>,
+    /// Scratch: co-runner score by job count for the plan's app,
+    /// refilled every plan (index = k).
+    score_k: Vec<f64>,
 }
 
 impl std::fmt::Debug for ScoredPlacementEngine {
@@ -243,15 +281,38 @@ impl ScoredPlacementEngine {
             spec,
             search,
             params,
+            scoring: None,
             health: Vec::new(),
             base: Vec::new(),
             jobs: Vec::new(),
+            score_k: Vec::new(),
         }
+    }
+
+    /// Switches the co-runner valuation away from the closed-form
+    /// global-σ score (see [`PlacementScoring`]).
+    pub fn with_scoring(mut self, scoring: PlacementScoring) -> Self {
+        self.scoring = Some(scoring);
+        self
     }
 
     /// The engine's tunables.
     pub fn params(&self) -> &PlacementParams {
         &self.params
+    }
+
+    /// The scoring mode in force (`None` = legacy closed-form).
+    pub fn scoring(&self) -> Option<&PlacementScoring> {
+        self.scoring.as_ref()
+    }
+
+    /// Normalized total-throughput score of `jobs` jobs of `be` sharing
+    /// one BE partition, under the engine's scoring mode.
+    pub fn score_jobs(&self, be: BeAppId, jobs: u32) -> f64 {
+        match &self.scoring {
+            None => co_runner_score(jobs, self.params.sigma),
+            Some(scoring) => scoring.factor(be, jobs),
+        }
     }
 
     /// Modeled per-job value of running on `unit`: the search's
@@ -282,7 +343,7 @@ impl ScoredPlacementEngine {
             return (0.0, HEALTH_ALPHA);
         }
         let flag_cap = if unit.exhausted { 0.5 } else { 1.0 };
-        let expected = modeled * co_runner_score(unit.be_jobs, self.params.sigma);
+        let expected = modeled * self.score_k[unit.be_jobs as usize];
         if unit.be_jobs > 0 && expected > f64::EPSILON {
             (
                 (unit.last_be_tput / expected).clamp(0.0, flag_cap),
@@ -297,7 +358,7 @@ impl ScoredPlacementEngine {
 
     /// Total value of `jobs` jobs on unit `i`.
     fn value(&self, i: usize, jobs: u32) -> f64 {
-        self.base[i] * co_runner_score(jobs, self.params.sigma)
+        self.base[i] * self.score_k[jobs as usize]
     }
 
     /// Marginal value of adding one job to unit `i` holding `jobs`.
@@ -322,6 +383,16 @@ impl PlacementEngine for ScoredPlacementEngine {
         self.health.resize(n, 1.0);
         self.base.clear();
         self.jobs.clear();
+        // Tabulate the co-runner score once per plan: the view's app is
+        // homogeneous, so a set is fully described by its cardinality.
+        let max_k = view
+            .units
+            .iter()
+            .map(|u| u.be_slots.max(u.be_jobs))
+            .max()
+            .unwrap_or(0)
+            + 1;
+        self.score_k = (0..=max_k).map(|k| self.score_jobs(view.be, k)).collect();
         let debug = std::env::var_os("STURGEON_PLACEMENT_DEBUG").is_some();
         for (i, u) in view.units.iter().enumerate() {
             let modeled = self.modeled_value(u);
@@ -543,23 +614,6 @@ impl BePlacer {
             .into_iter()
             .find(|d| d.config.is_some())
     }
-
-    /// Evaluates every candidate at the given LS load, best first.
-    #[deprecated(
-        note = "use PlacementEngine::plan for fleet views, or BePlacer::evaluate(qps, cap_w)"
-    )]
-    pub fn rank(&self, qps: f64) -> Vec<PlacementDecision> {
-        self.evaluate(qps, self.budget_w)
-    }
-
-    /// The single best candidate at the given load (`None` when no
-    /// candidate has any feasible configuration).
-    #[deprecated(
-        note = "use PlacementEngine::plan for fleet views, or BePlacer::select(qps, cap_w)"
-    )]
-    pub fn choose(&self, qps: f64) -> Option<PlacementDecision> {
-        self.select(qps, self.budget_w)
-    }
 }
 
 impl PlacementEngine for BePlacer {
@@ -663,22 +717,6 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_wrappers_still_delegate() {
-        let p = placer();
-        #[allow(deprecated)]
-        let old = p.rank(0.3 * 60_000.0);
-        let new = p.evaluate(0.3 * 60_000.0, p.budget_w());
-        assert_eq!(old.len(), new.len());
-        assert_eq!(old[0].be, new[0].be);
-        #[allow(deprecated)]
-        let chosen = p.choose(0.25 * 60_000.0);
-        assert_eq!(
-            chosen.map(|d| d.be),
-            p.select(0.25 * 60_000.0, p.budget_w()).map(|d| d.be)
-        );
-    }
-
-    #[test]
     fn adapter_assigns_only_empty_healthy_units() {
         let mut p = placer();
         let view = FleetView {
@@ -693,6 +731,57 @@ mod tests {
             plan.actions[0],
             PlacementAction::Assign { unit: 0, .. }
         ));
+    }
+
+    #[test]
+    fn score_jobs_has_three_tiers() {
+        let setup = ExperimentSetup::new(
+            ColocationPair::new(LsServiceId::Memcached, BeAppId::Fluidanimate),
+            42,
+        );
+        let predictor = Arc::new(setup.train_default_predictor());
+        let engine = |scoring: Option<PlacementScoring>| {
+            let mut e = ScoredPlacementEngine::new(
+                predictor.clone(),
+                setup.spec().clone(),
+                SearchParams::default(),
+                PlacementParams::default(),
+            );
+            if let Some(s) = scoring {
+                e = e.with_scoring(s);
+            }
+            e
+        };
+        // Tier 1: scoring absent → the global-σ closed form, exactly.
+        let legacy = engine(None);
+        for k in 0..4 {
+            assert_eq!(
+                legacy.score_jobs(BeAppId::Fluidanimate, k).to_bits(),
+                co_runner_score(k, 0.25).to_bits()
+            );
+        }
+        // Tier 2: per-app σ — fluidanimate (σ = 0.5) scores lower than
+        // the global default; raytrace (σ = 0.25) matches it exactly.
+        let per_app = engine(Some(PlacementScoring::PerAppSigma));
+        assert!(
+            per_app.score_jobs(BeAppId::Fluidanimate, 2)
+                < legacy.score_jobs(BeAppId::Fluidanimate, 2)
+        );
+        assert_eq!(
+            per_app.score_jobs(BeAppId::Raytrace, 3).to_bits(),
+            legacy.score_jobs(BeAppId::Raytrace, 3).to_bits()
+        );
+        // Tier 3: the learned scorer drives the valuation.
+        let learned = engine(Some(PlacementScoring::Learned(SetScorer::from_sigmas([(
+            "fluidanimate",
+            0.9,
+        )]))));
+        assert!(
+            learned.score_jobs(BeAppId::Fluidanimate, 2)
+                < per_app.score_jobs(BeAppId::Fluidanimate, 2)
+        );
+        assert_eq!(learned.score_jobs(BeAppId::Fluidanimate, 1), 1.0);
+        assert_eq!(learned.score_jobs(BeAppId::Fluidanimate, 0), 0.0);
     }
 
     #[test]

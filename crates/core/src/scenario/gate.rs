@@ -111,6 +111,10 @@ pub fn default_rules() -> Vec<Rule> {
         "migrations",
         "evictions",
         "assignments",
+        "cells_observed",
+        "cells_hidden",
+        "cold_start_cells",
+        "set_scores",
         "prediction_count",
         "candidates",
         "probe_model_calls",

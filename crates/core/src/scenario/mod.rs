@@ -53,6 +53,7 @@ use crate::heracles::{HeraclesController, HeraclesParams};
 use crate::obs::{MetricsRegistry, TraceSink};
 use crate::placement::PlacementParams;
 use crate::predictor::PerfPowerPredictor;
+use crate::scoring::ScoringParams;
 use crate::search::{ConfigSearch, SearchParams, SearchStrategy};
 use serde::Value;
 use std::sync::Arc;
@@ -260,6 +261,9 @@ pub struct Scenario {
     pub budget: Option<FleetBudget>,
     /// Fleet-aware BE placement engine knobs (fleet only).
     pub placement: Option<PlacementParams>,
+    /// Cold-start scoring: CF prediction for a masked app and/or the
+    /// learned co-runner set scorer (fleet only, shared training).
+    pub scoring: Option<ScoringParams>,
     /// Optional search-overhead probe (node Sturgeon kinds only).
     pub probe: Option<SearchProbe>,
 }
@@ -344,6 +348,17 @@ pub struct ScenarioMetrics {
     pub evictions: Option<u64>,
     /// Fleet: queued jobs assigned to a unit.
     pub assignments: Option<u64>,
+    /// Scoring: observed profile-matrix cells (present only with a
+    /// `[scoring]` table, so pre-scoring baselines stay comparable).
+    pub cells_observed: Option<u64>,
+    /// Scoring: masked profile-matrix cells.
+    pub cells_hidden: Option<u64>,
+    /// Scoring: hidden cells the CF predictor filled for the masked app.
+    pub cold_start_cells: Option<u64>,
+    /// Scoring: learned set-scorer evaluations at placement boundaries.
+    pub set_scores: Option<u64>,
+    /// Scoring: held-out throughput RMSE of the CF fit.
+    pub rmse_heldout: Option<f64>,
     /// Probe: median search latency (µs).
     pub search_p50_us: Option<f64>,
     /// Probe: 95th-percentile search latency (µs).
@@ -403,6 +418,10 @@ impl ScenarioMetrics {
             ("migrations", self.migrations),
             ("evictions", self.evictions),
             ("assignments", self.assignments),
+            ("cells_observed", self.cells_observed),
+            ("cells_hidden", self.cells_hidden),
+            ("cold_start_cells", self.cold_start_cells),
+            ("set_scores", self.set_scores),
             ("probe_model_calls", self.probe_model_calls),
             ("probe_candidates", self.probe_candidates),
         ];
@@ -412,6 +431,7 @@ impl ScenarioMetrics {
             }
         }
         let opt_floats = [
+            ("rmse_heldout", self.rmse_heldout),
             ("search_p50_us", self.search_p50_us),
             ("search_p95_us", self.search_p95_us),
             ("search_p99_us", self.search_p99_us),
@@ -1032,6 +1052,7 @@ impl Scenario {
                 "fleet",
                 "budget",
                 "placement",
+                "scoring",
                 "search_probe",
             ],
             "manifest",
@@ -1208,6 +1229,39 @@ impl Scenario {
             }
         };
 
+        let scoring = match v.get("scoring") {
+            None => None,
+            Some(s) => {
+                check_keys(
+                    s,
+                    &[
+                        "cold_start",
+                        "fallback",
+                        "set_scorer",
+                        "latent_dim",
+                        "mask_fraction",
+                        "masked_app",
+                        "seed",
+                    ],
+                    "scoring",
+                )?;
+                let d = ScoringParams::default();
+                let params = ScoringParams {
+                    cold_start: bool_key(s, "cold_start", "scoring")?.unwrap_or(d.cold_start),
+                    fallback: bool_key(s, "fallback", "scoring")?.unwrap_or(d.fallback),
+                    set_scorer: bool_key(s, "set_scorer", "scoring")?.unwrap_or(d.set_scorer),
+                    latent_dim: u64_key(s, "latent_dim", "scoring")?
+                        .map_or(d.latent_dim, |v| v as usize),
+                    mask_fraction: f64_key(s, "mask_fraction", "scoring")?
+                        .unwrap_or(d.mask_fraction),
+                    masked_app: str_key(s, "masked_app", "scoring")?.map(str::to_string),
+                    seed: u64_key(s, "seed", "scoring")?.unwrap_or(d.seed),
+                };
+                params.validate()?;
+                Some(params)
+            }
+        };
+
         let kind = match str_key(v, "kind", "manifest")? {
             None => {
                 if fleet.is_some() {
@@ -1260,6 +1314,7 @@ impl Scenario {
             fleet,
             budget,
             placement,
+            scoring,
             probe,
         };
         scenario.validate()?;
@@ -1281,6 +1336,9 @@ impl Scenario {
                 }
                 if self.placement.is_some() {
                     return Err(bad("`[placement]` is only valid for fleet scenarios"));
+                }
+                if self.scoring.is_some() {
+                    return Err(bad("`[scoring]` is only valid for fleet scenarios"));
                 }
             }
             ScenarioKind::Fleet => {
@@ -1311,6 +1369,12 @@ impl Scenario {
                         self.region_loads.len(),
                         fleet.regions
                     )));
+                }
+                if self.scoring.is_some() && fleet.training != TrainingMode::Shared {
+                    return Err(bad(
+                        "`[scoring]` requires `fleet.training = \"shared\"` (the CF predictor \
+                         is a shared artifact)",
+                    ));
                 }
             }
         }
@@ -1415,6 +1479,20 @@ impl Scenario {
                 ]),
             ));
         }
+        if let Some(sp) = &self.scoring {
+            let mut fields = vec![
+                ("cold_start".into(), Value::Bool(sp.cold_start)),
+                ("fallback".into(), Value::Bool(sp.fallback)),
+                ("set_scorer".into(), Value::Bool(sp.set_scorer)),
+                ("latent_dim".into(), Value::Number(sp.latent_dim as f64)),
+                ("mask_fraction".into(), Value::Number(sp.mask_fraction)),
+            ];
+            if let Some(app) = &sp.masked_app {
+                fields.push(("masked_app".into(), Value::String(app.clone())));
+            }
+            fields.push(("seed".into(), Value::Number(sp.seed as f64)));
+            f.push(("scoring".into(), Value::Object(fields)));
+        }
         if let Some(probe) = &self.probe {
             f.push((
                 "search_probe".into(),
@@ -1486,6 +1564,7 @@ impl Scenario {
             traced_shard: None,
             budget: self.budget.clone(),
             placement: self.placement,
+            scoring: self.scoring.clone(),
         })
     }
 
@@ -1639,6 +1718,11 @@ impl Scenario {
             migrations: None,
             evictions: None,
             assignments: None,
+            cells_observed: None,
+            cells_hidden: None,
+            cold_start_cells: None,
+            set_scores: None,
+            rmse_heldout: None,
             search_p50_us: None,
             search_p95_us: None,
             search_p99_us: None,
@@ -1748,6 +1832,11 @@ impl Scenario {
             migrations: self.placement.map(|_| result.migrations),
             evictions: self.placement.map(|_| result.evictions),
             assignments: self.placement.map(|_| result.assignments),
+            cells_observed: fleet.cold_start_report().map(|(_, r)| r.cells_observed),
+            cells_hidden: fleet.cold_start_report().map(|(_, r)| r.cells_hidden),
+            cold_start_cells: fleet.cold_start_report().map(|(_, r)| r.cold_start_cells),
+            set_scores: self.scoring.as_ref().map(|_| result.set_scores),
+            rmse_heldout: fleet.cold_start_report().map(|(_, r)| r.rmse_heldout_tput),
             search_p50_us: None,
             search_p95_us: None,
             search_p99_us: None,
@@ -2024,6 +2113,11 @@ day_s = 100
             migrations: None,
             evictions: None,
             assignments: None,
+            cells_observed: None,
+            cells_hidden: None,
+            cold_start_cells: None,
+            set_scores: None,
+            rmse_heldout: None,
             search_p50_us: Some(10.0),
             search_p95_us: Some(20.0),
             search_p99_us: Some(30.0),

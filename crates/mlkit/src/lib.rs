@@ -47,6 +47,7 @@ pub mod lasso;
 pub mod linear;
 pub mod logistic;
 pub mod metrics;
+pub mod mf;
 pub mod mlp;
 pub mod model;
 pub mod naive_bayes;
@@ -62,6 +63,7 @@ pub use lasso::Lasso;
 pub use linear::LinearRegression;
 pub use logistic::LogisticRegression;
 pub use metrics::{accuracy, mean_absolute_error, mean_squared_error, r2_score};
+pub use mf::{MatrixFactorization, MfCell, MfParams};
 pub use mlp::{MlpClassifier, MlpRegressor};
 pub use model::{Classifier, Dataset, MlError, Regressor};
 pub use naive_bayes::GaussianNb;

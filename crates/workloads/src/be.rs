@@ -43,6 +43,18 @@ pub struct BeAppParams {
     pub input_level: u32,
 }
 
+impl BeAppParams {
+    /// The app's effective pairwise-contention coefficient σ for the
+    /// closed-form co-runner score `k / (1 + σ·(k − 1))`, derived from
+    /// the same calibration knob that drives interference on the LS
+    /// service ([`traffic_factor`](Self::traffic_factor)). The 0.625
+    /// scale is calibrated so raytrace (traffic 0.40) lands exactly on
+    /// the fleet's legacy global default σ = 0.25.
+    pub fn contention_sigma(&self) -> f64 {
+        (0.625 * self.traffic_factor).clamp(0.0, 1.0)
+    }
+}
+
 /// A BE application instance.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct BeAppModel {
@@ -217,6 +229,19 @@ mod tests {
     fn memory_traffic_rises_when_cache_shrinks() {
         let fd = app(BeAppId::Fluidanimate);
         assert!(fd.memory_traffic(12, 2.2, 2) > fd.memory_traffic(12, 2.2, 14));
+    }
+
+    #[test]
+    fn contention_sigma_calibrated_to_traffic() {
+        // Raytrace's σ must land exactly on the fleet's legacy global
+        // default (0.25), and σ must order apps by memory traffic.
+        assert_eq!(app(BeAppId::Raytrace).params.contention_sigma(), 0.25);
+        let sigma = |id| app(id).params.contention_sigma();
+        assert!(sigma(BeAppId::Fluidanimate) > sigma(BeAppId::Raytrace));
+        assert!(sigma(BeAppId::Raytrace) > sigma(BeAppId::Swaptions));
+        for m in be_apps() {
+            assert!((0.0..=1.0).contains(&m.params.contention_sigma()));
+        }
     }
 
     #[test]

@@ -230,6 +230,37 @@ impl MultiColocationEnv {
             .sum()
     }
 
+    /// Delivered (contended) throughput of every BE partition: the solo
+    /// model rate degraded by the *other* BE partitions' memory traffic.
+    ///
+    /// Memory bandwidth is unmanaged, so a BE app suffers from its
+    /// co-runners exactly as the LS service does — this is the signal the
+    /// co-runner *set* scorer is trained on. The per-app solo models (and
+    /// the lattices flattened from them) deliberately do not know about
+    /// this term; the gap between modeled and delivered throughput is what
+    /// a learned set score recovers.
+    pub fn contended_be_throughput(&self, config: &MultiConfig) -> Vec<f64> {
+        let coupling = self.interference.params().be_bw_coupling;
+        let traffic: Vec<f64> = config
+            .be
+            .iter()
+            .enumerate()
+            .map(|(i, a)| self.be[i].memory_traffic(a.cores, a.freq_ghz(&self.spec), a.llc_ways))
+            .collect();
+        let total: f64 = traffic.iter().sum();
+        config
+            .be
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let solo =
+                    self.be[i].normalized_throughput(a.cores, a.freq_ghz(&self.spec), a.llc_ways);
+                let co_traffic = (total - traffic[i]).max(0.0);
+                solo / (1.0 + coupling * co_traffic)
+            })
+            .collect()
+    }
+
     /// Simulates one monitoring interval.
     ///
     /// `qps[i]` is the offered load of LS service `i`.
@@ -266,14 +297,7 @@ impl MultiColocationEnv {
             });
         }
 
-        let be_throughput = config
-            .be
-            .iter()
-            .enumerate()
-            .map(|(i, a)| {
-                self.be[i].normalized_throughput(a.cores, a.freq_ghz(&self.spec), a.llc_ways)
-            })
-            .collect();
+        let be_throughput = self.contended_be_throughput(config);
 
         MultiObservation {
             t_s: self.t_s,
@@ -402,6 +426,39 @@ mod tests {
             e.step(&c, &[1_000.0]).ls[0].p95_ms
         };
         assert!(mk(13) > mk(2), "more BE cores must mean more interference");
+    }
+
+    #[test]
+    fn be_co_runners_degrade_each_other() {
+        let mk = |interference| {
+            let mut e = MultiColocationEnv::new(
+                NodeSpec::xeon_e5_2630_v4(),
+                PowerModel::default(),
+                vec![ls_service(LsServiceId::Xapian)],
+                vec![be_app(BeAppId::Raytrace), be_app(BeAppId::Fluidanimate)],
+                interference,
+                0,
+            );
+            let c = MultiConfig {
+                ls: vec![Allocation::new(6, 8, 6)],
+                be: vec![Allocation::new(7, 5, 6), Allocation::new(7, 5, 6)],
+            };
+            e.step(&c, &[1_000.0]).be_throughput
+        };
+        let quiet = mk(InterferenceParams::none());
+        let contended = mk(InterferenceParams {
+            spike_probability: 0.0,
+            ..InterferenceParams::default()
+        });
+        // Zero coupling reproduces the solo model rates; the default
+        // coupling strictly degrades both co-runners.
+        for (q, c) in quiet.iter().zip(&contended) {
+            assert!(c < q, "contended {c} must be below solo {q}");
+        }
+        // The model-vs-delivered gap is what the set scorer learns; it
+        // must be material at default coupling.
+        let ratio = contended[0] / quiet[0];
+        assert!((0.5..0.99).contains(&ratio), "contraction ratio {ratio}");
     }
 
     #[test]

@@ -187,6 +187,118 @@ fn golden_budget_cut_migration_beats_static_pinning() {
     gate_against_golden(&[outcome.metrics]);
 }
 
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "three full 240-interval fleet runs; run with --release"
+)]
+fn golden_cold_start_cf_closes_on_full_profile_and_beats_fallback() {
+    let scenario = load_scenario("scenarios/golden_cold_start.toml");
+    assert!(scenario.scoring.is_some(), "manifest configures [scoring]");
+    let outcome = scenario.run().expect("golden cold-start run");
+
+    // Twin 1: the same fleet with raytrace fully profiled — the ceiling
+    // the cold-start path is measured against.
+    let mut full = scenario.clone();
+    full.scoring.as_mut().expect("scoring table").cold_start = false;
+    let full_outcome = full.run().expect("fully-profiled twin run");
+
+    // Twin 2: the no-model column-statistics fallback — the floor it
+    // must clear to justify existing.
+    let mut naive = scenario.clone();
+    naive.scoring.as_mut().expect("scoring table").fallback = true;
+    let naive_outcome = naive.run().expect("fallback twin run");
+
+    let cf = &outcome.metrics;
+    let fp = &full_outcome.metrics;
+    let fb = &naive_outcome.metrics;
+    assert_eq!(
+        cf.cold_start_cells,
+        Some(360),
+        "raytrace's full config row must be synthesized"
+    );
+    assert!(
+        cf.set_scores.unwrap_or(0) > 0,
+        "the learned set scorer must be consulted by placement"
+    );
+    assert!(
+        cf.rmse_heldout.unwrap_or(f64::INFINITY) < 0.1,
+        "held-out throughput RMSE blew up: {:?}",
+        cf.rmse_heldout
+    );
+    assert!(
+        cf.be_throughput >= 0.90 * fp.be_throughput,
+        "cold start must land within 10% of the fully-profiled run: {} vs {}",
+        cf.be_throughput,
+        fp.be_throughput
+    );
+    assert!(
+        cf.be_throughput > fb.be_throughput,
+        "cold start must strictly beat the no-model fallback: {} vs {}",
+        cf.be_throughput,
+        fb.be_throughput
+    );
+    assert!(
+        cf.qos_rate >= fb.qos_rate - 0.005,
+        "beating the fallback must not sacrifice QoS: {} vs {}",
+        cf.qos_rate,
+        fb.qos_rate
+    );
+    assert!(
+        cf.qos_rate >= fp.qos_rate - 0.005,
+        "cold start must hold the fully-profiled QoS: {} vs {}",
+        cf.qos_rate,
+        fp.qos_rate
+    );
+
+    gate_against_golden(&[outcome.metrics]);
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full 240-interval fleet run; run with --release"
+)]
+fn golden_rack_cut_interior_budget_events_fire_and_hold_caps() {
+    let scenario = load_scenario("scenarios/golden_rack_cut.toml");
+    let budget = scenario
+        .budget
+        .as_ref()
+        .expect("manifest configures [budget]");
+    assert!(
+        budget.events.iter().any(|e| e.level == BudgetLevel::Rack)
+            && budget.events.iter().any(|e| e.level == BudgetLevel::Row),
+        "manifest schedules both a rack-level and a row-level cut"
+    );
+    let outcome = scenario.run().expect("golden rack-cut run");
+
+    let m = &outcome.metrics;
+    assert!(
+        m.budget_reclaims.unwrap_or(0) > 0,
+        "interior cuts must trigger reclamation passes"
+    );
+    assert!(
+        m.migrations.unwrap_or(0) > 0,
+        "the squeezed regions must shed BE jobs"
+    );
+
+    // The interior cuts only ever tighten below nominal, so no node may
+    // average above the per-node cap the pair was profiled under.
+    let nominal_w = ExperimentSetup::new(scenario.pair, scenario.seed).budget_w();
+    let fleet = outcome.fleet.as_ref().expect("fleet outcome");
+    for node in &fleet.nodes {
+        assert!(
+            node.mean_power_w <= nominal_w + 1e-6,
+            "node {} mean power {:.2} W above nominal cap {:.2} W",
+            node.node,
+            node.mean_power_w,
+            nominal_w
+        );
+    }
+
+    gate_against_golden(&[outcome.metrics]);
+}
+
 /// Gate freshly produced metrics rows against `baselines/golden.json`
 /// in subset mode (each test produces one of the two committed rows).
 fn gate_against_golden(rows: &[ScenarioMetrics]) {

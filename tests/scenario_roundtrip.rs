@@ -147,6 +147,7 @@ fn any_node_scenario() -> impl Strategy<Value = Scenario> {
                     fleet: None,
                     budget: None,
                     placement: None,
+                    scoring: None,
                     probe,
                 }
             },
@@ -357,6 +358,7 @@ dispatch = "{dispatch}"
         traced_shard: None,
         budget: None,
         placement: None,
+        scoring: None,
     };
     let mut fleet = Fleet::try_new(pair, 12, params, 11).expect("fleet");
     let profiles = vec![
@@ -408,6 +410,7 @@ fn cli_flags_and_manifest_agree() {
         fleet: None,
         budget: None,
         placement: None,
+        scoring: None,
         probe: None,
     };
     let manifest = r#"
