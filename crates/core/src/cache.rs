@@ -216,6 +216,54 @@ impl PredictionCache {
     }
 }
 
+/// Per-C1-slice snapshot of the latticed pruned sweep: the slab envelope
+/// the slice was scanned under (feasibility words and LS power rows, both
+/// flattened over `(F1, L1)`) and the exact slice outcome. The
+/// incremental re-search compares freshly computed envelopes against
+/// these buffers in place and rescans only slices whose bytes moved; the
+/// `Vec`s double as reusable scratch so steady-state searches allocate
+/// nothing.
+#[derive(Debug, Clone, Default)]
+pub struct SliceSnapshot {
+    /// Envelope feasibility words, `n_levels × words_per_row`.
+    pub feas: Vec<u64>,
+    /// Envelope LS power rows (W), `n_levels × total_ways`.
+    pub power: Vec<f64>,
+    /// The slice's exact best candidate under the envelope, with its
+    /// predicted BE throughput.
+    pub best: Option<(PairConfig, f64)>,
+}
+
+/// Bucket-delta state for the incremental re-search
+/// (`ConfigSearch::pruned`): the previous latticed sweep's per-slice
+/// envelopes and outcomes plus the identity — generation, budget, slab
+/// bracket, lattice shape — they were computed under. A new search whose
+/// identity matches and whose QPS bracket moved at most one bucket reuses
+/// every slice whose envelope is unchanged; anything else (drift,
+/// retrain, budget change, reshaped lattice) discards the state and runs
+/// the full sweep, which repopulates it.
+#[derive(Debug, Default)]
+pub struct IncrementalState {
+    /// Predictor training generation of the stored sweep.
+    pub generation: u64,
+    /// `budget_w.to_bits()` of the stored sweep.
+    pub budget_bits: u64,
+    /// `power_load_headroom.to_bits()` baked into the stored envelopes.
+    pub headroom_bits: u64,
+    /// Slab bracket of the stored sweep.
+    pub lo_bucket: u64,
+    /// Slab bracket of the stored sweep.
+    pub hi_bucket: u64,
+    /// Search-space shape of the stored sweep.
+    pub max_c1: u32,
+    /// Search-space shape of the stored sweep.
+    pub max_l1: u32,
+    /// One snapshot per C1 slice, index `c1 - 1`.
+    pub slices: Vec<SliceSnapshot>,
+    /// The stored sweep's folded outcome.
+    pub best: Option<(PairConfig, f64)>,
+}
+
 /// Cross-interval frontier memory for the pruned search engine.
 ///
 /// The steady-state control path re-searches at loads that drift a few
@@ -223,16 +271,21 @@ impl PredictionCache {
 /// configuration is almost always a high-value incumbent for the next
 /// search. This cache keys those seeds on *quantized QPS buckets* — the
 /// seed is only a starting bound, revalidated by the searcher against the
-/// live load before use, so bucketing can never change a result, only how
-/// often the bisected-frontier warm-up phase is skipped.
+/// live slab envelope before use, so bucketing can never change a result,
+/// only how much of the sweep the bound prunes.
 ///
 /// Seeds are tagged with the predictor's training generation and dropped
 /// wholesale when it changes — the same invalidation rule as
 /// [`PredictionCache::clear`] on retrain.
+///
+/// The cache also parks the [`IncrementalState`] between intervals
+/// (take/store, so the searcher mutates it without holding the lock);
+/// see [`take_incremental`](Self::take_incremental).
 #[derive(Debug)]
 pub struct FrontierCache {
     inner: Mutex<FrontierInner>,
     reuses: AtomicU64,
+    incremental: Mutex<Option<Box<IncrementalState>>>,
 }
 
 #[derive(Debug)]
@@ -264,7 +317,21 @@ impl FrontierCache {
                 seeds: HashMap::new(),
             }),
             reuses: AtomicU64::new(0),
+            incremental: Mutex::new(None),
         }
+    }
+
+    /// Hands the parked incremental state to a searcher, leaving the slot
+    /// empty. The searcher validates/mutates it lock-free and puts it
+    /// back via [`store_incremental`](Self::store_incremental); a racing
+    /// searcher simply finds the slot empty and runs a full sweep.
+    pub fn take_incremental(&self) -> Option<Box<IncrementalState>> {
+        self.incremental.lock().take()
+    }
+
+    /// Parks the incremental state for the next interval's search.
+    pub fn store_incremental(&self, state: Box<IncrementalState>) {
+        *self.incremental.lock() = Some(state);
     }
 
     fn bucket(quantum: f64, qps: f64) -> u64 {
@@ -459,6 +526,27 @@ mod tests {
         // Inserting under the new generation works normally again.
         fc.insert(2, 500.0, seed_cfg(5));
         assert_eq!(fc.get(2, 500.0), Some(seed_cfg(5)));
+    }
+
+    #[test]
+    fn incremental_state_parks_and_returns() {
+        let fc = FrontierCache::default();
+        assert!(fc.take_incremental().is_none());
+        let mut state = Box::<IncrementalState>::default();
+        state.generation = 3;
+        state.lo_bucket = 7;
+        state.slices.push(SliceSnapshot {
+            feas: vec![0b1011],
+            power: vec![1.0, 2.0],
+            best: Some((seed_cfg(5), 0.7)),
+        });
+        fc.store_incremental(state);
+        let back = fc.take_incremental().expect("state must be parked");
+        assert_eq!(back.generation, 3);
+        assert_eq!(back.lo_bucket, 7);
+        assert_eq!(back.slices[0].feas, vec![0b1011]);
+        // The slot is empty again after the take.
+        assert!(fc.take_incremental().is_none());
     }
 
     #[test]

@@ -198,6 +198,8 @@ pub struct SturgeonController {
     pruned_candidates_total: u64,
     pruned_subspaces_total: u64,
     frontier_reuses_total: u64,
+    incremental_reused_total: u64,
+    incremental_rescanned_total: u64,
     /// True while the placement layer has parked the BE side (no job
     /// assigned): the controller holds the power-feasible all-LS safe
     /// configuration instead of optimizing a throughput nobody counts.
@@ -256,6 +258,8 @@ impl SturgeonController {
             pruned_candidates_total: 0,
             pruned_subspaces_total: 0,
             frontier_reuses_total: 0,
+            incremental_reused_total: 0,
+            incremental_rescanned_total: 0,
             be_idle: false,
         }
     }
@@ -368,6 +372,16 @@ impl SturgeonController {
         )
     }
 
+    /// Running totals over the run's incremental re-searches, as
+    /// `(slices_reused, slices_rescanned)`. Both zero under the heuristic
+    /// strategy and whenever every search fell back to the full sweep.
+    pub fn incremental_totals(&self) -> (u64, u64) {
+        (
+            self.incremental_reused_total,
+            self.incremental_rescanned_total,
+        )
+    }
+
     /// The balancer (for effectiveness accounting).
     pub fn balancer(&self) -> &ResourceBalancer {
         &self.balancer
@@ -455,6 +469,8 @@ impl SturgeonController {
         self.pruned_candidates_total += outcome.stats.pruned_candidates;
         self.pruned_subspaces_total += outcome.stats.pruned_subspaces;
         self.frontier_reuses_total += outcome.stats.frontier_reuses;
+        self.incremental_reused_total += outcome.stats.incremental_slices_reused;
+        self.incremental_rescanned_total += outcome.stats.incremental_slices_rescanned;
         self.warm_hint = outcome.best.map(|cfg| (cfg, qps));
         self.last_search_stats = Some(outcome.stats);
         self.last_search_qps = Some(qps);
@@ -511,6 +527,11 @@ impl SturgeonController {
                     pruned_candidates: outcome.stats.pruned_candidates,
                     pruned_subspaces: outcome.stats.pruned_subspaces,
                     frontier_reuses: outcome.stats.frontier_reuses,
+                });
+                self.trace.push(TraceEvent::SearchIncremental {
+                    t_s,
+                    slices_reused: outcome.stats.incremental_slices_reused,
+                    slices_rescanned: outcome.stats.incremental_slices_rescanned,
                 });
             }
             self.trace.push(TraceEvent::CacheSnapshot {

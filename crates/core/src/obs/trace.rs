@@ -135,6 +135,19 @@ pub enum TraceEvent {
         /// cache, 0 when the bisection warm-up supplied it.
         frontier_reuses: u64,
     },
+    /// The incremental re-search accounting for one pruned search: how
+    /// many C1 slices the cross-interval memo answered without a rescan.
+    /// Emitted right after `SearchPruned` when the pruned strategy is
+    /// active; both counters are zero when the search ran the full sweep
+    /// (cold start, retrain, budget change, or multi-bucket QPS drift).
+    SearchIncremental {
+        /// Interval timestamp (s).
+        t_s: f64,
+        /// C1 slices whose stored outcome was reused verbatim.
+        slices_reused: u64,
+        /// C1 slices rescanned because their slab envelope changed.
+        slices_rescanned: u64,
+    },
     /// Prediction-cache occupancy after a search.
     CacheSnapshot {
         /// Interval timestamp (s).
@@ -212,6 +225,7 @@ impl TraceEvent {
             TraceEvent::ConfigApplied { .. } => "ConfigApplied",
             TraceEvent::FaultInjected { .. } => "FaultInjected",
             TraceEvent::SearchPruned { .. } => "SearchPruned",
+            TraceEvent::SearchIncremental { .. } => "SearchIncremental",
             TraceEvent::CacheSnapshot { .. } => "CacheSnapshot",
             TraceEvent::BudgetReclaimed { .. } => "BudgetReclaimed",
             TraceEvent::BeMigrated { .. } => "BeMigrated",
@@ -221,7 +235,7 @@ impl TraceEvent {
     }
 
     /// Every variant name, in a stable order (the validator's schema).
-    pub fn kinds() -> [&'static str; 14] {
+    pub fn kinds() -> [&'static str; 15] {
         [
             "TelemetrySample",
             "SearchRan",
@@ -232,6 +246,7 @@ impl TraceEvent {
             "ConfigApplied",
             "FaultInjected",
             "SearchPruned",
+            "SearchIncremental",
             "CacheSnapshot",
             "BudgetReclaimed",
             "BeMigrated",
@@ -252,6 +267,7 @@ impl TraceEvent {
             | TraceEvent::ConfigApplied { t_s, .. }
             | TraceEvent::FaultInjected { t_s, .. }
             | TraceEvent::SearchPruned { t_s, .. }
+            | TraceEvent::SearchIncremental { t_s, .. }
             | TraceEvent::CacheSnapshot { t_s, .. }
             | TraceEvent::BudgetReclaimed { t_s, .. }
             | TraceEvent::BeMigrated { t_s, .. }
@@ -472,6 +488,6 @@ mod tests {
     #[test]
     fn every_kind_is_listed() {
         assert!(TraceEvent::kinds().contains(&sample(0.0).kind()));
-        assert_eq!(TraceEvent::kinds().len(), 14);
+        assert_eq!(TraceEvent::kinds().len(), 15);
     }
 }

@@ -20,7 +20,7 @@
 
 use crate::cache::{Family, PredictionCache};
 use crate::profiler::{features, ProfileDatasets, FEATURE_DIM};
-use crate::tables::ModelTables;
+use crate::tables::{LsSlab, LsSlabs, ModelTables};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -203,6 +203,9 @@ pub struct PerfPowerPredictor {
     /// tables (cache refreshes included). A fleet sharing one predictor
     /// reads this to prove table construction was paid exactly once.
     table_builds: AtomicU64,
+    /// Lazily built QPS-slab family for the LS-side models (see
+    /// [`LsSlabs`]), invalidated alongside [`Self::tables`] on retrain.
+    slabs: Mutex<Option<Arc<LsSlabs>>>,
 }
 
 impl std::fmt::Debug for PerfPowerPredictor {
@@ -257,6 +260,7 @@ impl PerfPowerPredictor {
             generation: AtomicU64::new(0),
             tables: Mutex::new(None),
             table_builds: AtomicU64::new(0),
+            slabs: Mutex::new(None),
         })
     }
 
@@ -324,6 +328,7 @@ impl PerfPowerPredictor {
         // generation and drop them alongside the memo entries.
         self.generation.fetch_add(1, Ordering::Relaxed);
         *self.tables.lock() = None;
+        *self.slabs.lock() = None;
         Ok(())
     }
 
@@ -381,6 +386,84 @@ impl PerfPowerPredictor {
     /// being served from the per-(generation, spec) cache).
     pub fn table_builds(&self) -> u64 {
         self.table_builds.load(Ordering::Relaxed)
+    }
+
+    /// The raw (uncounted, unmemoized) compute path behind
+    /// [`ls_feasible`](Self::ls_feasible) — domain check, guarded load,
+    /// classifier + latency veto. Slab construction runs this directly so
+    /// lattice entries are bit-identical to live calls without disturbing
+    /// §VII-E per-search accounting.
+    fn raw_ls_feasible(&self, cores: u32, freq_ghz: f64, ways: u32, qps: f64) -> bool {
+        if qps > 1.1 * self.max_trained_qps {
+            return false;
+        }
+        let guarded = (qps * (1.0 + self.config.qos_load_margin)).min(self.max_trained_qps);
+        let x = features(guarded, cores, freq_ghz, ways);
+        self.ls_qos.predict_label(&x) && self.ls_latency.predict(&x) <= self.qos_target_ms
+    }
+
+    /// The raw compute path behind [`ls_power_w`](Self::ls_power_w) —
+    /// same clamp and margin, no counter or memo side effects.
+    fn raw_ls_power_w(&self, cores: u32, freq_ghz: f64, ways: u32, qps: f64) -> f64 {
+        self.ls_power
+            .predict(&features(qps, cores, freq_ghz, ways))
+            .max(0.0)
+            * (1.0 + self.config.power_margin)
+    }
+
+    /// The QPS-slab family for `spec` with the given power-load headroom
+    /// baked into its power lattices, created empty on first use and
+    /// cached until the next retrain (or a different spec/headroom).
+    ///
+    /// The bucket width is `max_trained_qps / 64` — 64 slabs across the
+    /// profiled load domain — so any realistic load sits within one
+    /// bucket of a slab center and the conservative bracket envelope
+    /// stays tight.
+    pub fn ls_slabs(&self, spec: &NodeSpec, power_load_headroom: f64) -> Arc<LsSlabs> {
+        let generation = self.generation();
+        let mut slot = self.slabs.lock();
+        if let Some(slabs) = slot.as_ref() {
+            if slabs.generation() == generation
+                && slabs.matches(spec)
+                && slabs.headroom().to_bits() == power_load_headroom.to_bits()
+            {
+                return Arc::clone(slabs);
+            }
+        }
+        let quantum = if self.max_trained_qps > 0.0 {
+            self.max_trained_qps / 64.0
+        } else {
+            1.0
+        };
+        let fresh = Arc::new(LsSlabs::new(
+            spec,
+            generation,
+            quantum,
+            power_load_headroom,
+            self.max_trained_qps,
+        ));
+        *slot = Some(Arc::clone(&fresh));
+        fresh
+    }
+
+    /// The slab for one bucket of the family, built on first use by
+    /// sweeping the raw LS model paths over the full `(C1, F1, L1)`
+    /// lattice. Neither the build nor later lookups advance the
+    /// prediction counter or touch the memo cache.
+    pub fn ls_slab(&self, spec: &NodeSpec, slabs: &LsSlabs, bucket: u64) -> Arc<LsSlab> {
+        slabs.slab(
+            spec,
+            bucket,
+            |cores, freq_ghz, ways, qps| self.raw_ls_feasible(cores, freq_ghz, ways, qps),
+            |cores, freq_ghz, ways, qps| self.raw_ls_power_w(cores, freq_ghz, ways, qps),
+        )
+    }
+
+    /// How many LS slab constructions actually ran across the current
+    /// family (map hits excluded). Resets when the family is invalidated
+    /// by retrain or a spec/headroom change.
+    pub fn slab_builds(&self) -> u64 {
+        self.slabs.lock().as_ref().map_or(0, |s| s.builds())
     }
 
     /// Does `<cores, freq, ways>` meet the LS QoS target at `qps`?

@@ -86,6 +86,13 @@ pub struct OverheadSummary {
     pub candidates: usize,
     /// Wall-clock duration in milliseconds.
     pub duration_ms: f64,
+    /// Median per-search latency (µs) across the measured repetitions.
+    /// `None` (serialized as `null`) for single-shot rows.
+    pub search_p50_us: Option<f64>,
+    /// 95th-percentile per-search latency (µs).
+    pub search_p95_us: Option<f64>,
+    /// 99th-percentile per-search latency (µs).
+    pub search_p99_us: Option<f64>,
 }
 
 impl OverheadSummary {
@@ -104,12 +111,26 @@ impl OverheadSummary {
             },
             candidates: stats.candidates,
             duration_ms: stats.duration.as_secs_f64() * 1e3,
+            search_p50_us: None,
+            search_p95_us: None,
+            search_p99_us: None,
         }
+    }
+
+    /// Attaches per-search latency percentiles (µs) computed over a
+    /// repetition loop — `sorted_us` must be ascending.
+    pub fn with_percentiles(mut self, sorted_us: &[f64]) -> Self {
+        if !sorted_us.is_empty() {
+            self.search_p50_us = Some(crate::scenario::percentile(sorted_us, 0.50));
+            self.search_p95_us = Some(crate::scenario::percentile(sorted_us, 0.95));
+            self.search_p99_us = Some(crate::scenario::percentile(sorted_us, 0.99));
+        }
+        self
     }
 
     /// One aligned text row for the overhead tables.
     pub fn row(&self) -> String {
-        format!(
+        let mut row = format!(
             "{:<18} {:>8} queries  {:>8} hits  {:>8} misses  ({:>5.1}% hit)  {:>10.3} ms",
             self.label,
             self.prediction_count,
@@ -117,7 +138,15 @@ impl OverheadSummary {
             self.cache_misses,
             self.cache_hit_rate * 100.0,
             self.duration_ms
-        )
+        );
+        if let (Some(p50), Some(p95), Some(p99)) =
+            (self.search_p50_us, self.search_p95_us, self.search_p99_us)
+        {
+            row.push_str(&format!(
+                "  p50 {p50:>8.1} us  p95 {p95:>8.1} us  p99 {p99:>8.1} us"
+            ));
+        }
+        row
     }
 }
 

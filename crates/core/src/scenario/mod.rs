@@ -1852,8 +1852,10 @@ impl Scenario {
     }
 }
 
-/// Nearest-rank percentile on already-sorted data (`q` in `[0, 1]`).
-fn percentile(sorted: &[f64], q: f64) -> f64 {
+/// Nearest-rank percentile on already-sorted data (`q` in `[0, 1]`) —
+/// the shared definition behind the scenario search probes and the
+/// `tab_overhead` latency rows, so their gates measure the same thing.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }

@@ -20,6 +20,10 @@
 //! the generation, which invalidates cached tables the same way it clears
 //! the prediction memo cache.
 
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use sturgeon_simnode::NodeSpec;
 
 /// Flattened QPS-independent model lattices plus pruning bounds.
@@ -183,6 +187,287 @@ impl ModelTables {
     }
 }
 
+/// One QPS slab: the LS-side model lattices frozen at a single quantized
+/// load point (the slab "center", `bucket · quantum`).
+///
+/// The LS queries of the predictor — QoS feasibility of `<C1, F1, L1>`
+/// and LS partition power — depend on the offered load, so unlike the BE
+/// lattices of [`ModelTables`] they cannot be flattened once per retrain.
+/// Instead the load axis is quantized into buckets and each bucket's
+/// lattice is built lazily (see [`LsSlabs`]). A slab stores:
+///
+/// * **feasibility** as a bitset — one bit per `(C1, F1, L1)` cell, the
+///   L1 (ways) axis packed into `words_per_row` `u64` words per
+///   `(C1, F1)` row so a whole row can be masked branch-free; built at
+///   `qps = center`.
+/// * **LS power** as a flat `f64` array over the same lattice; built at
+///   `qps = center · (1 + power_load_headroom)` — the exact load the
+///   search's power check uses — so a lookup at slab-center load is
+///   bit-identical to the live `ls_power_w` call it replaces.
+#[derive(Debug, Clone)]
+pub struct LsSlab {
+    bucket: u64,
+    qps: f64,
+    qps_power: f64,
+    n_levels: usize,
+    total_ways: u32,
+    words_per_row: usize,
+    feas: Vec<u64>,
+    power: Vec<f64>,
+}
+
+impl LsSlab {
+    /// Builds the slab by sweeping the full `(C1, F1, L1)` lattice through
+    /// the two evaluators, which must be the predictor's exact compute
+    /// paths (domain check, guarded load, clamps and margins included) for
+    /// lookups to be bit-identical to live calls at the slab centers.
+    /// `feas` is queried at `qps`, `power` at `qps_power`.
+    pub fn build(
+        spec: &NodeSpec,
+        bucket: u64,
+        qps: f64,
+        qps_power: f64,
+        mut feas: impl FnMut(u32, f64, u32, f64) -> bool,
+        mut power: impl FnMut(u32, f64, u32, f64) -> f64,
+    ) -> Self {
+        let nc = spec.total_cores as usize;
+        let nw = spec.total_llc_ways as usize;
+        let nf = spec.freq_level_count();
+        let words_per_row = nw.div_ceil(64);
+        let mut feas_words = vec![0u64; nc * nf * words_per_row];
+        let mut pw = vec![0.0; nc * nf * nw];
+        for c in 1..=spec.total_cores {
+            let ci = (c - 1) as usize;
+            for f in 0..nf {
+                let ghz = spec.freq_ghz(f);
+                let row = (ci * nf + f) * words_per_row;
+                for w in 1..=spec.total_llc_ways {
+                    let wi = (w - 1) as usize;
+                    if feas(c, ghz, w, qps) {
+                        feas_words[row + wi / 64] |= 1u64 << (wi % 64);
+                    }
+                    pw[(ci * nf + f) * nw + wi] = power(c, ghz, w, qps_power);
+                }
+            }
+        }
+        Self {
+            bucket,
+            qps,
+            qps_power,
+            n_levels: nf,
+            total_ways: spec.total_llc_ways,
+            words_per_row,
+            feas: feas_words,
+            power: pw,
+        }
+    }
+
+    /// The quantized bucket index this slab was built for.
+    pub fn bucket(&self) -> u64 {
+        self.bucket
+    }
+
+    /// The slab-center load the feasibility lattice was built at.
+    pub fn qps(&self) -> f64 {
+        self.qps
+    }
+
+    /// The headroom-inflated load the power lattice was built at.
+    pub fn qps_power(&self) -> f64 {
+        self.qps_power
+    }
+
+    /// `u64` words per `(C1, F1)` feasibility row.
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The packed feasibility words for one `(C1, F1)` row; bit `w-1` is
+    /// set when `<cores, level, w>` meets QoS at the slab center.
+    #[inline]
+    pub fn feas_row(&self, cores: u32, level: usize) -> &[u64] {
+        let row = ((cores - 1) as usize * self.n_levels + level) * self.words_per_row;
+        &self.feas[row..row + self.words_per_row]
+    }
+
+    /// The LS power (W, margin included) row for one `(C1, F1)` cell,
+    /// indexed by `ways - 1`.
+    #[inline]
+    pub fn power_row(&self, cores: u32, level: usize) -> &[f64] {
+        let nw = self.total_ways as usize;
+        let row = ((cores - 1) as usize * self.n_levels + level) * nw;
+        &self.power[row..row + nw]
+    }
+
+    /// Point feasibility lookup — bit-identical to
+    /// `predictor.ls_feasible(cores, spec.freq_ghz(level), ways, self.qps())`.
+    #[inline]
+    pub fn feasible(&self, cores: u32, level: usize, ways: u32) -> bool {
+        let wi = (ways - 1) as usize;
+        self.feas_row(cores, level)[wi / 64] & (1u64 << (wi % 64)) != 0
+    }
+
+    /// Point power lookup — bit-identical to
+    /// `predictor.ls_power_w(cores, spec.freq_ghz(level), ways, self.qps_power())`.
+    #[inline]
+    pub fn ls_power_w(&self, cores: u32, level: usize, ways: u32) -> f64 {
+        self.power_row(cores, level)[(ways - 1) as usize]
+    }
+}
+
+/// Lazily built family of [`LsSlab`]s for one `(generation, spec,
+/// power-load-headroom)` triple, plus the quantization and envelope rules
+/// the search relies on.
+///
+/// A load `q` is *bracketed* by the two slabs whose centers surround it
+/// (`floor` and `ceil` of `q / quantum`); the search then uses the
+/// conservative envelope across the bracket — feasibility is the AND of
+/// the two bitsets (never optimistic: a cell must meet QoS at *both*
+/// surrounding centers) and LS power the pointwise `max` of the two
+/// lattices. At a slab center the bracket degenerates to one slab and
+/// every envelope lookup is bit-identical to the live model call.
+/// [`lerp_power_w`](Self::lerp_power_w) exposes the plain linear
+/// interpolation for validation; the search itself never uses it, since a
+/// lerp can undershoot the live model between centers.
+#[derive(Debug)]
+pub struct LsSlabs {
+    generation: u64,
+    quantum: f64,
+    headroom: f64,
+    max_bucket: u64,
+    total_cores: u32,
+    total_ways: u32,
+    n_levels: usize,
+    freq_levels_ghz: Vec<f64>,
+    slabs: Mutex<HashMap<u64, Arc<LsSlab>>>,
+    builds: AtomicU64,
+}
+
+impl LsSlabs {
+    /// Creates an empty slab family. `quantum` is the bucket width in QPS
+    /// (must be positive); `max_bucket` caps the lattice at the first
+    /// bucket whose center exceeds the trained domain — every load beyond
+    /// it is infeasible anyway, so brackets clamp there and the map stays
+    /// bounded.
+    pub fn new(
+        spec: &NodeSpec,
+        generation: u64,
+        quantum: f64,
+        headroom: f64,
+        max_qps: f64,
+    ) -> Self {
+        debug_assert!(quantum > 0.0);
+        let max_bucket = ((1.1 * max_qps / quantum).floor() as u64).saturating_add(1);
+        Self {
+            generation,
+            quantum,
+            headroom,
+            max_bucket,
+            total_cores: spec.total_cores,
+            total_ways: spec.total_llc_ways,
+            n_levels: spec.freq_level_count(),
+            freq_levels_ghz: spec.freq_levels_ghz.clone(),
+            slabs: Mutex::new(HashMap::new()),
+            builds: AtomicU64::new(0),
+        }
+    }
+
+    /// Training generation the slabs were built from.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Bucket width (QPS per slab).
+    pub fn quantum(&self) -> f64 {
+        self.quantum
+    }
+
+    /// The power-load headroom baked into every slab's power lattice.
+    pub fn headroom(&self) -> f64 {
+        self.headroom
+    }
+
+    /// True when the slabs cover exactly this node's lattice.
+    pub fn matches(&self, spec: &NodeSpec) -> bool {
+        self.total_cores == spec.total_cores
+            && self.total_ways == spec.total_llc_ways
+            && self.n_levels == spec.freq_level_count()
+            && self.freq_levels_ghz.len() == spec.freq_levels_ghz.len()
+            && self
+                .freq_levels_ghz
+                .iter()
+                .zip(&spec.freq_levels_ghz)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+
+    /// The slab-center load of a bucket.
+    pub fn center(&self, bucket: u64) -> f64 {
+        bucket as f64 * self.quantum
+    }
+
+    /// The pair of bucket indices whose slab centers bracket `qps`
+    /// (`lo == hi` exactly at a slab center). Clamped to the bounded
+    /// bucket range; beyond it every slab is all-infeasible, so the clamp
+    /// never changes a search result.
+    pub fn bracket(&self, qps: f64) -> (u64, u64) {
+        let q = (qps / self.quantum).max(0.0);
+        let lo = (q.floor() as u64).min(self.max_bucket);
+        let hi = (q.ceil() as u64).min(self.max_bucket);
+        (lo, hi)
+    }
+
+    /// Returns the slab for `bucket`, building it on first use via the
+    /// two evaluators (see [`LsSlab::build`]; `feas` is handed the slab
+    /// center, `power` the headroom-inflated center).
+    pub fn slab(
+        &self,
+        spec: &NodeSpec,
+        bucket: u64,
+        feas: impl FnMut(u32, f64, u32, f64) -> bool,
+        power: impl FnMut(u32, f64, u32, f64) -> f64,
+    ) -> Arc<LsSlab> {
+        // The map lock is held across the build: a slab sweep is thousands
+        // of model evaluations, so racing builders should wait for the one
+        // in flight rather than duplicate it.
+        let mut map = self.slabs.lock();
+        if let Some(s) = map.get(&bucket) {
+            return Arc::clone(s);
+        }
+        let qps = self.center(bucket);
+        let qps_power = qps * (1.0 + self.headroom);
+        let built = Arc::new(LsSlab::build(spec, bucket, qps, qps_power, feas, power));
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        map.insert(bucket, Arc::clone(&built));
+        built
+    }
+
+    /// How many slab constructions actually ran (as opposed to map hits).
+    pub fn builds(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Plain linear interpolation of LS power between the bracketing
+    /// slabs — exposed for bit-closeness validation only; the search uses
+    /// the conservative `max` envelope instead.
+    pub fn lerp_power_w(
+        &self,
+        lo: &LsSlab,
+        hi: &LsSlab,
+        qps: f64,
+        cores: u32,
+        level: usize,
+        ways: u32,
+    ) -> f64 {
+        let a = lo.ls_power_w(cores, level, ways);
+        if lo.bucket() == hi.bucket() {
+            return a;
+        }
+        let b = hi.ls_power_w(cores, level, ways);
+        let t = ((qps - lo.qps()) / (hi.qps() - lo.qps())).clamp(0.0, 1.0);
+        a + (b - a) * t
+    }
+}
+
 /// Flattened BE model lattice for the multi-application search
 /// ([`crate::multi::BeModelSet`]): unlike the pair predictor, the
 /// multi-app BE power model keeps its `ways` feature, so both tables are
@@ -336,6 +621,91 @@ mod tests {
         let mut shifted = small_spec();
         shifted.freq_levels_ghz[1] = 1.5000000001;
         assert!(!t.matches(&shifted));
+    }
+
+    #[test]
+    fn ls_slab_stores_feasibility_bits_and_power_for_every_cell() {
+        let spec = small_spec();
+        let slab = LsSlab::build(
+            &spec,
+            3,
+            30.0,
+            32.4,
+            |c, _g, w, qps| {
+                assert_eq!(qps, 30.0);
+                (c + w) % 2 == 0
+            },
+            |c, g, w, qps| {
+                assert_eq!(qps, 32.4);
+                c as f64 * 10.0 + g + w as f64 * 0.1
+            },
+        );
+        assert_eq!(slab.bucket(), 3);
+        assert_eq!(slab.words_per_row(), 1);
+        for c in 1..=4u32 {
+            for (level, &ghz) in spec.freq_levels_ghz.iter().enumerate() {
+                for w in 1..=3u32 {
+                    assert_eq!(slab.feasible(c, level, w), (c + w) % 2 == 0);
+                    assert_eq!(
+                        slab.ls_power_w(c, level, w),
+                        c as f64 * 10.0 + ghz + w as f64 * 0.1
+                    );
+                }
+                // Row accessors expose the same cells the point lookups read.
+                assert_eq!(slab.power_row(c, level).len(), 3);
+                assert_eq!(slab.feas_row(c, level).len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn slab_bracket_degenerates_at_centers_and_clamps_beyond_domain() {
+        let spec = small_spec();
+        let slabs = LsSlabs::new(&spec, 5, 10.0, 0.08, 400.0);
+        assert_eq!(slabs.generation(), 5);
+        assert!(slabs.matches(&spec));
+        // Exactly on a center: lo == hi.
+        assert_eq!(slabs.bracket(30.0), (3, 3));
+        // Between centers: floor/ceil pair.
+        assert_eq!(slabs.bracket(34.9), (3, 4));
+        // Negative loads clamp to bucket 0.
+        assert_eq!(slabs.bracket(-5.0), (0, 0));
+        // Beyond the trained domain both ends clamp to the cap bucket.
+        let (lo, hi) = slabs.bracket(1e12);
+        assert_eq!(lo, hi);
+        assert!(slabs.center(lo) > 1.1 * 400.0);
+    }
+
+    #[test]
+    fn slabs_build_lazily_and_share_arcs() {
+        let spec = small_spec();
+        let slabs = LsSlabs::new(&spec, 0, 10.0, 0.0, 400.0);
+        assert_eq!(slabs.builds(), 0);
+        let feas = |_c: u32, _g: f64, _w: u32, _q: f64| true;
+        let power = |_c: u32, _g: f64, _w: u32, q: f64| q;
+        let a = slabs.slab(&spec, 2, feas, power);
+        assert_eq!(slabs.builds(), 1);
+        let b = slabs.slab(&spec, 2, feas, power);
+        assert_eq!(slabs.builds(), 1, "second request must hit the map");
+        assert!(Arc::ptr_eq(&a, &b));
+        // The power lattice was built at the slab center (headroom 0).
+        assert_eq!(a.qps(), 20.0);
+        assert_eq!(a.ls_power_w(1, 0, 1), 20.0);
+    }
+
+    #[test]
+    fn lerp_power_interpolates_between_slab_centers() {
+        let spec = small_spec();
+        let slabs = LsSlabs::new(&spec, 0, 10.0, 0.0, 400.0);
+        let feas = |_c: u32, _g: f64, _w: u32, _q: f64| true;
+        let power = |_c: u32, _g: f64, _w: u32, q: f64| q * 2.0;
+        let lo = slabs.slab(&spec, 1, feas, power);
+        let hi = slabs.slab(&spec, 2, feas, power);
+        // Halfway between centers 10 and 20 → halfway between 20 and 40.
+        let mid = slabs.lerp_power_w(&lo, &hi, 15.0, 2, 1, 2);
+        assert_eq!(mid, 30.0);
+        // Degenerate bracket returns the slab value verbatim.
+        assert_eq!(slabs.lerp_power_w(&lo, &lo, 10.0, 2, 1, 2), 20.0);
     }
 
     #[test]

@@ -1,8 +1,14 @@
-//! Equivalence tests for the frontier-pruned search engine: the pruned
-//! path must return the *same bits* as the exhaustive serial oracle —
-//! on the pinned production setup, and under a property sweep over
-//! random node geometries and workload pairs — while evaluating an
-//! order of magnitude fewer candidates.
+//! Equivalence tests for the latticed frontier-pruned search engine.
+//!
+//! The engine answers from QPS-slab envelopes, so its oracle is layered:
+//! at *arbitrary* loads it must return the same bits as the unpruned
+//! envelope sweep (`exhaustive_latticed`); at *slab-center* loads the
+//! envelope degenerates to the live models and the engine must match
+//! the live exhaustive serial oracle bit for bit. The property sweep
+//! additionally checks the slabs cell-by-cell against the live
+//! predictor, that the between-slab envelope is never optimistic, and
+//! that incremental re-search under one-bucket QPS walks is
+//! bit-identical to the full pruned sweep.
 
 use proptest::prelude::*;
 use std::sync::OnceLock;
@@ -26,7 +32,7 @@ fn shared_predictor() -> &'static (PerfPowerPredictor, ExperimentSetup) {
 }
 
 #[test]
-fn pruned_matches_oracle_on_pinned_production_setup() {
+fn pruned_matches_envelope_oracle_on_pinned_production_setup() {
     let (predictor, setup) = shared_predictor();
     let search = ConfigSearch::new(
         predictor,
@@ -36,7 +42,7 @@ fn pruned_matches_oracle_on_pinned_production_setup() {
     );
     for frac in [0.1, 0.2, 0.35, 0.5, 0.65, 0.8] {
         let qps = frac * setup.peak_qps();
-        let full = search.exhaustive_serial(qps);
+        let full = search.exhaustive_latticed(qps);
         let pruned = search.pruned(qps);
         assert_eq!(pruned.best, full.best, "config mismatch at frac {frac}");
         assert_eq!(
@@ -44,10 +50,33 @@ fn pruned_matches_oracle_on_pinned_production_setup() {
             full.predicted_throughput.to_bits()
         );
         assert!(
-            full.stats.candidates >= 10 * pruned.stats.candidates.max(1),
-            "frac {frac}: exhaustive evaluated {} candidates, pruned {}",
+            pruned.stats.candidates <= full.stats.candidates,
+            "frac {frac}: envelope sweep evaluated {} candidates, pruned {}",
             full.stats.candidates,
             pruned.stats.candidates
+        );
+        assert_eq!(
+            pruned.stats.model_calls, 0,
+            "the latticed inner loop must not touch the live models"
+        );
+    }
+}
+
+#[test]
+fn pruned_matches_live_oracle_at_slab_centers() {
+    let (predictor, setup) = shared_predictor();
+    let params = SearchParams::default();
+    let search = ConfigSearch::new(predictor, setup.spec().clone(), setup.budget_w(), params);
+    let slabs = predictor.ls_slabs(setup.spec(), params.power_load_headroom);
+    for bucket in [6u64, 13, 26, 40, 51] {
+        let qps = slabs.center(bucket);
+        let live = search.exhaustive_serial(qps);
+        let pruned = search.pruned(qps);
+        assert_eq!(pruned.best, live.best, "config mismatch at bucket {bucket}");
+        assert_eq!(
+            pruned.predicted_throughput.to_bits(),
+            live.predicted_throughput.to_bits(),
+            "throughput bits differ at bucket {bucket}"
         );
     }
 }
@@ -64,18 +93,52 @@ fn frontier_seeded_search_stays_oracle_equal_across_load_drift() {
     )
     .with_frontiers(&frontiers);
     // Walk a small diurnal-style load path; every step must stay
-    // bit-identical to the oracle regardless of whether its incumbent
-    // came from the frontier cache or the bisection warm-up.
+    // bit-identical to the envelope oracle, whether it ran the full
+    // sweep (seeded or not) or the incremental slice-reuse path.
     let mut reuses = 0;
+    let mut incremental = 0;
     for frac in [0.30, 0.31, 0.33, 0.40, 0.33, 0.31, 0.30] {
         let qps = frac * setup.peak_qps();
         let pruned = search.pruned(qps);
-        let full = search.exhaustive_serial(qps);
+        let full = search.exhaustive_latticed(qps);
         assert_eq!(pruned.best, full.best, "mismatch at frac {frac}");
         reuses += pruned.stats.frontier_reuses;
+        incremental +=
+            pruned.stats.incremental_slices_reused + pruned.stats.incremental_slices_rescanned;
     }
     assert!(reuses > 0, "revisited loads must reuse frontier seeds");
-    assert_eq!(frontiers.reuses(), reuses);
+    assert!(
+        incremental > 0,
+        "small drifts must take the incremental path"
+    );
+    assert!(frontiers.reuses() >= reuses);
+}
+
+#[test]
+fn incremental_walk_is_bit_identical_to_full_pruned() {
+    let (predictor, setup) = shared_predictor();
+    let params = SearchParams::default();
+    let frontiers = FrontierCache::default();
+    let warm = ConfigSearch::new(predictor, setup.spec().clone(), setup.budget_w(), params)
+        .with_frontiers(&frontiers);
+    let cold = ConfigSearch::new(predictor, setup.spec().clone(), setup.budget_w(), params);
+    let slabs = predictor.ls_slabs(setup.spec(), params.power_load_headroom);
+    let q = slabs.quantum();
+    // An arbitrary one-bucket QPS walk (steps of at most one quantum):
+    // the stateful engine reuses parked slice outcomes, the stateless
+    // one re-sweeps, and they must agree bit for bit at every step.
+    let mut qps = 20.4 * q;
+    for delta in [0.9, -0.3, 1.0, 0.6, -1.0, -0.8, 0.2, 1.0, -0.5, 0.95] {
+        qps += delta * q;
+        let inc = warm.pruned(qps);
+        let full = cold.pruned(qps);
+        assert_eq!(inc.best, full.best, "config mismatch at qps {qps}");
+        assert_eq!(
+            inc.predicted_throughput.to_bits(),
+            full.predicted_throughput.to_bits(),
+            "throughput bits differ at qps {qps}"
+        );
+    }
 }
 
 /// Trains a small (but real) predictor on an arbitrary node geometry.
@@ -120,12 +183,20 @@ fn train_on(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
-    /// The tentpole equivalence property: over random node geometries
-    /// (core counts, DVFS tables, LLC sizes) and workload pairs, the
-    /// pruned engine returns exactly the oracle's configuration — same
-    /// bits, including tie-breaks — at every load level probed.
+    /// The tentpole equivalence property, over random node geometries
+    /// (core counts, DVFS tables, LLC sizes), workload pairs and loads:
+    ///
+    /// 1. slab cells agree with the live predictor bit for bit at slab
+    ///    centers (feasibility and LS power);
+    /// 2. the between-slab envelope is never optimistic — an
+    ///    envelope-feasible cell is feasible at *both* bracketing
+    ///    centers, and envelope power is never below either center's;
+    /// 3. the pruned engine equals the envelope oracle at the probed
+    ///    load and the live serial oracle at a slab center;
+    /// 4. a one-bucket QPS walk on a stateful engine stays bit-identical
+    ///    to the stateless full sweep.
     #[test]
-    fn pruned_equals_oracle_on_random_nodes_and_workloads(
+    fn latticed_engine_equals_oracles_on_random_nodes_and_workloads(
         cores in 8u32..15,
         n_freqs in 6usize..9,
         ways in 8u32..13,
@@ -146,20 +217,86 @@ proptest! {
         };
         prop_assert!(spec.validate().is_ok());
         let (env, p) = train_on(spec.clone(), ls_idx, be_idx, seed);
-        let search = ConfigSearch::new(&p, spec, env.budget_w(), SearchParams::default());
+        let params = SearchParams::default();
+        let search = ConfigSearch::new(&p, spec.clone(), env.budget_w(), params);
         let qps = (frac_pct as f64 / 100.0) * env.ls().params.peak_qps;
-        let full = search.exhaustive_serial(qps);
+
+        // (1) + (2): slab cells vs the live predictor at the probed
+        // load's bracketing centers.
+        let slabs = p.ls_slabs(&spec, params.power_load_headroom);
+        let (k_lo, k_hi) = slabs.bracket(qps);
+        let lo = p.ls_slab(&spec, &slabs, k_lo);
+        let hi = p.ls_slab(&spec, &slabs, k_hi);
+        for (slab, k) in [(&lo, k_lo), (&hi, k_hi)] {
+            let center = slabs.center(k);
+            let center_power = center * (1.0 + slabs.headroom());
+            for c in 1..=spec.total_cores {
+                for f in 0..spec.freq_level_count() {
+                    let ghz = spec.freq_ghz(f);
+                    for w in 1..=spec.total_llc_ways {
+                        prop_assert_eq!(
+                            slab.feasible(c, f, w),
+                            p.ls_feasible(c, ghz, w, center),
+                            "feasibility differs at bucket {} cell ({}, {}, {})", k, c, f, w
+                        );
+                        prop_assert_eq!(
+                            slab.ls_power_w(c, f, w).to_bits(),
+                            p.ls_power_w(c, ghz, w, center_power).to_bits(),
+                            "LS power bits differ at bucket {} cell ({}, {}, {})", k, c, f, w
+                        );
+                    }
+                }
+            }
+        }
+        // (2) follows structurally (the envelope is AND / max of the two
+        // slabs just verified); spot-check the composition anyway.
+        for c in 1..=spec.total_cores {
+            for w in 1..=spec.total_llc_ways {
+                let f = spec.max_freq_level();
+                let env_feasible = lo.feasible(c, f, w) && hi.feasible(c, f, w);
+                if env_feasible {
+                    prop_assert!(lo.feasible(c, f, w) && hi.feasible(c, f, w));
+                }
+                let env_power = lo.ls_power_w(c, f, w).max(hi.ls_power_w(c, f, w));
+                prop_assert!(env_power >= lo.ls_power_w(c, f, w));
+                prop_assert!(env_power >= hi.ls_power_w(c, f, w));
+            }
+        }
+
+        // (3): engine vs envelope oracle at the probed load, and vs the
+        // live oracle at a slab center.
+        let full = search.exhaustive_latticed(qps);
         let pruned = search.pruned(qps);
         prop_assert_eq!(pruned.best, full.best);
         prop_assert_eq!(
             pruned.predicted_throughput.to_bits(),
             full.predicted_throughput.to_bits()
         );
-        // The parallel and serial pruned variants agree too.
-        let ser = search.pruned_serial(qps);
-        prop_assert_eq!(ser.best, pruned.best);
-        prop_assert_eq!(ser.stats.candidates, pruned.stats.candidates);
-        // Pruning must never *increase* work relative to the oracle.
         prop_assert!(pruned.stats.candidates <= full.stats.candidates);
+        let center_qps = slabs.center(k_lo);
+        let live = search.exhaustive_serial(center_qps);
+        let at_center = search.pruned(center_qps);
+        prop_assert_eq!(at_center.best, live.best);
+        prop_assert_eq!(
+            at_center.predicted_throughput.to_bits(),
+            live.predicted_throughput.to_bits()
+        );
+
+        // (4): one-bucket walk, stateful vs stateless.
+        let frontiers = FrontierCache::default();
+        let warm = ConfigSearch::new(&p, spec.clone(), env.budget_w(), params)
+            .with_frontiers(&frontiers);
+        let q = slabs.quantum();
+        let mut walk_qps = qps;
+        for (i, delta) in [0.7, -1.0, 0.4, 1.0, -0.6].into_iter().enumerate() {
+            walk_qps = (walk_qps + delta * q).max(0.0);
+            let inc = warm.pruned(walk_qps);
+            let fresh = search.pruned(walk_qps);
+            prop_assert_eq!(inc.best, fresh.best, "walk step {} diverged", i);
+            prop_assert_eq!(
+                inc.predicted_throughput.to_bits(),
+                fresh.predicted_throughput.to_bits()
+            );
+        }
     }
 }
